@@ -1,0 +1,91 @@
+// Ablation bench (beyond the paper's figures): isolates where PIMCOMP's
+// gains come from.
+//  1. Mapper ladder: greedy (no replication) -> random (GA generation 0) ->
+//     PUMA-like (balanced heuristic) -> full GA.
+//  2. Mutation-operator ablation: disable each of the four GA mutation
+//     operators (paper §IV-C1, ops I-IV) in turn.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace pimcomp;
+  using namespace pimcomp::bench;
+  const BenchConfig cfg = BenchConfig::from_env();
+  constexpr int kParallelism = 20;
+
+  for (const std::string& name : {std::string("resnet18"),
+                                  std::string("squeezenet")}) {
+    Graph graph = bench_model(name, cfg);
+    const HardwareConfig hw = bench_hardware(graph);
+    Compiler compiler(std::move(graph), hw);
+
+    Table ladder("Mapper ladder on " + name + " (lower is better)");
+    ladder.set_header({"mapper", "HT makespan (us)", "LL latency (us)",
+                       "LL energy (uJ)"});
+    for (int step = 0; step < 4; ++step) {
+      std::string label;
+      auto make_options = [&](PipelineMode mode) {
+        CompileOptions options =
+            bench_options(cfg, mode, kParallelism, MapperKind::kGenetic);
+        switch (step) {
+          case 0:
+            options.mapper = MapperKind::kGreedy;
+            label = "greedy (R=1)";
+            break;
+          case 1:
+            options.mapper = MapperKind::kGenetic;
+            options.ga.generations = 0;  // random initialization only
+            label = "random init";
+            break;
+          case 2:
+            options.mapper = MapperKind::kPumaLike;
+            label = "puma-like";
+            break;
+          default:
+            options.mapper = MapperKind::kGenetic;
+            label = "pimcomp GA";
+            break;
+        }
+        return options;
+      };
+      const RunOutcome ht =
+          run_one(compiler, make_options(PipelineMode::kHighThroughput));
+      const RunOutcome ll =
+          run_one(compiler, make_options(PipelineMode::kLowLatency));
+      ladder.add_row({label, format_double(to_us(ht.sim.makespan), 1),
+                      format_double(to_us(ll.sim.makespan), 1),
+                      format_double(to_uj(ll.sim.total_energy()), 0)});
+      std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    ladder.print();
+
+    Table ops("GA mutation-operator ablation on " + name +
+              " (LL latency, us)");
+    ops.set_header({"configuration", "LL latency (us)", "final fitness (us)"});
+    const char* labels[] = {"all operators", "no grow (op I)",
+                            "no shrink (op II)", "no spread (op III)",
+                            "no merge (op IV)"};
+    for (int disabled = -1; disabled < 4; ++disabled) {
+      CompileOptions options = bench_options(
+          cfg, PipelineMode::kLowLatency, kParallelism, MapperKind::kGenetic);
+      options.ga.enable_grow = disabled != 0;
+      options.ga.enable_shrink = disabled != 1;
+      options.ga.enable_spread = disabled != 2;
+      options.ga.enable_merge = disabled != 3;
+      const RunOutcome out = run_one(compiler, options);
+      ops.add_row({labels[disabled + 1],
+                   format_double(to_us(out.sim.makespan), 1),
+                   format_double(out.result.estimated_fitness / kPsPerUs, 1)});
+      std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    ops.print();
+    std::cout << '\n';
+  }
+  return 0;
+}

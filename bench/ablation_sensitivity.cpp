@@ -1,0 +1,80 @@
+// Sensitivity bench (beyond the paper's figures): how the compiled result
+// responds to the two main hardware levers — crossbar geometry and the
+// parallelism degree (on-chip bandwidth).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace pimcomp;
+  using namespace pimcomp::bench;
+  const BenchConfig cfg = BenchConfig::from_env();
+
+  // ---- Crossbar geometry sweep (LL latency, resnet18) ----------------------
+  {
+    Table table("Crossbar-size sensitivity: resnet18, LL mode, P=20");
+    table.set_header({"crossbar", "xbars/core", "cores", "LL latency (us)",
+                      "HT makespan (us)", "xbar utilization"});
+    struct Geometry {
+      int rows, cols, per_core;
+    };
+    for (const Geometry& g :
+         {Geometry{64, 64, 128}, Geometry{128, 128, 64},
+          Geometry{256, 256, 16}}) {
+      HardwareConfig hw = HardwareConfig::puma_default();
+      hw.xbar_rows = g.rows;
+      hw.xbar_cols = g.cols;
+      hw.xbars_per_core = g.per_core;
+      Graph graph = bench_model("resnet18", cfg);
+      hw = fit_core_count(graph, hw, 3.0);
+      Compiler compiler(std::move(graph), hw);
+      const RunOutcome ll = run_one(
+          compiler, bench_options(cfg, PipelineMode::kLowLatency, 20,
+                                  MapperKind::kGenetic));
+      const RunOutcome ht = run_one(
+          compiler, bench_options(cfg, PipelineMode::kHighThroughput, 20,
+                                  MapperKind::kGenetic));
+      const double util =
+          static_cast<double>(ll.result.solution.total_xbars_used()) /
+          static_cast<double>(ll.result.workload->total_xbars_available());
+      table.add_row({std::to_string(g.rows) + "x" + std::to_string(g.cols),
+                     std::to_string(g.per_core), std::to_string(hw.core_count),
+                     format_double(to_us(ll.sim.makespan), 1),
+                     format_double(to_us(ht.sim.makespan), 1),
+                     format_double(100 * util, 1) + "%"});
+      std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print();
+    std::cout << '\n';
+  }
+
+  // ---- Parallelism-degree sweep (both modes, googlenet) --------------------
+  {
+    Graph graph = bench_model("googlenet", cfg);
+    const HardwareConfig hw = bench_hardware(graph);
+    Compiler compiler(std::move(graph), hw);
+    Table table("Parallelism sensitivity: googlenet");
+    table.set_header({"parallelism", "HT makespan (us)", "LL latency (us)",
+                      "HT energy (uJ)"});
+    for (int p : {1, 5, 20, 40, 200, 2000}) {
+      const RunOutcome ht =
+          run_one(compiler, bench_options(cfg, PipelineMode::kHighThroughput,
+                                          p, MapperKind::kGenetic));
+      const RunOutcome ll =
+          run_one(compiler, bench_options(cfg, PipelineMode::kLowLatency, p,
+                                          MapperKind::kGenetic));
+      table.add_row({std::to_string(p),
+                     format_double(to_us(ht.sim.makespan), 1),
+                     format_double(to_us(ll.sim.makespan), 1),
+                     format_double(to_uj(ht.sim.total_energy()), 0)});
+      std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+#ifndef PIMCOMP_BENCH_BENCH_COMMON_HPP
+#define PIMCOMP_BENCH_BENCH_COMMON_HPP
+
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Environment knobs:
+//   PIMCOMP_BENCH_FULL=1   full canonical input resolutions (224/299) and
+//                          the paper's GA budget (population 100, 200
+//                          generations). Default uses 64x64 inputs (96 for
+//                          inception-v3) and a reduced GA budget so the
+//                          whole suite finishes in minutes; ratios are
+//                          shape-driven and survive the scaling (DESIGN.md
+//                          §3).
+//   PIMCOMP_BENCH_POP / PIMCOMP_BENCH_GENS   override the GA budget.
+//   PIMCOMP_BENCH_SEED                       override the RNG seed.
+
+#include <cstdlib>
+#include <string>
+
+#include "core/compiler.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp::bench {
+
+struct BenchConfig {
+  bool full = false;
+  int ga_population = 40;
+  int ga_generations = 60;
+  std::uint64_t seed = 1;
+
+  static BenchConfig from_env() {
+    BenchConfig cfg;
+    if (const char* full = std::getenv("PIMCOMP_BENCH_FULL")) {
+      cfg.full = std::string(full) == "1";
+    }
+    if (cfg.full) {
+      cfg.ga_population = 100;
+      cfg.ga_generations = 200;
+    }
+    if (const char* pop = std::getenv("PIMCOMP_BENCH_POP")) {
+      cfg.ga_population = std::atoi(pop);
+    }
+    if (const char* gens = std::getenv("PIMCOMP_BENCH_GENS")) {
+      cfg.ga_generations = std::atoi(gens);
+    }
+    if (const char* seed = std::getenv("PIMCOMP_BENCH_SEED")) {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(seed));
+    }
+    return cfg;
+  }
+};
+
+/// The five benchmark networks at bench resolution.
+inline Graph bench_model(const std::string& name, const BenchConfig& cfg) {
+  if (cfg.full) return zoo::build(name);  // canonical 224 / 299
+  return zoo::build(name, name == "inception-v3" ? 96 : 64);
+}
+
+/// Hardware sized for the model with replication headroom (whole chips).
+inline HardwareConfig bench_hardware(const Graph& graph) {
+  return fit_core_count(graph, HardwareConfig::puma_default(), 3.0);
+}
+
+inline CompileOptions bench_options(const BenchConfig& cfg, PipelineMode mode,
+                                    int parallelism, MapperKind mapper,
+                                    MemoryPolicy policy =
+                                        MemoryPolicy::kAgReuse) {
+  CompileOptions options;
+  options.mode = mode;
+  options.parallelism_degree = parallelism;
+  options.mapper = mapper;
+  options.memory_policy = policy;
+  options.ga.population = cfg.ga_population;
+  options.ga.generations = cfg.ga_generations;
+  options.seed = cfg.seed;
+  return options;
+}
+
+struct RunOutcome {
+  CompileResult result;
+  SimReport sim;
+};
+
+inline RunOutcome run_one(const Compiler& compiler,
+                          const CompileOptions& options) {
+  CompileResult result = compiler.compile(options);
+  SimReport sim = compiler.simulate(result);
+  return {std::move(result), std::move(sim)};
+}
+
+}  // namespace pimcomp::bench
+
+#endif  // PIMCOMP_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,80 @@
+// Reproduces Fig 8: normalized throughput (HT mode, top) and normalized
+// speed (LL mode, bottom) of PIMCOMP vs the PUMA-like baseline across
+// parallelism degrees {1, 20, 40, 200, 2000} for the five benchmark
+// networks. Values are PUMA-time / PIMCOMP-time, i.e. PUMA-like == 1.00x.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace pimcomp;
+using namespace pimcomp::bench;
+
+// Fig 8 reference series from the paper, for side-by-side comparison.
+struct PaperRow {
+  const char* model;
+  double ht[5];
+  double ll[5];
+};
+constexpr PaperRow kPaper[] = {
+    {"vgg16", {3.9, 3.1, 2.0, 1.5, 1.5}, {3.1, 2.6, 2.5, 2.5, 2.5}},
+    {"resnet18", {2.0, 1.8, 1.4, 1.3, 1.3}, {4.9, 3.9, 3.8, 3.6, 3.6}},
+    {"googlenet", {1.4, 1.2, 1.2, 1.2, 1.2}, {2.6, 1.8, 1.7, 1.6, 1.6}},
+    {"inception-v3", {2.0, 1.3, 1.3, 1.3, 1.3}, {2.3, 2.2, 2.2, 2.2, 2.2}},
+    {"squeezenet", {1.4, 1.5, 1.4, 1.4, 1.4}, {2.6, 2.1, 2.0, 1.9, 1.8}},
+};
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+  const std::vector<int> parallelism = {1, 20, 40, 200, 2000};
+
+  for (PipelineMode mode :
+       {PipelineMode::kHighThroughput, PipelineMode::kLowLatency}) {
+    const bool ht = mode == PipelineMode::kHighThroughput;
+    Table table(std::string("Fig 8 (") + (ht ? "top" : "bottom") +
+                "): normalized " + (ht ? "throughput" : "speed") + " in " +
+                to_string(mode) + " mode (PUMA-like = 1.00x)");
+    std::vector<std::string> header = {"model"};
+    for (int p : parallelism) header.push_back("P=" + std::to_string(p));
+    header.push_back("paper P=1");
+    header.push_back("paper P=2000");
+    table.set_header(header);
+
+    int model_index = 0;
+    for (const std::string& name : zoo::model_names()) {
+      Graph graph = bench_model(name, cfg);
+      const HardwareConfig hw = bench_hardware(graph);
+      Compiler compiler(std::move(graph), hw);
+      std::vector<std::string> row = {name};
+      for (int p : parallelism) {
+        const RunOutcome ga = run_one(
+            compiler, bench_options(cfg, mode, p, MapperKind::kGenetic));
+        const RunOutcome puma = run_one(
+            compiler, bench_options(cfg, mode, p, MapperKind::kPumaLike));
+        const double ratio = static_cast<double>(puma.sim.makespan) /
+                             static_cast<double>(ga.sim.makespan);
+        row.push_back(format_ratio(ratio));
+      }
+      const PaperRow& paper = kPaper[model_index++];
+      const double* series = ht ? paper.ht : paper.ll;
+      row.push_back(format_ratio(series[0], 1));
+      row.push_back(format_ratio(series[4], 1));
+      table.add_row(row);
+      std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print();
+    std::cout << '\n';
+  }
+  std::cout << "Paper headline: PIMCOMP gains 1.6x throughput (HT) and 2.4x "
+               "latency (LL) on average over PUMA-like; improvements shrink "
+               "as the parallelism degree grows.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig 9: energy breakdown (leakage + dynamic) of PIMCOMP vs the
+// PUMA-like baseline at parallelism degree 20, both modes, normalized to
+// the baseline's total energy per network.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace pimcomp;
+  using namespace pimcomp::bench;
+  const BenchConfig cfg = BenchConfig::from_env();
+  constexpr int kParallelism = 20;
+
+  // Paper reference: PIMCOMP's normalized total energy per network.
+  const double paper_ht[] = {0.97, 1.06, 1.00, 0.99, 0.97};
+  const double paper_ll[] = {0.55, 0.48, 0.70, 0.38, 0.69};
+
+  for (PipelineMode mode :
+       {PipelineMode::kHighThroughput, PipelineMode::kLowLatency}) {
+    const bool ht = mode == PipelineMode::kHighThroughput;
+    Table table("Fig 9 (" + to_string(mode) +
+                "): energy normalized to PUMA-like total");
+    table.set_header({"model", "puma leak", "puma dyn", "pimcomp leak",
+                      "pimcomp dyn", "pimcomp total", "paper total"});
+
+    int index = 0;
+    for (const std::string& name : zoo::model_names()) {
+      Graph graph = bench_model(name, cfg);
+      const HardwareConfig hw = bench_hardware(graph);
+      Compiler compiler(std::move(graph), hw);
+
+      const RunOutcome puma = run_one(
+          compiler,
+          bench_options(cfg, mode, kParallelism, MapperKind::kPumaLike));
+      const RunOutcome ga = run_one(
+          compiler,
+          bench_options(cfg, mode, kParallelism, MapperKind::kGenetic));
+
+      const double base = puma.sim.total_energy();
+      table.add_row(
+          {name, format_double(puma.sim.leakage_energy / base, 2),
+           format_double(puma.sim.dynamic_energy.total() / base, 2),
+           format_double(ga.sim.leakage_energy / base, 2),
+           format_double(ga.sim.dynamic_energy.total() / base, 2),
+           format_ratio(ga.sim.total_energy() / base),
+           format_ratio(ht ? paper_ht[index] : paper_ll[index])});
+      ++index;
+      std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print();
+    std::cout << '\n';
+  }
+  std::cout << "Paper headline: dynamic energy is workload-bound and nearly "
+               "equal; PIMCOMP cuts LL static energy by 58.3% on average by "
+               "shortening the overall runtime.\n";
+  return 0;
+}

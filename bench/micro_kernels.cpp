@@ -1,0 +1,129 @@
+// Google-benchmark micro-kernels: throughput of the individual compiler
+// stages (partitioning, GA step, scheduling, simulation). These are the
+// hot paths behind Table II's compile times.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "mapping/fitness.hpp"
+#include "mapping/genetic_mapper.hpp"
+#include "mapping/puma_mapper.hpp"
+#include "schedule/ht_scheduler.hpp"
+#include "schedule/ll_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace pimcomp;
+
+const Graph& resnet_graph() {
+  static const Graph graph = zoo::resnet18(64);
+  return graph;
+}
+
+const Workload& resnet_workload() {
+  static const HardwareConfig hw =
+      fit_core_count(resnet_graph(), HardwareConfig::puma_default(), 3.0);
+  static const Workload workload(resnet_graph(), hw);
+  return workload;
+}
+
+const MappingSolution& resnet_solution() {
+  static const MappingSolution solution = [] {
+    PumaMapper mapper;
+    MapperOptions options;
+    return mapper.map(resnet_workload(), options);
+  }();
+  return solution;
+}
+
+void BM_NodePartitioning(benchmark::State& state) {
+  const Graph& graph = resnet_graph();
+  const HardwareConfig hw =
+      fit_core_count(graph, HardwareConfig::puma_default(), 3.0);
+  for (auto _ : state) {
+    Workload workload(graph, hw);
+    benchmark::DoNotOptimize(workload.min_xbars_required());
+  }
+}
+BENCHMARK(BM_NodePartitioning);
+
+void BM_GraphConstructionZoo(benchmark::State& state) {
+  for (auto _ : state) {
+    Graph g = zoo::googlenet(64);
+    benchmark::DoNotOptimize(g.node_count());
+  }
+}
+BENCHMARK(BM_GraphConstructionZoo);
+
+void BM_HtFitnessEvaluation(benchmark::State& state) {
+  const MappingSolution& solution = resnet_solution();
+  const FitnessParams params =
+      FitnessParams::from(resnet_workload().hardware(), 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ht_fitness(solution, params));
+  }
+}
+BENCHMARK(BM_HtFitnessEvaluation);
+
+void BM_LlFitnessEvaluation(benchmark::State& state) {
+  const MappingSolution& solution = resnet_solution();
+  const FitnessParams params =
+      FitnessParams::from(resnet_workload().hardware(), 20);
+  const LLFitnessContext context(resnet_workload());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(context.evaluate(solution, params));
+  }
+}
+BENCHMARK(BM_LlFitnessEvaluation);
+
+void BM_GaGeneration(benchmark::State& state) {
+  GaConfig ga;
+  ga.population = 20;
+  ga.generations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    GeneticMapper mapper(ga);
+    MapperOptions options;
+    MappingSolution s = mapper.map(resnet_workload(), options);
+    benchmark::DoNotOptimize(s.total_xbars_used());
+  }
+}
+BENCHMARK(BM_GaGeneration)->Arg(1)->Arg(8);
+
+void BM_HtScheduling(benchmark::State& state) {
+  const MappingSolution& solution = resnet_solution();
+  for (auto _ : state) {
+    Schedule s = schedule_ht(solution, {});
+    benchmark::DoNotOptimize(s.total_ops);
+  }
+}
+BENCHMARK(BM_HtScheduling);
+
+void BM_LlScheduling(benchmark::State& state) {
+  const MappingSolution& solution = resnet_solution();
+  for (auto _ : state) {
+    Schedule s = schedule_ll(solution, {});
+    benchmark::DoNotOptimize(s.total_ops);
+  }
+}
+BENCHMARK(BM_LlScheduling);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const MappingSolution& solution = resnet_solution();
+  const Schedule schedule = schedule_ht(solution, {});
+  SimOptions options;
+  options.parallelism_degree = 20;
+  const Simulator simulator(resnet_workload().hardware(), options);
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    SimReport report = simulator.run(schedule);
+    benchmark::DoNotOptimize(report.makespan);
+    ops += schedule.total_ops;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

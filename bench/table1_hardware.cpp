@@ -1,0 +1,42 @@
+// Reproduces Table I: hardware configuration with per-component power and
+// area of the PUMA instantiation, plus the derived whole-chip aggregates.
+
+#include <iostream>
+
+#include "arch/area_model.hpp"
+#include "arch/component_models.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace pimcomp;
+
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  const ComponentTable components = build_component_table(hw);
+
+  Table table("Table I: hardware configuration (PUMA instantiation)");
+  table.set_header(
+      {"Component", "Parameters", "Specification", "Power (mW)", "Area (mm2)"});
+  for (const ComponentSpec* spec : components.rows()) {
+    table.add_row({spec->name, spec->parameter, spec->specification,
+                   format_double(spec->peak_power_mw, 2),
+                   format_double(spec->area_mm2, spec->area_mm2 < 1 ? 3 : 2)});
+  }
+  table.print();
+
+  std::cout << "\nPaper reference: PIMMU 1221.76 mW / 0.77 mm2; Core 1270.56"
+               " mW / 1.01 mm2; Chip 56.79 W / 62.92 mm2.\n\n";
+
+  const AreaReport area = compute_area(hw);
+  std::cout << "Derived: core " << format_double(area.core_mm2, 2)
+            << " mm2, router " << format_double(area.router_mm2, 2)
+            << " mm2, chip " << format_double(area.chip_mm2, 2) << " mm2, "
+            << area.chip_count << " chip(s) total "
+            << format_double(area.total_mm2, 2) << " mm2\n";
+  std::cout << "Leakage fractions: core "
+            << format_double(100 * components.core.leakage_fraction, 1)
+            << "%, chip "
+            << format_double(100 * components.chip.leakage_fraction, 1)
+            << "% (CACTI-lite / Orion-lite calibration, DESIGN.md §3)\n";
+  return 0;
+}

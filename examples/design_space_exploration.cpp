@@ -1,0 +1,64 @@
+// Design-space exploration: PIMCOMP is "universal" in the sense that the
+// whole backend is driven by the HardwareConfig. This example retargets the
+// same network across crossbar geometries and reports the
+// performance / area / energy trade-off of each design point.
+//
+//   ./build/examples/design_space_exploration
+
+#include <iostream>
+
+#include "arch/area_model.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/compiler.hpp"
+#include "graph/zoo/zoo.hpp"
+
+int main() {
+  using namespace pimcomp;
+
+  struct DesignPoint {
+    const char* label;
+    int xbar_rows;
+    int xbar_cols;
+    int xbars_per_core;
+  };
+  const DesignPoint points[] = {
+      {"64x64, 128 xbars/core", 64, 64, 128},
+      {"128x128, 64 xbars/core (PUMA)", 128, 128, 64},
+      {"256x256, 16 xbars/core", 256, 256, 16},
+      {"128x128, 32 xbars/core", 128, 128, 32},
+  };
+
+  Table table("resnet18 @64 across crossbar design points (LL mode, P=20)");
+  table.set_header({"design", "cores", "latency (us)", "chip area (mm2)",
+                    "energy (uJ)", "xbar util"});
+  for (const DesignPoint& point : points) {
+    HardwareConfig hw = HardwareConfig::puma_default();
+    hw.xbar_rows = point.xbar_rows;
+    hw.xbar_cols = point.xbar_cols;
+    hw.xbars_per_core = point.xbars_per_core;
+
+    Graph graph = zoo::resnet18(64);
+    hw = fit_core_count(graph, hw, 3.0);
+    Compiler compiler(std::move(graph), hw);
+
+    CompileOptions options;
+    options.mode = PipelineMode::kLowLatency;
+    options.ga.population = 30;
+    options.ga.generations = 40;
+    const CompileResult result = compiler.compile(options);
+    const SimReport sim = compiler.simulate(result);
+    const AreaReport area = compute_area(hw);
+
+    const double utilization =
+        static_cast<double>(result.solution.total_xbars_used()) /
+        static_cast<double>(result.workload->total_xbars_available());
+    table.add_row({point.label, std::to_string(hw.core_count),
+                   format_double(to_us(sim.makespan), 1),
+                   format_double(area.total_mm2, 1),
+                   format_double(to_uj(sim.total_energy()), 0),
+                   format_double(100.0 * utilization, 1) + "%"});
+  }
+  table.print();
+  return 0;
+}

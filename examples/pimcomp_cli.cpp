@@ -1,0 +1,156 @@
+// Command-line driver: the end-to-end toolchain in one binary.
+//
+//   pimcomp_cli <model> [options]
+//     <model>            zoo name (vgg16, resnet18, googlenet, inception-v3,
+//                        squeezenet) or a path to a PIMCOMP JSON graph
+//   --mode ht|ll         pipeline mode                   (default ll)
+//   --parallelism N      AGs computing per core          (default 20)
+//   --mapper ga|puma|greedy                              (default ga)
+//   --policy naive|add|ag                                (default ag)
+//   --input N            zoo input resolution            (default 64/96)
+//   --cores N            core count (default: auto-fit with 3x headroom)
+//   --pop N --gens N     GA budget                       (default 40 x 60)
+//   --seed N             RNG seed                        (default 1)
+//   --dump-stream CORE   print a core's instruction stream
+//   --json               emit machine-readable JSON reports
+//
+// Example:
+//   ./build/examples/pimcomp_cli resnet18 --mode ll --parallelism 20
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/compile_report.hpp"
+#include "core/compiler.hpp"
+#include "core/stream_printer.hpp"
+#include "graph/serialize.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace {
+
+using namespace pimcomp;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <model|graph.json> [--mode ht|ll] [--parallelism N]\n"
+               "       [--mapper ga|puma|greedy] [--policy naive|add|ag]\n"
+               "       [--input N] [--cores N] [--pop N] [--gens N]\n"
+               "       [--seed N] [--dump-stream CORE] [--json]\n";
+  std::exit(2);
+}
+
+bool is_zoo_model(const std::string& name) {
+  for (const std::string& m : zoo::model_names()) {
+    if (m == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string model = argv[1];
+
+  CompileOptions options;
+  options.mode = PipelineMode::kLowLatency;
+  options.ga.population = 40;
+  options.ga.generations = 60;
+  int input_size = 0;
+  int cores = 0;
+  int dump_core = -1;
+  bool emit_json = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      const std::string v = next();
+      if (v == "ht") options.mode = PipelineMode::kHighThroughput;
+      else if (v == "ll") options.mode = PipelineMode::kLowLatency;
+      else usage(argv[0]);
+    } else if (arg == "--parallelism") {
+      options.parallelism_degree = std::atoi(next().c_str());
+    } else if (arg == "--mapper") {
+      const std::string v = next();
+      if (v == "ga") options.mapper = MapperKind::kGenetic;
+      else if (v == "puma") options.mapper = MapperKind::kPumaLike;
+      else if (v == "greedy") options.mapper = MapperKind::kGreedy;
+      else usage(argv[0]);
+    } else if (arg == "--policy") {
+      const std::string v = next();
+      if (v == "naive") options.memory_policy = MemoryPolicy::kNaive;
+      else if (v == "add") options.memory_policy = MemoryPolicy::kAddReuse;
+      else if (v == "ag") options.memory_policy = MemoryPolicy::kAgReuse;
+      else usage(argv[0]);
+    } else if (arg == "--input") {
+      input_size = std::atoi(next().c_str());
+    } else if (arg == "--cores") {
+      cores = std::atoi(next().c_str());
+    } else if (arg == "--pop") {
+      options.ga.population = std::atoi(next().c_str());
+    } else if (arg == "--gens") {
+      options.ga.generations = std::atoi(next().c_str());
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--dump-stream") {
+      dump_core = std::atoi(next().c_str());
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    Graph graph = is_zoo_model(model)
+                      ? zoo::build(model, input_size != 0
+                                              ? input_size
+                                              : (model == "inception-v3"
+                                                     ? 96
+                                                     : 64))
+                      : load_graph(model);
+
+    HardwareConfig hw = HardwareConfig::puma_default();
+    if (cores > 0) {
+      hw.core_count = cores;
+    } else {
+      hw = fit_core_count(graph, hw, 3.0);
+    }
+
+    Compiler compiler(std::move(graph), hw);
+    const CompileResult result = compiler.compile(options);
+    const SimReport sim = compiler.simulate(result);
+
+    if (emit_json) {
+      Json out = Json::object();
+      out["compile"] = compile_result_to_json(result);
+      out["simulation"] = sim_report_to_json(sim);
+      std::cout << out.dump(2) << '\n';
+    } else {
+      std::cout << describe(result) << '\n'
+                << print_schedule_summary(result.schedule) << '\n'
+                << sim.to_string() << '\n';
+      if (options.mode == PipelineMode::kHighThroughput) {
+        std::cout << "throughput: " << sim.throughput_per_sec()
+                  << " inferences/s\n";
+      } else {
+        std::cout << "latency: " << to_us(sim.makespan) << " us\n";
+      }
+    }
+    if (dump_core >= 0) {
+      std::cout << '\n'
+                << print_core_stream(result.schedule, compiler.graph(),
+                                     dump_core);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "pimcomp: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

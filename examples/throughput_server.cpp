@@ -1,0 +1,51 @@
+// High-throughput serving scenario: compile VGG-16 in HT mode (the paper's
+// inference-granularity pipeline) and sweep the parallelism degree to find
+// the throughput/bandwidth sweet spot.
+//
+//   ./build/examples/throughput_server [input_size]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/compiler.hpp"
+#include "graph/zoo/zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimcomp;
+
+  const int input_size = argc > 1 ? std::atoi(argv[1]) : 64;
+  Graph graph = zoo::vgg16(input_size);
+  std::cout << "vgg16 @ " << input_size << "x" << input_size << ": "
+            << graph.total_weight_params() / 1000000.0 << "M weights, "
+            << graph.total_macs() / 1.0e9 << " GMACs/inference\n";
+
+  // Size the machine so every layer fits with 3x replication headroom.
+  const HardwareConfig hw =
+      fit_core_count(graph, HardwareConfig::puma_default(), 3.0);
+  std::cout << "using " << hw.core_count << " cores across "
+            << hw.chip_count() << " chip(s)\n\n";
+
+  Compiler compiler(std::move(graph), hw);
+
+  Table table("HT throughput vs parallelism degree (vgg16)");
+  table.set_header({"parallelism", "throughput (inf/s)", "busiest core (us)",
+                    "dynamic energy (uJ)", "compile (s)"});
+  for (int parallelism : {1, 20, 40, 200}) {
+    CompileOptions options;
+    options.mode = PipelineMode::kHighThroughput;
+    options.parallelism_degree = parallelism;
+    options.ga.population = 40;
+    options.ga.generations = 40;
+    const CompileResult result = compiler.compile(options);
+    const SimReport sim = compiler.simulate(result);
+    table.add_row({std::to_string(parallelism),
+                   format_double(sim.throughput_per_sec(), 1),
+                   format_double(to_us(sim.makespan), 1),
+                   format_double(to_uj(sim.dynamic_energy.total()), 1),
+                   format_double(result.stage_times.total(), 2)});
+  }
+  table.print();
+  return 0;
+}

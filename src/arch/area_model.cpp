@@ -1,0 +1,16 @@
+#include "arch/area_model.hpp"
+
+namespace pimcomp {
+
+AreaReport compute_area(const HardwareConfig& hw) {
+  const ComponentTable table = build_component_table(hw);
+  AreaReport report;
+  report.core_mm2 = table.core.area_mm2;
+  report.router_mm2 = table.router.area_mm2;
+  report.chip_mm2 = table.chip.area_mm2;
+  report.chip_count = hw.chip_count();
+  report.total_mm2 = report.chip_mm2 * report.chip_count;
+  return report;
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,24 @@
+#ifndef PIMCOMP_ARCH_AREA_MODEL_HPP
+#define PIMCOMP_ARCH_AREA_MODEL_HPP
+
+#include "arch/component_models.hpp"
+#include "arch/hardware_config.hpp"
+
+namespace pimcomp {
+
+/// Silicon area summary for a hardware configuration, derived from the
+/// component table (Table I reproduction).
+struct AreaReport {
+  double core_mm2 = 0.0;        ///< one core (PIMMU+VFU+scratchpad+control)
+  double router_mm2 = 0.0;      ///< one router
+  double chip_mm2 = 0.0;        ///< one chip (cores + routers + shared)
+  double total_mm2 = 0.0;       ///< all chips
+  int chip_count = 0;
+};
+
+/// Computes the area report for a hardware config.
+AreaReport compute_area(const HardwareConfig& hw);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_ARCH_AREA_MODEL_HPP

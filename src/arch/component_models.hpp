@@ -1,0 +1,78 @@
+#ifndef PIMCOMP_ARCH_COMPONENT_MODELS_HPP
+#define PIMCOMP_ARCH_COMPONENT_MODELS_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/hardware_config.hpp"
+
+namespace pimcomp {
+
+/// Power/area record for one hardware component (one row of the paper's
+/// Table I). `peak_power_mw` is the max (dynamic + leakage) draw and
+/// `leakage_fraction` the share of that power that burns whenever the
+/// component is powered, busy or not.
+struct ComponentSpec {
+  std::string name;
+  std::string parameter;       ///< Table I "Parameters" column
+  std::string specification;   ///< Table I "Specification" column
+  double peak_power_mw = 0.0;
+  double area_mm2 = 0.0;
+  double leakage_fraction = 0.0;
+
+  double leakage_mw() const { return peak_power_mw * leakage_fraction; }
+  double dynamic_mw() const { return peak_power_mw * (1.0 - leakage_fraction); }
+};
+
+/// The component table of the paper (Table I), parameterized by the hardware
+/// config so that non-default geometries scale sensibly. Leakage fractions
+/// follow the usual technology splits (SRAM-heavy blocks leak more than
+/// analog crossbars).
+struct ComponentTable {
+  ComponentSpec pimmu;          ///< 64 ReRAM crossbars + DAC/ADC/S&H/S&A
+  ComponentSpec vfu;            ///< 12 vector lanes
+  ComponentSpec local_memory;   ///< 64 kB scratchpad
+  ComponentSpec control_unit;
+  ComponentSpec core;           ///< aggregate of the four above
+  ComponentSpec router;
+  ComponentSpec global_memory;  ///< 4 MB eDRAM
+  ComponentSpec hyper_transport;
+  ComponentSpec chip;           ///< aggregate chip row
+
+  /// Rows in Table I order for printing.
+  std::vector<const ComponentSpec*> rows() const;
+};
+
+/// Builds the component table for a hardware config. With
+/// `HardwareConfig::puma_default()` the power/area columns reproduce the
+/// paper's Table I values exactly; other geometries scale linearly in
+/// crossbar count / memory capacity (CACTI-lite, below).
+ComponentTable build_component_table(const HardwareConfig& hw);
+
+/// --- CACTI-lite ------------------------------------------------------------
+/// The paper models memories with CACTI 7 and routers with Orion 3.0. Those
+/// tools are not available offline, so we substitute compact analytic fits
+/// anchored to the Table I numbers (see DESIGN.md §3): energy per access
+/// scales with the square root of capacity (bitline/wordline growth), power
+/// and area scale linearly.
+
+/// Dynamic read/write energy of an SRAM-style memory, per byte accessed.
+double cacti_lite_energy_per_byte_pj(std::int64_t capacity_bytes);
+
+/// Leakage power of an SRAM-style memory in mW.
+double cacti_lite_leakage_mw(std::int64_t capacity_bytes);
+
+/// Area of an SRAM-style memory in mm^2.
+double cacti_lite_area_mm2(std::int64_t capacity_bytes);
+
+/// --- Orion-lite -------------------------------------------------------------
+
+/// Dynamic energy for moving one flit through one router hop, in pJ.
+double orion_lite_flit_energy_pj(int flit_bytes);
+
+/// Router leakage power in mW.
+double orion_lite_router_leakage_mw(int flit_bytes);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_ARCH_COMPONENT_MODELS_HPP

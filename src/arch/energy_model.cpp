@@ -1,0 +1,39 @@
+#include "arch/energy_model.hpp"
+
+namespace pimcomp {
+
+EnergyModel::EnergyModel(const HardwareConfig& hw) {
+  const ComponentTable table = build_component_table(hw);
+
+  // One crossbar's share of the PIMMU dynamic power, burned for the MVM
+  // duration.
+  const double per_xbar_dynamic_mw =
+      table.pimmu.dynamic_mw() / static_cast<double>(hw.xbars_per_core);
+  mvm_energy_per_xbar_ = energy_mw_ps(per_xbar_dynamic_mw, hw.mvm_latency);
+
+  // VFU dynamic power divided by its element throughput.
+  const double vfu_dynamic_mw = table.vfu.dynamic_mw();
+  const double elements_per_ns = hw.vfu_ops_per_ns;
+  vfu_energy_per_element_ =
+      energy_mw_ps(vfu_dynamic_mw, from_ns(1.0)) / elements_per_ns;
+
+  local_mem_energy_per_byte_ =
+      cacti_lite_energy_per_byte_pj(hw.local_memory_bytes);
+  global_mem_energy_per_byte_ =
+      cacti_lite_energy_per_byte_pj(hw.global_memory_bytes);
+  noc_energy_per_flit_hop_ = orion_lite_flit_energy_pj(hw.noc_flit_bytes);
+  // HyperTransport: 10.4 W at 6.4 GB/s full duty -> pJ per byte.
+  ht_energy_per_byte_ = table.hyper_transport.dynamic_mw() * 1e-3 /
+                        (hw.ht_link_gbps * 1e9) * 1e12;
+
+  // Four cores share one router in the concentrated mesh, so each core
+  // carries a quarter of a router's leakage.
+  core_leakage_mw_ = table.pimmu.leakage_mw() + table.vfu.leakage_mw() +
+                     table.local_memory.leakage_mw() +
+                     table.control_unit.leakage_mw() +
+                     table.router.leakage_mw() / 4.0;
+  chip_shared_leakage_mw_ =
+      table.global_memory.leakage_mw() + table.hyper_transport.leakage_mw();
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,73 @@
+#ifndef PIMCOMP_ARCH_ENERGY_MODEL_HPP
+#define PIMCOMP_ARCH_ENERGY_MODEL_HPP
+
+#include "arch/component_models.hpp"
+#include "arch/hardware_config.hpp"
+#include "common/units.hpp"
+
+namespace pimcomp {
+
+/// Per-operation dynamic energies and per-component leakage powers derived
+/// from the component table. The simulator multiplies these by event counts
+/// (dynamic) and active time (leakage) to produce the Fig 9 breakdown.
+class EnergyModel {
+ public:
+  explicit EnergyModel(const HardwareConfig& hw);
+
+  /// Dynamic energy of one crossbar executing one MVM (all bit slices,
+  /// DAC + analog + ADC + shift-and-add).
+  Picojoules mvm_energy_per_xbar() const { return mvm_energy_per_xbar_; }
+
+  /// Dynamic energy per element processed by the VFU.
+  Picojoules vfu_energy_per_element() const { return vfu_energy_per_element_; }
+
+  /// Dynamic energy per byte read/written in the core scratchpad.
+  Picojoules local_mem_energy_per_byte() const {
+    return local_mem_energy_per_byte_;
+  }
+
+  /// Dynamic energy per byte transferred to/from the global memory.
+  Picojoules global_mem_energy_per_byte() const {
+    return global_mem_energy_per_byte_;
+  }
+
+  /// Dynamic energy for one flit traversing one router hop.
+  Picojoules noc_energy_per_flit_hop() const {
+    return noc_energy_per_flit_hop_;
+  }
+
+  /// Dynamic energy per byte crossing a chip boundary (HyperTransport).
+  Picojoules ht_energy_per_byte() const { return ht_energy_per_byte_; }
+
+  /// Leakage power of one core (PIMMU + VFU + local memory + control) plus
+  /// its router, in mW. Burns whenever the core is powered.
+  double core_leakage_mw() const { return core_leakage_mw_; }
+
+  /// Leakage power of the chip-shared components (global memory + HT) per
+  /// chip, in mW.
+  double chip_shared_leakage_mw() const { return chip_shared_leakage_mw_; }
+
+  /// Leakage energy of `cores` cores active for `time`.
+  Picojoules core_leakage_energy(int cores, Picoseconds time) const {
+    return energy_mw_ps(core_leakage_mw_ * cores, time);
+  }
+
+  /// Leakage energy of `chips` chips' shared components for `time`.
+  Picojoules chip_leakage_energy(int chips, Picoseconds time) const {
+    return energy_mw_ps(chip_shared_leakage_mw_ * chips, time);
+  }
+
+ private:
+  Picojoules mvm_energy_per_xbar_ = 0.0;
+  Picojoules vfu_energy_per_element_ = 0.0;
+  Picojoules local_mem_energy_per_byte_ = 0.0;
+  Picojoules global_mem_energy_per_byte_ = 0.0;
+  Picojoules noc_energy_per_flit_hop_ = 0.0;
+  Picojoules ht_energy_per_byte_ = 0.0;
+  double core_leakage_mw_ = 0.0;
+  double chip_shared_leakage_mw_ = 0.0;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_ARCH_ENERGY_MODEL_HPP

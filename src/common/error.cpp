@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace pimcomp::detail {
+
+void assertion_failure(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream oss;
+  oss << "internal invariant violated: " << message << " [" << expr << "] at "
+      << file << ":" << line;
+  throw Error(oss.str());
+}
+
+}  // namespace pimcomp::detail

@@ -1,0 +1,70 @@
+#ifndef PIMCOMP_COMMON_ERROR_HPP
+#define PIMCOMP_COMMON_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace pimcomp {
+
+/// Base exception for all PIMCOMP failures. Carries a human-readable message
+/// with enough context to diagnose the failing compilation stage.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Raised when user-provided configuration (hardware parameters, compiler
+/// options) is inconsistent or out of range.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& message) : Error(message) {}
+};
+
+/// Raised when a DNN graph is malformed (cycles, dangling edges, shape
+/// mismatches).
+class GraphError : public Error {
+ public:
+  explicit GraphError(const std::string& message) : Error(message) {}
+};
+
+/// Raised when a workload cannot be placed on the configured hardware
+/// (e.g. insufficient crossbar capacity for even one replica of each node).
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& message) : Error(message) {}
+};
+
+/// Raised when the simulator detects an ill-formed operation stream
+/// (mismatched COMM pairs, deadlock, use of unallocated memory).
+class SimulationError : public Error {
+ public:
+  explicit SimulationError(const std::string& message) : Error(message) {}
+};
+
+namespace detail {
+[[noreturn]] void assertion_failure(const char* expr, const char* file,
+                                    int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace pimcomp
+
+/// Internal invariant check; always on (the library is not performance bound
+/// by these and silent corruption is worse than a crash in a compiler).
+#define PIMCOMP_ASSERT(expr, message)                                       \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::pimcomp::detail::assertion_failure(#expr, __FILE__, __LINE__,       \
+                                           (message));                     \
+    }                                                                       \
+  } while (false)
+
+/// Precondition check on user-facing API boundaries: throws ConfigError.
+#define PIMCOMP_CHECK(expr, message)                                        \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      throw ::pimcomp::ConfigError(std::string("precondition failed: ") +   \
+                                   (message));                             \
+    }                                                                       \
+  } while (false)
+
+#endif  // PIMCOMP_COMMON_ERROR_HPP

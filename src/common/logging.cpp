@@ -1,0 +1,26 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace pimcomp {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+
+void Logger::set_level(LogLevel level) { level_ = level; }
+
+LogLevel Logger::level() { return level_; }
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+    case LogLevel::kOff: return;
+  }
+  std::cerr << "[pimcomp " << tag << "] " << message << '\n';
+}
+
+}  // namespace pimcomp

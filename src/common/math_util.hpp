@@ -1,0 +1,47 @@
+#ifndef PIMCOMP_COMMON_MATH_UTIL_HPP
+#define PIMCOMP_COMMON_MATH_UTIL_HPP
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+/// ceil(a / b) for non-negative integers; b must be positive.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `m` (m > 0).
+template <typename T>
+constexpr T round_up(T a, T m) {
+  static_assert(std::is_integral_v<T>);
+  return ceil_div(a, m) * m;
+}
+
+/// Saturating clamp to [lo, hi].
+template <typename T>
+constexpr T clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Integer square root (floor).
+constexpr std::int64_t isqrt(std::int64_t n) {
+  std::int64_t r = 0;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+/// Checked narrowing from 64-bit to int; throws on overflow. Used at API
+/// boundaries where sizes come from 64-bit arithmetic.
+inline int checked_int(std::int64_t v) {
+  PIMCOMP_ASSERT(v >= 0 && v <= 2147483647, "value does not fit in int");
+  return static_cast<int>(v);
+}
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_COMMON_MATH_UTIL_HPP

@@ -1,0 +1,87 @@
+#ifndef PIMCOMP_COMMON_RANDOM_HPP
+#define PIMCOMP_COMMON_RANDOM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Every stochastic component of
+/// PIMCOMP (GA initialization, mutation choice) draws from an explicitly
+/// seeded Rng so compilations are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initializes state from a single seed via SplitMix64 expansion.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  int uniform_int(int bound) {
+    PIMCOMP_ASSERT(bound > 0, "uniform_int bound must be positive");
+    return static_cast<int>(next_u64() % static_cast<std::uint64_t>(bound));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_range(int lo, int hi) {
+    PIMCOMP_ASSERT(lo <= hi, "uniform_range requires lo <= hi");
+    return lo + uniform_int(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Picks a uniformly random element index of a non-empty container.
+  template <typename Container>
+  int pick_index(const Container& c) {
+    PIMCOMP_ASSERT(!c.empty(), "pick_index on empty container");
+    return uniform_int(static_cast<int>(c.size()));
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      std::swap(v[static_cast<std::size_t>(i)],
+                v[static_cast<std::size_t>(uniform_int(i + 1))]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_COMMON_RANDOM_HPP

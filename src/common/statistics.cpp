@@ -1,0 +1,62 @@
+#include "common/statistics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeightedAverage::record(Picoseconds t, double value) {
+  if (started_) {
+    PIMCOMP_ASSERT(t >= last_time_, "time-weighted samples must be ordered");
+    const Picoseconds dt = t - last_time_;
+    weighted_sum_ += last_value_ * static_cast<double>(dt);
+    total_time_ += dt;
+  }
+  started_ = true;
+  last_time_ = t;
+  last_value_ = value;
+  if (value > peak_) peak_ = value;
+}
+
+double TimeWeightedAverage::finish(Picoseconds end_time) {
+  if (!started_) return 0.0;
+  record(end_time, last_value_);
+  if (total_time_ == 0) return last_value_;
+  return weighted_sum_ / static_cast<double>(total_time_);
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    PIMCOMP_ASSERT(v > 0.0, "geomean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace pimcomp

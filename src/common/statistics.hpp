@@ -1,0 +1,60 @@
+#ifndef PIMCOMP_COMMON_STATISTICS_HPP
+#define PIMCOMP_COMMON_STATISTICS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pimcomp {
+
+/// Streaming scalar statistics (count / mean / min / max / stddev) without
+/// storing samples. Used for per-op latencies and memory footprints.
+class RunningStats {
+ public:
+  void add(double x);
+  std::int64_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the paper's
+/// "local memory usage on average (kB)" (Fig 10) which weights each usage
+/// level by how long it persists.
+class TimeWeightedAverage {
+ public:
+  /// Records that the signal changed to `value` at time `t`. Times must be
+  /// non-decreasing.
+  void record(Picoseconds t, double value);
+
+  /// Closes the signal at time `t` and returns the time-weighted mean.
+  double finish(Picoseconds end_time);
+
+  double peak() const { return peak_; }
+
+ private:
+  bool started_ = false;
+  Picoseconds last_time_ = 0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  Picoseconds total_time_ = 0;
+  double peak_ = 0.0;
+};
+
+/// Geometric mean of a set of positive values; the paper reports average
+/// speedups which are conventionally geomeans.
+double geomean(const std::vector<double>& values);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_COMMON_STATISTICS_HPP

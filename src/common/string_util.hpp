@@ -1,0 +1,30 @@
+#ifndef PIMCOMP_COMMON_STRING_UTIL_HPP
+#define PIMCOMP_COMMON_STRING_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+namespace pimcomp {
+
+/// Formats a double with `digits` places after the decimal point.
+std::string format_double(double value, int digits = 2);
+
+/// Formats a value as "1.23x" multiplier notation used in the paper's plots.
+std::string format_ratio(double value, int digits = 2);
+
+/// Formats a byte count with a binary-unit suffix (e.g. "63.4 kB").
+std::string format_bytes(double bytes);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_COMMON_STRING_UTIL_HPP

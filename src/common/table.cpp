@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace pimcomp {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return title_ + "\n(empty table)\n";
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream& oss) {
+    oss << "|";
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      oss << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    oss << '\n';
+  };
+
+  std::ostringstream oss;
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+  if (!title_.empty()) oss << title_ << '\n';
+  oss << rule << '\n';
+  if (!header_.empty()) {
+    render_row(header_, oss);
+    oss << rule << '\n';
+  }
+  for (const auto& row : rows_) render_row(row, oss);
+  oss << rule << '\n';
+  return oss.str();
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace pimcomp

@@ -1,0 +1,38 @@
+#ifndef PIMCOMP_COMMON_TABLE_HPP
+#define PIMCOMP_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace pimcomp {
+
+/// ASCII table printer used by the benchmark harness to reproduce the paper's
+/// tables and figure data series in a terminal-friendly layout.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; rows shorter than the header are right-padded.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with column alignment and separators.
+  std::string to_string() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_COMMON_TABLE_HPP

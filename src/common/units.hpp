@@ -1,0 +1,56 @@
+#ifndef PIMCOMP_COMMON_UNITS_HPP
+#define PIMCOMP_COMMON_UNITS_HPP
+
+#include <cstdint>
+
+namespace pimcomp {
+
+/// All simulated time is carried as 64-bit integer picoseconds so that event
+/// ordering is exact (no floating-point ties). One simulated second is 1e12
+/// ps, so int64 gives ~106 days of headroom.
+using Picoseconds = std::int64_t;
+
+inline constexpr Picoseconds kPsPerNs = 1'000;
+inline constexpr Picoseconds kPsPerUs = 1'000'000;
+inline constexpr Picoseconds kPsPerMs = 1'000'000'000;
+inline constexpr Picoseconds kPsPerSec = 1'000'000'000'000;
+
+constexpr Picoseconds from_ns(double ns) {
+  return static_cast<Picoseconds>(ns * static_cast<double>(kPsPerNs));
+}
+constexpr Picoseconds from_us(double us) {
+  return static_cast<Picoseconds>(us * static_cast<double>(kPsPerUs));
+}
+constexpr double to_ns(Picoseconds ps) {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerNs);
+}
+constexpr double to_us(Picoseconds ps) {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerUs);
+}
+constexpr double to_ms(Picoseconds ps) {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerMs);
+}
+constexpr double to_seconds(Picoseconds ps) {
+  return static_cast<double>(ps) / static_cast<double>(kPsPerSec);
+}
+
+/// Energy bookkeeping unit: picojoules, kept as double (energies accumulate,
+/// they never order events).
+using Picojoules = double;
+
+inline constexpr double kPjPerNj = 1'000.0;
+inline constexpr double kPjPerUj = 1'000'000.0;
+inline constexpr double kPjPerMj = 1'000'000'000.0;
+
+constexpr double to_uj(Picojoules pj) { return pj / kPjPerUj; }
+constexpr double to_mj(Picojoules pj) { return pj / kPjPerMj; }
+
+/// milliwatts * picoseconds -> picojoules. (1 mW = 1e-3 J/s = 1e9 pJ / 1e12 ps
+/// = 1e-3 pJ/ps.)
+constexpr Picojoules energy_mw_ps(double milliwatts, Picoseconds duration) {
+  return milliwatts * 1e-3 * static_cast<double>(duration);
+}
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_COMMON_UNITS_HPP

@@ -1,0 +1,100 @@
+#include "core/compile_report.hpp"
+
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace pimcomp {
+
+std::string describe(const CompileResult& result) {
+  const Workload& workload = *result.workload;
+  const Graph& graph = workload.graph();
+  std::ostringstream oss;
+  oss << "PIMCOMP compilation of '" << graph.name() << "'\n"
+      << "  mode: " << to_string(result.options.mode) << ", parallelism "
+      << result.options.parallelism_degree << ", memory policy "
+      << to_string(result.options.memory_policy) << "\n"
+      << "  mapper: " << result.mapper_name << ", estimated objective "
+      << format_double(result.estimated_fitness / kPsPerUs, 2) << " us\n"
+      << "  crossbar nodes: " << workload.partition_count() << " of "
+      << graph.node_count() << " nodes; min crossbars "
+      << workload.min_xbars_required() << " / "
+      << workload.total_xbars_available() << " available\n";
+
+  std::int64_t used = result.solution.total_xbars_used();
+  oss << "  crossbars used: " << used << " ("
+      << format_double(100.0 * static_cast<double>(used) /
+                           static_cast<double>(
+                               workload.total_xbars_available()),
+                       1)
+      << "%)\n"
+      << "  replication: ";
+  for (const NodePartition& p : workload.partitions()) {
+    oss << result.solution.replication(p.node);
+    if (p.node != workload.partitions().back().node) oss << ",";
+  }
+  oss << "\n  schedule: " << result.schedule.total_ops << " ops over "
+      << result.schedule.core_count() << " cores ("
+      << result.schedule.count(OpKind::kMvm) << " MVM, "
+      << result.schedule.count(OpKind::kVfu) << " VFU, "
+      << result.schedule.count(OpKind::kCommSend) << " msgs)\n"
+      << "  stage times (s): partition "
+      << format_double(result.stage_times.partitioning, 3) << ", map "
+      << format_double(result.stage_times.mapping, 3) << ", schedule "
+      << format_double(result.stage_times.scheduling, 3) << ", total "
+      << format_double(result.stage_times.total(), 3) << "\n";
+  return oss.str();
+}
+
+Json compile_result_to_json(const CompileResult& result) {
+  const Workload& workload = *result.workload;
+  Json root = Json::object();
+  root["model"] = workload.graph().name();
+  root["mode"] = to_string(result.options.mode);
+  root["mapper"] = result.mapper_name;
+  root["parallelism"] = result.options.parallelism_degree;
+  root["memory_policy"] = to_string(result.options.memory_policy);
+  root["estimated_fitness_us"] = result.estimated_fitness / kPsPerUs;
+  root["total_ops"] = result.schedule.total_ops;
+  root["mvm_ops"] = result.schedule.count(OpKind::kMvm);
+  root["cores"] = result.schedule.core_count();
+
+  Json replication = Json::array();
+  for (const NodePartition& p : workload.partitions()) {
+    replication.push_back(result.solution.replication(p.node));
+  }
+  root["replication"] = std::move(replication);
+
+  Json times = Json::object();
+  times["partitioning_s"] = result.stage_times.partitioning;
+  times["mapping_s"] = result.stage_times.mapping;
+  times["scheduling_s"] = result.stage_times.scheduling;
+  root["stage_times"] = std::move(times);
+  return root;
+}
+
+Json sim_report_to_json(const SimReport& report) {
+  Json root = Json::object();
+  root["makespan_us"] = to_us(report.makespan);
+  root["throughput_per_s"] = report.throughput_per_sec();
+  root["active_cores"] = report.active_cores;
+  Json energy = Json::object();
+  energy["dynamic_uj"] = to_uj(report.dynamic_energy.total());
+  energy["mvm_uj"] = to_uj(report.dynamic_energy.mvm);
+  energy["vfu_uj"] = to_uj(report.dynamic_energy.vfu);
+  energy["local_uj"] = to_uj(report.dynamic_energy.local_memory);
+  energy["global_uj"] = to_uj(report.dynamic_energy.global_memory);
+  energy["noc_uj"] = to_uj(report.dynamic_energy.noc);
+  energy["leakage_uj"] = to_uj(report.leakage_energy);
+  root["energy"] = std::move(energy);
+  root["avg_local_kb"] = report.avg_local_memory_bytes / 1024.0;
+  root["peak_local_kb"] =
+      static_cast<double>(report.peak_local_memory_bytes) / 1024.0;
+  root["global_traffic_kb"] =
+      static_cast<double>(report.global_traffic_bytes) / 1024.0;
+  root["mvm_ops"] = report.mvm_ops;
+  root["comm_messages"] = report.comm_messages;
+  return root;
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,22 @@
+#ifndef PIMCOMP_CORE_COMPILE_REPORT_HPP
+#define PIMCOMP_CORE_COMPILE_REPORT_HPP
+
+#include <string>
+
+#include "common/json.hpp"
+#include "core/compiler.hpp"
+#include "sim/sim_report.hpp"
+
+namespace pimcomp {
+
+/// Human-readable compilation summary: model facts, replication decisions,
+/// per-core utilization, op-stream statistics and stage timings.
+std::string describe(const CompileResult& result);
+
+/// Machine-readable variants for downstream tooling.
+Json compile_result_to_json(const CompileResult& result);
+Json sim_report_to_json(const SimReport& report);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_CORE_COMPILE_REPORT_HPP

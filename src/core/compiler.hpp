@@ -1,0 +1,94 @@
+#ifndef PIMCOMP_CORE_COMPILER_HPP
+#define PIMCOMP_CORE_COMPILER_HPP
+
+#include <memory>
+#include <string>
+
+#include "arch/hardware_config.hpp"
+#include "graph/graph.hpp"
+#include "mapping/genetic_mapper.hpp"
+#include "mapping/mapper.hpp"
+#include "partition/workload.hpp"
+#include "schedule/memory_allocator.hpp"
+#include "schedule/operation.hpp"
+#include "sim/sim_report.hpp"
+#include "sim/simulator.hpp"
+
+namespace pimcomp {
+
+/// Which stage-2+3 strategy to use.
+enum class MapperKind {
+  kGenetic,   ///< PIMCOMP's GA (the paper's contribution)
+  kPumaLike,  ///< the paper's baseline: pipeline-balanced + greedy packing
+  kGreedy,    ///< no replication, first-fit (ablation)
+};
+
+std::string to_string(MapperKind kind);
+
+/// Everything a user chooses for one compilation (paper Fig 3 left box +
+/// "Application Scenario").
+struct CompileOptions {
+  PipelineMode mode = PipelineMode::kHighThroughput;
+  int parallelism_degree = 20;
+  MemoryPolicy memory_policy = MemoryPolicy::kAgReuse;
+  MapperKind mapper = MapperKind::kGenetic;
+  GaConfig ga;                 ///< GA hyperparameters (kGenetic only)
+  int max_nodes_per_core = 8;  ///< chromosome bound max_node_num_in_core
+  int ht_flush_windows = 2;    ///< HT global-memory flush period
+  std::uint64_t seed = 1;
+};
+
+/// Wall-clock seconds per compilation stage (paper Table II rows).
+struct StageTimes {
+  double partitioning = 0.0;
+  double mapping = 0.0;  ///< replicating + core mapping
+  double scheduling = 0.0;
+  double total() const { return partitioning + mapping + scheduling; }
+};
+
+/// The output of one compilation: the mapping decision, the per-core
+/// operation streams, stage timings, and the mapper's own fitness estimate.
+/// Holds shared ownership of the workload the solution points into.
+struct CompileResult {
+  std::shared_ptr<const Workload> workload;
+  MappingSolution solution;
+  Schedule schedule;
+  CompileOptions options;
+  StageTimes stage_times;
+  double estimated_fitness = 0.0;  ///< mapper objective (ps, lower = better)
+  std::string mapper_name;
+  GaStats ga_stats;  ///< populated when mapper == kGenetic
+};
+
+/// PIMCOMP's compiler driver: node partitioning -> weight replicating +
+/// core mapping -> dataflow scheduling (paper Fig 3). Construct once per
+/// (model, hardware) pair and call compile() per scenario.
+class Compiler {
+ public:
+  /// Takes ownership of the graph; finalizes it if needed.
+  Compiler(Graph graph, HardwareConfig hw);
+
+  const Graph& graph() const { return graph_; }
+  const HardwareConfig& hardware() const { return hw_; }
+
+  /// Runs the full backend. Throws CapacityError when the model cannot fit
+  /// the configured core count.
+  CompileResult compile(const CompileOptions& options) const;
+
+  /// Convenience: simulate a compiled result on the cycle-accurate
+  /// simulator at its compiled parallelism degree.
+  SimReport simulate(const CompileResult& result) const;
+
+ private:
+  Graph graph_;
+  HardwareConfig hw_;
+};
+
+/// Picks a core count that fits the model with `headroom` slack for
+/// replication, rounded to whole chips (helper for examples/benches).
+HardwareConfig fit_core_count(const Graph& graph, HardwareConfig hw,
+                              double headroom = 3.0);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_CORE_COMPILER_HPP

@@ -1,0 +1,85 @@
+#include "core/stream_printer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+std::string print_core_stream(const Schedule& schedule, const Graph& graph,
+                              int core, int max_ops) {
+  PIMCOMP_CHECK(core >= 0 && core < schedule.core_count(),
+                "core index out of range");
+  const auto& program = schedule.programs[static_cast<std::size_t>(core)];
+  std::ostringstream oss;
+  oss << "core " << core << " (" << program.size() << " ops)\n";
+  const std::size_t limit =
+      max_ops > 0 ? std::min<std::size_t>(program.size(),
+                                          static_cast<std::size_t>(max_ops))
+                  : program.size();
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Operation& op = program[i];
+    oss << "  " << std::setw(4) << std::setfill('0') << i << std::setfill(' ')
+        << "  " << std::left << std::setw(6) << to_string(op.kind)
+        << std::right;
+    if (op.node >= 0 && op.node < graph.node_count()) {
+      oss << " " << std::left << std::setw(16)
+          << graph.node(op.node).name.substr(0, 16) << std::right;
+    }
+    switch (op.kind) {
+      case OpKind::kMvm:
+        oss << " ag=" << op.ag << " win=" << op.window << " " << op.xbars
+            << " xbars";
+        break;
+      case OpKind::kVfu:
+        oss << " " << op.elements << " elems";
+        if (op.ag >= 0) oss << " [wait ag=" << op.ag << "]";
+        break;
+      case OpKind::kCommSend:
+        oss << " -> core " << op.peer << " " << op.bytes << " B";
+        if (op.tag != 0) oss << " tag=" << op.tag;
+        break;
+      case OpKind::kCommRecv:
+        oss << " <- core " << op.peer << " " << op.bytes << " B";
+        if (op.tag != 0) oss << " tag=" << op.tag;
+        break;
+      case OpKind::kLoadGlobal:
+      case OpKind::kStoreGlobal:
+        oss << " " << op.bytes << " B";
+        break;
+    }
+    if (op.local_usage >= 0) oss << "  |mem " << op.local_usage << " B|";
+    oss << '\n';
+  }
+  if (limit < program.size()) {
+    oss << "  ... " << (program.size() - limit) << " more ops\n";
+  }
+  return oss.str();
+}
+
+std::string print_schedule_summary(const Schedule& schedule) {
+  std::ostringstream oss;
+  oss << "schedule: " << schedule.total_ops << " ops over "
+      << schedule.core_count() << " cores\n"
+      << "  MVM " << schedule.count(OpKind::kMvm) << ", VFU "
+      << schedule.count(OpKind::kVfu) << ", SEND "
+      << schedule.count(OpKind::kCommSend) << " ("
+      << schedule.total_bytes(OpKind::kCommSend) / 1024 << " kB), LOAD "
+      << schedule.total_bytes(OpKind::kLoadGlobal) / 1024 << " kB, STORE "
+      << schedule.total_bytes(OpKind::kStoreGlobal) / 1024 << " kB\n";
+  int busiest = 0;
+  std::size_t busiest_ops = 0;
+  for (int c = 0; c < schedule.core_count(); ++c) {
+    const std::size_t ops =
+        schedule.programs[static_cast<std::size_t>(c)].size();
+    if (ops > busiest_ops) {
+      busiest_ops = ops;
+      busiest = c;
+    }
+  }
+  oss << "  busiest core: " << busiest << " with " << busiest_ops << " ops\n";
+  return oss.str();
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,29 @@
+#ifndef PIMCOMP_CORE_STREAM_PRINTER_HPP
+#define PIMCOMP_CORE_STREAM_PRINTER_HPP
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "schedule/operation.hpp"
+
+namespace pimcomp {
+
+/// Renders a core's static operation sequence as a PUMA-style instruction
+/// listing (the "instruction flow" output of the paper's Fig 3). Example:
+///
+///   core 3 (214 ops)
+///     0000  LOAD   conv1            1536 B
+///     0001  MVM    conv1   ag=17  win=0   8 xbars
+///     0002  VFU    conv1   128 elems  [wait ag=17]
+///     0003  SEND   conv1   -> core 5  256 B
+///
+/// `max_ops` truncates long streams (0 = unlimited).
+std::string print_core_stream(const Schedule& schedule, const Graph& graph,
+                              int core, int max_ops = 64);
+
+/// Whole-schedule summary: per-core op counts and byte totals.
+std::string print_schedule_summary(const Schedule& schedule);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_CORE_STREAM_PRINTER_HPP

@@ -1,0 +1,147 @@
+#include "graph/builder.hpp"
+
+#include "common/error.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace pimcomp {
+
+GraphBuilder::GraphBuilder(std::string name, TensorShape input_shape)
+    : graph_(std::move(name)) {
+  PIMCOMP_CHECK(input_shape.valid(), "input shape must be positive");
+  Node in;
+  in.type = OpType::kInput;
+  in.name = "input";
+  in.output_shape = input_shape;
+  graph_.add_node(std::move(in));
+}
+
+NodeId GraphBuilder::append(Node node) {
+  PIMCOMP_CHECK(!built_, "GraphBuilder reused after build()");
+  return graph_.add_node(std::move(node));
+}
+
+NodeId GraphBuilder::conv(NodeId in, int out_channels, int kernel, int stride,
+                          int padding, const std::string& name) {
+  return conv_rect(in, out_channels, kernel, kernel, stride, padding, padding,
+                   name);
+}
+
+NodeId GraphBuilder::conv_rect(NodeId in, int out_channels, int kernel_h,
+                               int kernel_w, int stride, int padding_h,
+                               int padding_w, const std::string& name) {
+  Node n;
+  n.type = OpType::kConv;
+  n.name = name;
+  n.inputs = {in};
+  n.conv = {out_channels, kernel_h, kernel_w, stride, padding_h, padding_w};
+  return append(std::move(n));
+}
+
+NodeId GraphBuilder::conv_relu(NodeId in, int out_channels, int kernel,
+                               int stride, int padding,
+                               const std::string& name) {
+  const NodeId c = conv(in, out_channels, kernel, stride, padding, name);
+  return relu(c, name.empty() ? "" : name + "_relu");
+}
+
+NodeId GraphBuilder::relu(NodeId in, const std::string& name) {
+  Node n;
+  n.type = OpType::kRelu;
+  n.name = name;
+  n.inputs = {in};
+  return append(std::move(n));
+}
+
+NodeId GraphBuilder::max_pool(NodeId in, int kernel, int stride, int padding,
+                              const std::string& name) {
+  Node n;
+  n.type = OpType::kPool;
+  n.name = name;
+  n.inputs = {in};
+  n.pool = {PoolKind::kMax, kernel, stride, padding};
+  return append(std::move(n));
+}
+
+NodeId GraphBuilder::avg_pool(NodeId in, int kernel, int stride, int padding,
+                              const std::string& name) {
+  Node n;
+  n.type = OpType::kPool;
+  n.name = name;
+  n.inputs = {in};
+  n.pool = {PoolKind::kAverage, kernel, stride, padding};
+  return append(std::move(n));
+}
+
+NodeId GraphBuilder::global_avg_pool(NodeId in, const std::string& name) {
+  Node n;
+  n.type = OpType::kPool;
+  n.name = name;
+  n.inputs = {in};
+  n.pool = {PoolKind::kGlobalAverage, 0, 1, 0};
+  return append(std::move(n));
+}
+
+NodeId GraphBuilder::concat(const std::vector<NodeId>& ins,
+                            const std::string& name) {
+  Node n;
+  n.type = OpType::kConcat;
+  n.name = name;
+  n.inputs = ins;
+  return append(std::move(n));
+}
+
+NodeId GraphBuilder::eltwise_add(NodeId a, NodeId b, const std::string& name) {
+  Node n;
+  n.type = OpType::kEltwise;
+  n.name = name;
+  n.inputs = {a, b};
+  n.eltwise = {EltwiseKind::kAdd};
+  return append(std::move(n));
+}
+
+NodeId GraphBuilder::flatten(NodeId in, const std::string& name) {
+  Node n;
+  n.type = OpType::kFlatten;
+  n.name = name;
+  n.inputs = {in};
+  return append(std::move(n));
+}
+
+NodeId GraphBuilder::fc(NodeId in, int units, const std::string& name) {
+  Node n;
+  n.type = OpType::kFC;
+  n.name = name;
+  n.inputs = {in};
+  n.fc_units = units;
+  return append(std::move(n));
+}
+
+NodeId GraphBuilder::fc_relu(NodeId in, int units, const std::string& name) {
+  const NodeId f = fc(in, units, name);
+  return relu(f, name.empty() ? "" : name + "_relu");
+}
+
+NodeId GraphBuilder::softmax(NodeId in, const std::string& name) {
+  Node n;
+  n.type = OpType::kSoftmax;
+  n.name = name;
+  n.inputs = {in};
+  return append(std::move(n));
+}
+
+TensorShape GraphBuilder::shape_of(NodeId id) const {
+  // Incremental inference: shapes are needed while building (e.g. to size FC
+  // layers after pooling), so run inference over the prefix on demand.
+  Graph copy = graph_;
+  infer_shapes(copy);
+  return copy.node(id).output_shape;
+}
+
+Graph GraphBuilder::build() {
+  PIMCOMP_CHECK(!built_, "GraphBuilder reused after build()");
+  built_ = true;
+  graph_.finalize();
+  return std::move(graph_);
+}
+
+}  // namespace pimcomp

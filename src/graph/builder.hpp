@@ -1,0 +1,68 @@
+#ifndef PIMCOMP_GRAPH_BUILDER_HPP
+#define PIMCOMP_GRAPH_BUILDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pimcomp {
+
+/// Fluent construction API for DNN graphs. Layers are appended in topological
+/// order; `build()` finalizes (validates + infers shapes) and returns the
+/// graph. Example:
+///
+///   GraphBuilder b("toy", {3, 32, 32});
+///   NodeId x = b.input();
+///   x = b.conv_relu(x, 16, 3, 1, 1);
+///   x = b.max_pool(x, 2, 2);
+///   x = b.fc(b.flatten(x), 10);
+///   Graph g = b.build();
+class GraphBuilder {
+ public:
+  GraphBuilder(std::string name, TensorShape input_shape);
+
+  /// Id of the (single) input node.
+  NodeId input() const { return 0; }
+
+  /// 2-D convolution with square or rectangular kernel; `conv_rect` allows
+  /// per-axis padding for factorized 1xN / Nx1 kernels.
+  NodeId conv(NodeId in, int out_channels, int kernel, int stride = 1,
+              int padding = 0, const std::string& name = "");
+  NodeId conv_rect(NodeId in, int out_channels, int kernel_h, int kernel_w,
+                   int stride, int padding_h, int padding_w,
+                   const std::string& name = "");
+
+  /// Convolution followed by ReLU (the dominant idiom in the zoo models).
+  NodeId conv_relu(NodeId in, int out_channels, int kernel, int stride = 1,
+                   int padding = 0, const std::string& name = "");
+
+  NodeId relu(NodeId in, const std::string& name = "");
+  NodeId max_pool(NodeId in, int kernel, int stride, int padding = 0,
+                  const std::string& name = "");
+  NodeId avg_pool(NodeId in, int kernel, int stride, int padding = 0,
+                  const std::string& name = "");
+  NodeId global_avg_pool(NodeId in, const std::string& name = "");
+  NodeId concat(const std::vector<NodeId>& ins, const std::string& name = "");
+  NodeId eltwise_add(NodeId a, NodeId b, const std::string& name = "");
+  NodeId flatten(NodeId in, const std::string& name = "");
+  NodeId fc(NodeId in, int units, const std::string& name = "");
+  NodeId fc_relu(NodeId in, int units, const std::string& name = "");
+  NodeId softmax(NodeId in, const std::string& name = "");
+
+  /// Shape of a node added so far (shapes are inferred incrementally so that
+  /// zoo builders can branch on intermediate extents).
+  TensorShape shape_of(NodeId id) const;
+
+  /// Finalizes and returns the graph. The builder must not be reused after.
+  Graph build();
+
+ private:
+  NodeId append(Node node);
+  Graph graph_;
+  bool built_ = false;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_GRAPH_BUILDER_HPP

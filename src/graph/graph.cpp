@@ -1,0 +1,103 @@
+#include "graph/graph.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace pimcomp {
+
+NodeId Graph::add_node(Node node) {
+  PIMCOMP_CHECK(!finalized_, "cannot add nodes to a finalized graph");
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  for (NodeId input : node.inputs) {
+    if (input < 0 || input >= id) {
+      throw GraphError("node '" + node.name +
+                       "' references out-of-order input id " +
+                       std::to_string(input));
+    }
+  }
+  node.id = id;
+  if (node.name.empty()) {
+    node.name = pimcomp::to_string(node.type) + "_" + std::to_string(id);
+  }
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+const Node& Graph::node(NodeId id) const {
+  PIMCOMP_ASSERT(id >= 0 && id < node_count(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& Graph::mutable_node(NodeId id) {
+  PIMCOMP_ASSERT(id >= 0 && id < node_count(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<NodeId>& Graph::consumers(NodeId id) const {
+  PIMCOMP_ASSERT(finalized_, "consumers() requires a finalized graph");
+  PIMCOMP_ASSERT(id >= 0 && id < node_count(), "node id out of range");
+  return consumers_[static_cast<std::size_t>(id)];
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  if (nodes_.empty()) throw GraphError("graph '" + name_ + "' has no nodes");
+  if (nodes_[0].type != OpType::kInput) {
+    throw GraphError("node 0 must be the input node");
+  }
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].type == OpType::kInput) {
+      throw GraphError("graph has more than one input node");
+    }
+    if (nodes_[i].inputs.empty()) {
+      throw GraphError("node '" + nodes_[i].name + "' has no inputs");
+    }
+  }
+
+  infer_shapes(*this);
+
+  consumers_.assign(nodes_.size(), {});
+  for (const Node& n : nodes_) {
+    for (NodeId input : n.inputs) {
+      consumers_[static_cast<std::size_t>(input)].push_back(n.id);
+    }
+  }
+  sinks_.clear();
+  for (const Node& n : nodes_) {
+    if (consumers_[static_cast<std::size_t>(n.id)].empty()) {
+      sinks_.push_back(n.id);
+    }
+  }
+  finalized_ = true;
+}
+
+std::int64_t Graph::total_weight_params() const {
+  std::int64_t total = 0;
+  for (const Node& n : nodes_) total += n.weight_params;
+  return total;
+}
+
+std::int64_t Graph::total_macs() const {
+  std::int64_t total = 0;
+  for (const Node& n : nodes_) total += n.macs;
+  return total;
+}
+
+int Graph::crossbar_node_count() const {
+  int count = 0;
+  for (const Node& n : nodes_) {
+    if (n.is_crossbar()) ++count;
+  }
+  return count;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream oss;
+  oss << "graph '" << name_ << "' (" << nodes_.size() << " nodes)\n";
+  for (const Node& n : nodes_) oss << "  " << n.to_string() << '\n';
+  return oss.str();
+}
+
+}  // namespace pimcomp

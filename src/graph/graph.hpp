@@ -1,0 +1,67 @@
+#ifndef PIMCOMP_GRAPH_GRAPH_HPP
+#define PIMCOMP_GRAPH_GRAPH_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/node.hpp"
+
+namespace pimcomp {
+
+/// A DNN model as a DAG of operator nodes. The graph owns its nodes; node
+/// ids are dense indices into `nodes()`. Exactly one kInput node is required
+/// and it must be node 0. Graphs are immutable once `finalize()` has run
+/// (the builder calls it).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends a node; assigns and returns its id. Inputs must reference
+  /// already-added nodes (the graph is constructed in topological order).
+  NodeId add_node(Node node);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId id) const;
+  Node& mutable_node(NodeId id);
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Consumers of each node (reverse edges); available after finalize().
+  const std::vector<NodeId>& consumers(NodeId id) const;
+
+  /// Nodes with no consumers; available after finalize().
+  const std::vector<NodeId>& sinks() const { return sinks_; }
+
+  /// Validates the graph (single input at id 0, no dangling references,
+  /// in-order edges — which implies acyclicity), runs shape inference, and
+  /// builds the reverse-edge index. Throws GraphError on violations.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Sum of weight parameters over all crossbar nodes.
+  std::int64_t total_weight_params() const;
+
+  /// Sum of per-inference MACs over all crossbar nodes.
+  std::int64_t total_macs() const;
+
+  /// Count of crossbar (CONV/FC) nodes.
+  int crossbar_node_count() const;
+
+  /// Multi-line description of every node (debugging aid).
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> consumers_;
+  std::vector<NodeId> sinks_;
+  bool finalized_ = false;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_GRAPH_GRAPH_HPP

@@ -1,0 +1,36 @@
+#include "graph/node.hpp"
+
+#include <sstream>
+
+namespace pimcomp {
+
+std::string Node::to_string() const {
+  std::ostringstream oss;
+  oss << "#" << id << " " << name << " [" << pimcomp::to_string(type) << "]";
+  switch (type) {
+    case OpType::kConv:
+      oss << " k=" << conv.kernel_h << "x" << conv.kernel_w
+          << " s=" << conv.stride << " p=" << conv.padding_h << "/"
+          << conv.padding_w << " cout=" << conv.out_channels;
+      break;
+    case OpType::kFC:
+      oss << " units=" << fc_units;
+      break;
+    case OpType::kPool:
+      oss << " " << pimcomp::to_string(pool.kind);
+      if (pool.kind != PoolKind::kGlobalAverage) {
+        oss << " k=" << pool.kernel << " s=" << pool.stride
+            << " p=" << pool.padding;
+      }
+      break;
+    case OpType::kEltwise:
+      oss << " " << pimcomp::to_string(eltwise.kind);
+      break;
+    default:
+      break;
+  }
+  oss << " -> " << output_shape.to_string();
+  return oss.str();
+}
+
+}  // namespace pimcomp

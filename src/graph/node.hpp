@@ -1,0 +1,83 @@
+#ifndef PIMCOMP_GRAPH_NODE_HPP
+#define PIMCOMP_GRAPH_NODE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/op_type.hpp"
+#include "graph/tensor.hpp"
+
+namespace pimcomp {
+
+/// Identifier of a node inside its graph (dense, 0-based).
+using NodeId = int;
+
+/// Attributes of CONV nodes. FC nodes reuse this with kernel 1x1 over a
+/// flattened input (the paper treats FC as a special convolution).
+/// Padding may differ per axis to express the 1x7 / 7x1 factorized
+/// convolutions of inception-v3.
+struct ConvAttrs {
+  int out_channels = 0;
+  int kernel_h = 0;
+  int kernel_w = 0;
+  int stride = 1;
+  int padding_h = 0;
+  int padding_w = 0;
+
+  bool operator==(const ConvAttrs&) const = default;
+};
+
+/// Attributes of POOL nodes.
+struct PoolAttrs {
+  PoolKind kind = PoolKind::kMax;
+  int kernel = 0;    ///< square window; ignored when kind == kGlobalAverage
+  int stride = 1;
+  int padding = 0;
+
+  bool operator==(const PoolAttrs&) const = default;
+};
+
+/// Attributes of ELTWISE nodes.
+struct EltwiseAttrs {
+  EltwiseKind kind = EltwiseKind::kAdd;
+
+  bool operator==(const EltwiseAttrs&) const = default;
+};
+
+/// One operator instance in the DNN graph. In this work "node" and "layer"
+/// share the same meaning (paper, Section IV-A).
+struct Node {
+  NodeId id = -1;
+  std::string name;
+  OpType type = OpType::kInput;
+
+  /// Producers of this node's inputs, in positional order.
+  std::vector<NodeId> inputs;
+
+  /// Populated per `type`; unused attribute structs stay default-valued.
+  ConvAttrs conv;
+  PoolAttrs pool;
+  EltwiseAttrs eltwise;
+  int fc_units = 0;  ///< output features for FC nodes
+
+  /// Filled in by shape inference.
+  TensorShape output_shape;
+
+  /// Weight parameter count for crossbar ops (conv: k*k*Cin*Cout, fc:
+  /// in*out); zero for all other operators. Filled by shape inference.
+  std::int64_t weight_params = 0;
+
+  /// Multiply-accumulate count per inference for crossbar ops; zero
+  /// otherwise. Filled by shape inference.
+  std::int64_t macs = 0;
+
+  bool is_crossbar() const { return is_crossbar_op(type); }
+
+  /// One-line human readable description.
+  std::string to_string() const;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_GRAPH_NODE_HPP

@@ -1,0 +1,81 @@
+#include "graph/op_type.hpp"
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+std::string to_string(OpType type) {
+  switch (type) {
+    case OpType::kInput: return "input";
+    case OpType::kConv: return "conv";
+    case OpType::kFC: return "fc";
+    case OpType::kPool: return "pool";
+    case OpType::kRelu: return "relu";
+    case OpType::kConcat: return "concat";
+    case OpType::kEltwise: return "eltwise";
+    case OpType::kFlatten: return "flatten";
+    case OpType::kSoftmax: return "softmax";
+  }
+  return "unknown";
+}
+
+std::string to_string(PoolKind kind) {
+  switch (kind) {
+    case PoolKind::kMax: return "max";
+    case PoolKind::kAverage: return "avg";
+    case PoolKind::kGlobalAverage: return "global_avg";
+  }
+  return "unknown";
+}
+
+std::string to_string(EltwiseKind kind) {
+  switch (kind) {
+    case EltwiseKind::kAdd: return "add";
+    case EltwiseKind::kMul: return "mul";
+  }
+  return "unknown";
+}
+
+OpType op_type_from_string(const std::string& name) {
+  if (name == "input") return OpType::kInput;
+  if (name == "conv") return OpType::kConv;
+  if (name == "fc") return OpType::kFC;
+  if (name == "pool") return OpType::kPool;
+  if (name == "relu") return OpType::kRelu;
+  if (name == "concat") return OpType::kConcat;
+  if (name == "eltwise") return OpType::kEltwise;
+  if (name == "flatten") return OpType::kFlatten;
+  if (name == "softmax") return OpType::kSoftmax;
+  throw GraphError("unknown op type: " + name);
+}
+
+PoolKind pool_kind_from_string(const std::string& name) {
+  if (name == "max") return PoolKind::kMax;
+  if (name == "avg") return PoolKind::kAverage;
+  if (name == "global_avg") return PoolKind::kGlobalAverage;
+  throw GraphError("unknown pool kind: " + name);
+}
+
+EltwiseKind eltwise_kind_from_string(const std::string& name) {
+  if (name == "add") return EltwiseKind::kAdd;
+  if (name == "mul") return EltwiseKind::kMul;
+  throw GraphError("unknown eltwise kind: " + name);
+}
+
+bool is_crossbar_op(OpType type) {
+  return type == OpType::kConv || type == OpType::kFC;
+}
+
+bool is_vector_op(OpType type) {
+  switch (type) {
+    case OpType::kPool:
+    case OpType::kRelu:
+    case OpType::kEltwise:
+    case OpType::kSoftmax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,48 @@
+#ifndef PIMCOMP_GRAPH_OP_TYPE_HPP
+#define PIMCOMP_GRAPH_OP_TYPE_HPP
+
+#include <string>
+
+namespace pimcomp {
+
+/// Operator set covered by the compiler. CONV and FC lower to crossbar MVMs
+/// (the paper's node partitioning targets); the rest execute on the VFU or
+/// are realized through local-memory addressing (CONCAT/FLATTEN).
+enum class OpType {
+  kInput,      ///< graph entry; produces the inference input tensor
+  kConv,       ///< 2-D convolution (mapped to crossbars)
+  kFC,         ///< fully connected / GEMM (mapped to crossbars)
+  kPool,       ///< max or average pooling (VFU)
+  kRelu,       ///< rectified linear activation (VFU)
+  kConcat,     ///< channel-wise concatenation (local memory)
+  kEltwise,    ///< element-wise add/mul, e.g. residual connections (VFU)
+  kFlatten,    ///< reshape to a vector (local memory)
+  kSoftmax,    ///< final classifier normalization (VFU)
+};
+
+/// Pooling flavours.
+enum class PoolKind { kMax, kAverage, kGlobalAverage };
+
+/// Element-wise flavours.
+enum class EltwiseKind { kAdd, kMul };
+
+/// Canonical lower-case name used in serialized graphs and reports.
+std::string to_string(OpType type);
+std::string to_string(PoolKind kind);
+std::string to_string(EltwiseKind kind);
+
+/// Parses the canonical names; throws GraphError on unknown input.
+OpType op_type_from_string(const std::string& name);
+PoolKind pool_kind_from_string(const std::string& name);
+EltwiseKind eltwise_kind_from_string(const std::string& name);
+
+/// True for operators whose weights are programmed into crossbars and that
+/// therefore go through node partitioning (CONV and FC).
+bool is_crossbar_op(OpType type);
+
+/// True for operators executed by the vector functional unit.
+bool is_vector_op(OpType type);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_GRAPH_OP_TYPE_HPP

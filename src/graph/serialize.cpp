@@ -1,0 +1,140 @@
+#include "graph/serialize.hpp"
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+Json graph_to_json(const Graph& graph) {
+  Json root = Json::object();
+  root["name"] = graph.name();
+  const TensorShape in = graph.node(0).output_shape;
+  Json input = Json::array();
+  input.push_back(in.channels);
+  input.push_back(in.height);
+  input.push_back(in.width);
+  root["input"] = std::move(input);
+
+  Json nodes = Json::array();
+  for (const Node& n : graph.nodes()) {
+    if (n.type == OpType::kInput) continue;
+    Json jn = Json::object();
+    jn["name"] = n.name;
+    jn["op"] = to_string(n.type);
+    Json inputs = Json::array();
+    for (NodeId id : n.inputs) inputs.push_back(id);
+    jn["inputs"] = std::move(inputs);
+    switch (n.type) {
+      case OpType::kConv: {
+        jn["out_channels"] = n.conv.out_channels;
+        Json kernel = Json::array();
+        kernel.push_back(n.conv.kernel_h);
+        kernel.push_back(n.conv.kernel_w);
+        jn["kernel"] = std::move(kernel);
+        jn["stride"] = n.conv.stride;
+        Json padding = Json::array();
+        padding.push_back(n.conv.padding_h);
+        padding.push_back(n.conv.padding_w);
+        jn["padding"] = std::move(padding);
+        break;
+      }
+      case OpType::kFC:
+        jn["units"] = n.fc_units;
+        break;
+      case OpType::kPool:
+        jn["kind"] = to_string(n.pool.kind);
+        if (n.pool.kind != PoolKind::kGlobalAverage) {
+          jn["kernel_size"] = n.pool.kernel;
+          jn["stride"] = n.pool.stride;
+          jn["padding"] = n.pool.padding;
+        }
+        break;
+      case OpType::kEltwise:
+        jn["kind"] = to_string(n.eltwise.kind);
+        break;
+      default:
+        break;
+    }
+    nodes.push_back(std::move(jn));
+  }
+  root["nodes"] = std::move(nodes);
+  return root;
+}
+
+Graph graph_from_json(const Json& json) {
+  Graph graph(json.get("name", std::string("unnamed")));
+
+  const Json& input = json.at("input");
+  if (!input.is_array() || input.size() != 3) {
+    throw GraphError("graph json: 'input' must be [C, H, W]");
+  }
+  Node in;
+  in.type = OpType::kInput;
+  in.name = "input";
+  in.output_shape = {static_cast<int>(input.at(0).as_int()),
+                     static_cast<int>(input.at(1).as_int()),
+                     static_cast<int>(input.at(2).as_int())};
+  graph.add_node(std::move(in));
+
+  const Json& nodes = json.at("nodes");
+  if (!nodes.is_array()) throw GraphError("graph json: 'nodes' must be array");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Json& jn = nodes.at(i);
+    Node n;
+    n.name = jn.get("name", std::string());
+    n.type = op_type_from_string(jn.at("op").as_string());
+    const Json& inputs = jn.at("inputs");
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      n.inputs.push_back(static_cast<NodeId>(inputs.at(k).as_int()));
+    }
+    switch (n.type) {
+      case OpType::kInput:
+        throw GraphError("graph json: extra input node in 'nodes'");
+      case OpType::kConv: {
+        n.conv.out_channels = jn.get("out_channels", 0);
+        const Json& kernel = jn.at("kernel");
+        n.conv.kernel_h = static_cast<int>(kernel.at(0).as_int());
+        n.conv.kernel_w = static_cast<int>(kernel.at(1).as_int());
+        n.conv.stride = jn.get("stride", 1);
+        if (jn.contains("padding")) {
+          const Json& padding = jn.at("padding");
+          if (padding.is_array()) {
+            n.conv.padding_h = static_cast<int>(padding.at(0).as_int());
+            n.conv.padding_w = static_cast<int>(padding.at(1).as_int());
+          } else {
+            n.conv.padding_h = static_cast<int>(padding.as_int());
+            n.conv.padding_w = n.conv.padding_h;
+          }
+        }
+        break;
+      }
+      case OpType::kFC:
+        n.fc_units = jn.get("units", 0);
+        break;
+      case OpType::kPool:
+        n.pool.kind = pool_kind_from_string(jn.get("kind", std::string("max")));
+        n.pool.kernel = jn.get("kernel_size", 0);
+        n.pool.stride = jn.get("stride", 1);
+        n.pool.padding = jn.get("padding", 0);
+        break;
+      case OpType::kEltwise:
+        n.eltwise.kind =
+            eltwise_kind_from_string(jn.get("kind", std::string("add")));
+        break;
+      default:
+        break;
+    }
+    graph.add_node(std::move(n));
+  }
+  graph.finalize();
+  return graph;
+}
+
+void save_graph(const Graph& graph, const std::string& path) {
+  json_to_file(graph_to_json(graph), path);
+}
+
+Graph load_graph(const std::string& path) {
+  return graph_from_json(json_from_file(path));
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,33 @@
+#ifndef PIMCOMP_GRAPH_SERIALIZE_HPP
+#define PIMCOMP_GRAPH_SERIALIZE_HPP
+
+#include <string>
+
+#include "common/json.hpp"
+#include "graph/graph.hpp"
+
+namespace pimcomp {
+
+/// Serializes a finalized graph to the PIMCOMP JSON graph format:
+///
+///   { "name": "...", "input": [C, H, W],
+///     "nodes": [ {"name": "...", "op": "conv", "inputs": [0],
+///                 "out_channels": 64, "kernel": [3,3],
+///                 "stride": 1, "padding": 1}, ... ] }
+///
+/// This format stands in for the paper's ONNX frontend (see DESIGN.md §3):
+/// it carries exactly the post-parse information PIMCOMP's backend consumes
+/// (node attributes + topology).
+Json graph_to_json(const Graph& graph);
+
+/// Parses the JSON graph format and returns a finalized graph.
+/// Throws GraphError / JsonError on malformed input.
+Graph graph_from_json(const Json& json);
+
+/// File convenience wrappers.
+void save_graph(const Graph& graph, const std::string& path);
+Graph load_graph(const std::string& path);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_GRAPH_SERIALIZE_HPP

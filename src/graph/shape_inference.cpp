@@ -1,0 +1,137 @@
+#include "graph/shape_inference.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "graph/graph.hpp"
+
+namespace pimcomp {
+
+int window_output_extent(int input, int kernel, int stride, int padding,
+                         const char* what) {
+  PIMCOMP_CHECK(stride >= 1, "stride must be >= 1");
+  const int padded = input + 2 * padding;
+  if (kernel > padded) {
+    throw GraphError(std::string(what) + ": kernel " + std::to_string(kernel) +
+                     " exceeds padded input " + std::to_string(padded));
+  }
+  return (padded - kernel) / stride + 1;
+}
+
+namespace {
+
+TensorShape input_shape_of(const Graph& graph, const Node& node,
+                           std::size_t index) {
+  PIMCOMP_ASSERT(index < node.inputs.size(), "input index out of range");
+  return graph.node(node.inputs[index]).output_shape;
+}
+
+void infer_node(Graph& graph, Node& node) {
+  switch (node.type) {
+    case OpType::kInput: {
+      if (!node.output_shape.valid()) {
+        throw GraphError("input node must carry a valid shape");
+      }
+      return;
+    }
+    case OpType::kConv: {
+      const TensorShape in = input_shape_of(graph, node, 0);
+      const ConvAttrs& a = node.conv;
+      PIMCOMP_CHECK(a.out_channels > 0, "conv out_channels must be positive");
+      PIMCOMP_CHECK(a.kernel_h > 0 && a.kernel_w > 0,
+                    "conv kernel must be positive");
+      const int oh = window_output_extent(in.height, a.kernel_h, a.stride,
+                                          a.padding_h, node.name.c_str());
+      const int ow = window_output_extent(in.width, a.kernel_w, a.stride,
+                                          a.padding_w, node.name.c_str());
+      node.output_shape = {a.out_channels, oh, ow};
+      node.weight_params = static_cast<std::int64_t>(a.kernel_h) * a.kernel_w *
+                           in.channels * a.out_channels;
+      node.macs = node.weight_params * oh * ow;
+      return;
+    }
+    case OpType::kFC: {
+      const TensorShape in = input_shape_of(graph, node, 0);
+      PIMCOMP_CHECK(node.fc_units > 0, "fc units must be positive");
+      node.output_shape = {node.fc_units, 1, 1};
+      node.weight_params = in.elements() * node.fc_units;
+      node.macs = node.weight_params;
+      return;
+    }
+    case OpType::kPool: {
+      const TensorShape in = input_shape_of(graph, node, 0);
+      const PoolAttrs& a = node.pool;
+      if (a.kind == PoolKind::kGlobalAverage) {
+        node.output_shape = {in.channels, 1, 1};
+        return;
+      }
+      PIMCOMP_CHECK(a.kernel > 0, "pool kernel must be positive");
+      const int oh = window_output_extent(in.height, a.kernel, a.stride,
+                                          a.padding, node.name.c_str());
+      const int ow = window_output_extent(in.width, a.kernel, a.stride,
+                                          a.padding, node.name.c_str());
+      node.output_shape = {in.channels, oh, ow};
+      return;
+    }
+    case OpType::kRelu:
+    case OpType::kSoftmax: {
+      node.output_shape = input_shape_of(graph, node, 0);
+      return;
+    }
+    case OpType::kFlatten: {
+      const TensorShape in = input_shape_of(graph, node, 0);
+      node.output_shape = {static_cast<int>(in.elements()), 1, 1};
+      return;
+    }
+    case OpType::kConcat: {
+      if (node.inputs.size() < 2) {
+        throw GraphError("concat '" + node.name + "' needs >= 2 inputs");
+      }
+      TensorShape first = input_shape_of(graph, node, 0);
+      int channels = first.channels;
+      for (std::size_t i = 1; i < node.inputs.size(); ++i) {
+        const TensorShape s = input_shape_of(graph, node, i);
+        if (s.height != first.height || s.width != first.width) {
+          throw GraphError("concat '" + node.name +
+                           "' operands have mismatched spatial dims: " +
+                           first.to_string() + " vs " + s.to_string());
+        }
+        channels += s.channels;
+      }
+      node.output_shape = {channels, first.height, first.width};
+      return;
+    }
+    case OpType::kEltwise: {
+      if (node.inputs.size() < 2) {
+        throw GraphError("eltwise '" + node.name + "' needs >= 2 inputs");
+      }
+      const TensorShape first = input_shape_of(graph, node, 0);
+      for (std::size_t i = 1; i < node.inputs.size(); ++i) {
+        const TensorShape s = input_shape_of(graph, node, i);
+        if (!(s == first)) {
+          throw GraphError("eltwise '" + node.name +
+                           "' operands have mismatched shapes: " +
+                           first.to_string() + " vs " + s.to_string());
+        }
+      }
+      node.output_shape = first;
+      return;
+    }
+  }
+  throw GraphError("unhandled op type in shape inference");
+}
+
+}  // namespace
+
+void infer_shapes(Graph& graph) {
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    infer_node(graph, graph.mutable_node(id));
+    if (!graph.node(id).output_shape.valid()) {
+      throw GraphError("node '" + graph.node(id).name +
+                       "' inferred an invalid shape " +
+                       graph.node(id).output_shape.to_string());
+    }
+  }
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,25 @@
+#ifndef PIMCOMP_GRAPH_SHAPE_INFERENCE_HPP
+#define PIMCOMP_GRAPH_SHAPE_INFERENCE_HPP
+
+#include "graph/tensor.hpp"
+
+namespace pimcomp {
+
+class Graph;
+struct Node;
+
+/// Computes every node's `output_shape`, `weight_params` and `macs` in
+/// topological (= id) order. The input node must already carry its shape.
+/// Throws GraphError on inconsistent shapes (e.g. eltwise operands differ,
+/// conv kernel larger than padded input).
+void infer_shapes(Graph& graph);
+
+/// Output spatial extent of a strided window op:
+/// floor((in + 2*pad - kernel) / stride) + 1. Throws GraphError if the
+/// window does not fit.
+int window_output_extent(int input, int kernel, int stride, int padding,
+                         const char* what);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_GRAPH_SHAPE_INFERENCE_HPP

@@ -1,0 +1,13 @@
+#include "graph/tensor.hpp"
+
+#include <sstream>
+
+namespace pimcomp {
+
+std::string TensorShape::to_string() const {
+  std::ostringstream oss;
+  oss << channels << "x" << height << "x" << width;
+  return oss.str();
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,42 @@
+#ifndef PIMCOMP_GRAPH_TENSOR_HPP
+#define PIMCOMP_GRAPH_TENSOR_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace pimcomp {
+
+/// Shape of a single-inference activation tensor in CHW layout (the batch
+/// dimension is always 1: the compiler reasons about one inference; batching
+/// is expressed by the HT pipeline, not by tensor shapes).
+struct TensorShape {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+
+  constexpr TensorShape() = default;
+  constexpr TensorShape(int c, int h, int w)
+      : channels(c), height(h), width(w) {}
+
+  /// Total element count.
+  std::int64_t elements() const {
+    return static_cast<std::int64_t>(channels) * height * width;
+  }
+
+  /// Size in bytes for the given activation precision.
+  std::int64_t bytes(int bits_per_element) const {
+    return elements() * bits_per_element / 8;
+  }
+
+  /// A shape is valid when every extent is positive.
+  bool valid() const { return channels > 0 && height > 0 && width > 0; }
+
+  bool operator==(const TensorShape& other) const = default;
+
+  /// "CxHxW" debug form.
+  std::string to_string() const;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_GRAPH_TENSOR_HPP

@@ -1,0 +1,60 @@
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp::zoo {
+
+namespace {
+
+/// GoogLeNet inception module (Szegedy et al., figure 2b): four parallel
+/// branches — 1x1, 1x1->3x3, 1x1->5x5, and 3x3 maxpool->1x1 — concatenated
+/// channel-wise.
+NodeId inception(GraphBuilder& b, NodeId in, int c1, int r3, int c3, int r5,
+                 int c5, int cp, const std::string& name) {
+  NodeId b1 = b.conv_relu(in, c1, 1, 1, 0, name + "_1x1");
+  NodeId b2 = b.conv_relu(in, r3, 1, 1, 0, name + "_3x3_reduce");
+  b2 = b.conv_relu(b2, c3, 3, 1, 1, name + "_3x3");
+  NodeId b3 = b.conv_relu(in, r5, 1, 1, 0, name + "_5x5_reduce");
+  b3 = b.conv_relu(b3, c5, 5, 1, 2, name + "_5x5");
+  NodeId b4 = b.max_pool(in, 3, 1, 1, name + "_pool");
+  b4 = b.conv_relu(b4, cp, 1, 1, 0, name + "_pool_proj");
+  return b.concat({b1, b2, b3, b4}, name + "_concat");
+}
+
+}  // namespace
+
+Graph googlenet(int input_size) {
+  if (input_size == 0) input_size = 224;
+  PIMCOMP_CHECK(input_size >= 32 && input_size % 32 == 0,
+                "googlenet input size must be a positive multiple of 32");
+
+  GraphBuilder b("googlenet", {3, input_size, input_size});
+  NodeId x = b.input();
+
+  x = b.conv_relu(x, 64, 7, 2, 3, "conv1");
+  x = b.max_pool(x, 3, 2, 1, "pool1");
+  x = b.conv_relu(x, 64, 1, 1, 0, "conv2_reduce");
+  x = b.conv_relu(x, 192, 3, 1, 1, "conv2");
+  x = b.max_pool(x, 3, 2, 1, "pool2");
+
+  x = inception(b, x, 64, 96, 128, 16, 32, 32, "inception3a");
+  x = inception(b, x, 128, 128, 192, 32, 96, 64, "inception3b");
+  x = b.max_pool(x, 3, 2, 1, "pool3");
+
+  x = inception(b, x, 192, 96, 208, 16, 48, 64, "inception4a");
+  x = inception(b, x, 160, 112, 224, 24, 64, 64, "inception4b");
+  x = inception(b, x, 128, 128, 256, 24, 64, 64, "inception4c");
+  x = inception(b, x, 112, 144, 288, 32, 64, 64, "inception4d");
+  x = inception(b, x, 256, 160, 320, 32, 128, 128, "inception4e");
+  x = b.max_pool(x, 3, 2, 1, "pool4");
+
+  x = inception(b, x, 256, 160, 320, 32, 128, 128, "inception5a");
+  x = inception(b, x, 384, 192, 384, 48, 128, 128, "inception5b");
+
+  x = b.global_avg_pool(x, "gap");
+  x = b.fc(b.flatten(x, "flatten"), 1000, "fc");
+  b.softmax(x, "prob");
+  return b.build();
+}
+
+}  // namespace pimcomp::zoo

@@ -1,0 +1,142 @@
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp::zoo {
+
+namespace {
+
+/// Inception-v3 module A (35x35 grid in the canonical network): 1x1, 5x5
+/// (factored through 1x1), double-3x3, and pooled-projection branches.
+NodeId module_a(GraphBuilder& b, NodeId in, int pool_features,
+                const std::string& name) {
+  NodeId b1 = b.conv_relu(in, 64, 1, 1, 0, name + "_1x1");
+  NodeId b2 = b.conv_relu(in, 48, 1, 1, 0, name + "_5x5_reduce");
+  b2 = b.conv_relu(b2, 64, 5, 1, 2, name + "_5x5");
+  NodeId b3 = b.conv_relu(in, 64, 1, 1, 0, name + "_dbl3x3_reduce");
+  b3 = b.conv_relu(b3, 96, 3, 1, 1, name + "_dbl3x3_1");
+  b3 = b.conv_relu(b3, 96, 3, 1, 1, name + "_dbl3x3_2");
+  NodeId b4 = b.avg_pool(in, 3, 1, 1, name + "_pool");
+  b4 = b.conv_relu(b4, pool_features, 1, 1, 0, name + "_pool_proj");
+  return b.concat({b1, b2, b3, b4}, name + "_concat");
+}
+
+/// Grid-size reduction module B: strided 3x3, strided double-3x3, and a
+/// strided max pool, concatenated.
+NodeId module_b(GraphBuilder& b, NodeId in, const std::string& name) {
+  NodeId b1 = b.conv_relu(in, 384, 3, 2, 0, name + "_3x3");
+  NodeId b2 = b.conv_relu(in, 64, 1, 1, 0, name + "_dbl3x3_reduce");
+  b2 = b.conv_relu(b2, 96, 3, 1, 1, name + "_dbl3x3_1");
+  b2 = b.conv_relu(b2, 96, 3, 2, 0, name + "_dbl3x3_2");
+  NodeId b3 = b.max_pool(in, 3, 2, 0, name + "_pool");
+  return b.concat({b1, b2, b3}, name + "_concat");
+}
+
+/// Module C (17x17 grid): asymmetric 1x7/7x1 factorized convolutions.
+NodeId module_c(GraphBuilder& b, NodeId in, int c7, const std::string& name) {
+  NodeId b1 = b.conv_relu(in, 192, 1, 1, 0, name + "_1x1");
+
+  NodeId b2 = b.conv_relu(in, c7, 1, 1, 0, name + "_7x7_reduce");
+  b2 = b.conv_rect(b2, c7, 1, 7, 1, 0, 3, name + "_1x7");
+  b2 = b.relu(b2, name + "_1x7_relu");
+  b2 = b.conv_rect(b2, 192, 7, 1, 1, 3, 0, name + "_7x1");
+  b2 = b.relu(b2, name + "_7x1_relu");
+
+  NodeId b3 = b.conv_relu(in, c7, 1, 1, 0, name + "_dbl7x7_reduce");
+  b3 = b.conv_rect(b3, c7, 7, 1, 1, 3, 0, name + "_dbl7x1_1");
+  b3 = b.relu(b3, name + "_dbl7x1_1_relu");
+  b3 = b.conv_rect(b3, c7, 1, 7, 1, 0, 3, name + "_dbl1x7_1");
+  b3 = b.relu(b3, name + "_dbl1x7_1_relu");
+  b3 = b.conv_rect(b3, c7, 7, 1, 1, 3, 0, name + "_dbl7x1_2");
+  b3 = b.relu(b3, name + "_dbl7x1_2_relu");
+  b3 = b.conv_rect(b3, 192, 1, 7, 1, 0, 3, name + "_dbl1x7_2");
+  b3 = b.relu(b3, name + "_dbl1x7_2_relu");
+
+  NodeId b4 = b.avg_pool(in, 3, 1, 1, name + "_pool");
+  b4 = b.conv_relu(b4, 192, 1, 1, 0, name + "_pool_proj");
+  return b.concat({b1, b2, b3, b4}, name + "_concat");
+}
+
+/// Grid-size reduction module D: strided 3x3 (through 1x1) and a 7x7-
+/// factorized strided branch plus max pool.
+NodeId module_d(GraphBuilder& b, NodeId in, const std::string& name) {
+  NodeId b1 = b.conv_relu(in, 192, 1, 1, 0, name + "_3x3_reduce");
+  b1 = b.conv_relu(b1, 320, 3, 2, 0, name + "_3x3");
+  NodeId b2 = b.conv_relu(in, 192, 1, 1, 0, name + "_7x7_reduce");
+  b2 = b.conv_rect(b2, 192, 1, 7, 1, 0, 3, name + "_1x7");
+  b2 = b.relu(b2, name + "_1x7_relu");
+  b2 = b.conv_rect(b2, 192, 7, 1, 1, 3, 0, name + "_7x1");
+  b2 = b.relu(b2, name + "_7x1_relu");
+  b2 = b.conv_relu(b2, 192, 3, 2, 0, name + "_3x3b");
+  NodeId b3 = b.max_pool(in, 3, 2, 0, name + "_pool");
+  return b.concat({b1, b2, b3}, name + "_concat");
+}
+
+/// Module E (8x8 grid): expanded-filter-bank branches with parallel 1x3 and
+/// 3x1 convolutions concatenated inside each branch.
+NodeId module_e(GraphBuilder& b, NodeId in, const std::string& name) {
+  NodeId b1 = b.conv_relu(in, 320, 1, 1, 0, name + "_1x1");
+
+  NodeId b2 = b.conv_relu(in, 384, 1, 1, 0, name + "_3x3_reduce");
+  NodeId b2a = b.conv_rect(b2, 384, 1, 3, 1, 0, 1, name + "_1x3");
+  b2a = b.relu(b2a, name + "_1x3_relu");
+  NodeId b2b = b.conv_rect(b2, 384, 3, 1, 1, 1, 0, name + "_3x1");
+  b2b = b.relu(b2b, name + "_3x1_relu");
+  NodeId b2c = b.concat({b2a, b2b}, name + "_3x3_concat");
+
+  NodeId b3 = b.conv_relu(in, 448, 1, 1, 0, name + "_dbl3x3_reduce");
+  b3 = b.conv_relu(b3, 384, 3, 1, 1, name + "_dbl3x3");
+  NodeId b3a = b.conv_rect(b3, 384, 1, 3, 1, 0, 1, name + "_dbl1x3");
+  b3a = b.relu(b3a, name + "_dbl1x3_relu");
+  NodeId b3b = b.conv_rect(b3, 384, 3, 1, 1, 1, 0, name + "_dbl3x1");
+  b3b = b.relu(b3b, name + "_dbl3x1_relu");
+  NodeId b3c = b.concat({b3a, b3b}, name + "_dbl3x3_concat");
+
+  NodeId b4 = b.avg_pool(in, 3, 1, 1, name + "_pool");
+  b4 = b.conv_relu(b4, 192, 1, 1, 0, name + "_pool_proj");
+  return b.concat({b1, b2c, b3c, b4}, name + "_concat");
+}
+
+}  // namespace
+
+Graph inception_v3(int input_size) {
+  if (input_size == 0) input_size = 299;
+  PIMCOMP_CHECK(input_size >= 96,
+                "inception-v3 input size must be at least 96");
+
+  GraphBuilder b("inception-v3", {3, input_size, input_size});
+  NodeId x = b.input();
+
+  // Stem.
+  x = b.conv_relu(x, 32, 3, 2, 0, "conv1");
+  x = b.conv_relu(x, 32, 3, 1, 0, "conv2");
+  x = b.conv_relu(x, 64, 3, 1, 1, "conv3");
+  x = b.max_pool(x, 3, 2, 0, "pool1");
+  x = b.conv_relu(x, 80, 1, 1, 0, "conv4");
+  x = b.conv_relu(x, 192, 3, 1, 0, "conv5");
+  x = b.max_pool(x, 3, 2, 0, "pool2");
+
+  // 3 x module A, reduction B.
+  x = module_a(b, x, 32, "mixed5b");
+  x = module_a(b, x, 64, "mixed5c");
+  x = module_a(b, x, 64, "mixed5d");
+  x = module_b(b, x, "mixed6a");
+
+  // 4 x module C, reduction D.
+  x = module_c(b, x, 128, "mixed6b");
+  x = module_c(b, x, 160, "mixed6c");
+  x = module_c(b, x, 160, "mixed6d");
+  x = module_c(b, x, 192, "mixed6e");
+  x = module_d(b, x, "mixed7a");
+
+  // 2 x module E.
+  x = module_e(b, x, "mixed7b");
+  x = module_e(b, x, "mixed7c");
+
+  x = b.global_avg_pool(x, "gap");
+  x = b.fc(b.flatten(x, "flatten"), 1000, "fc");
+  b.softmax(x, "prob");
+  return b.build();
+}
+
+}  // namespace pimcomp::zoo

@@ -1,0 +1,52 @@
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp::zoo {
+
+namespace {
+
+/// Standard ResNet basic block: two 3x3 convolutions with a residual add.
+/// When the block changes stride or channel count, the shortcut is a strided
+/// 1x1 projection convolution. Batch norms are folded into the convolutions.
+NodeId basic_block(GraphBuilder& b, NodeId in, int channels, int stride,
+                   bool project_shortcut, const std::string& name) {
+  NodeId main = b.conv_relu(in, channels, 3, stride, 1, name + "_conv1");
+  main = b.conv(main, channels, 3, 1, 1, name + "_conv2");
+  NodeId shortcut = in;
+  if (project_shortcut) {
+    shortcut = b.conv(in, channels, 1, stride, 0, name + "_downsample");
+  }
+  NodeId sum = b.eltwise_add(main, shortcut, name + "_add");
+  return b.relu(sum, name + "_relu");
+}
+
+}  // namespace
+
+Graph resnet18(int input_size) {
+  if (input_size == 0) input_size = 224;
+  PIMCOMP_CHECK(input_size >= 32 && input_size % 32 == 0,
+                "resnet18 input size must be a positive multiple of 32");
+
+  GraphBuilder b("resnet18", {3, input_size, input_size});
+  NodeId x = b.input();
+  x = b.conv_relu(x, 64, 7, 2, 3, "conv1");
+  x = b.max_pool(x, 3, 2, 1, "pool1");
+
+  const int stage_channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int channels = stage_channels[stage];
+    const int first_stride = stage == 0 ? 1 : 2;
+    const bool project = stage != 0;
+    const std::string prefix = "layer" + std::to_string(stage + 1);
+    x = basic_block(b, x, channels, first_stride, project, prefix + "_block1");
+    x = basic_block(b, x, channels, 1, false, prefix + "_block2");
+  }
+
+  x = b.global_avg_pool(x, "gap");
+  x = b.fc(b.flatten(x, "flatten"), 1000, "fc");
+  b.softmax(x, "prob");
+  return b.build();
+}
+
+}  // namespace pimcomp::zoo

@@ -1,0 +1,49 @@
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp::zoo {
+
+namespace {
+
+/// SqueezeNet fire module: a 1x1 squeeze convolution feeding parallel 1x1
+/// and 3x3 expand convolutions whose outputs are concatenated channel-wise.
+NodeId fire(GraphBuilder& b, NodeId in, int squeeze, int expand1,
+            int expand3, const std::string& name) {
+  NodeId s = b.conv_relu(in, squeeze, 1, 1, 0, name + "_squeeze1x1");
+  NodeId e1 = b.conv_relu(s, expand1, 1, 1, 0, name + "_expand1x1");
+  NodeId e3 = b.conv_relu(s, expand3, 3, 1, 1, name + "_expand3x3");
+  return b.concat({e1, e3}, name + "_concat");
+}
+
+}  // namespace
+
+Graph squeezenet(int input_size) {
+  if (input_size == 0) input_size = 224;
+  PIMCOMP_CHECK(input_size >= 32 && input_size % 16 == 0,
+                "squeezenet input size must be a multiple of 16 (>= 32)");
+
+  GraphBuilder b("squeezenet", {3, input_size, input_size});
+  NodeId x = b.input();
+
+  // SqueezeNet v1.1 layout.
+  x = b.conv_relu(x, 64, 3, 2, 0, "conv1");
+  x = b.max_pool(x, 3, 2, 0, "pool1");
+  x = fire(b, x, 16, 64, 64, "fire2");
+  x = fire(b, x, 16, 64, 64, "fire3");
+  x = b.max_pool(x, 3, 2, 0, "pool3");
+  x = fire(b, x, 32, 128, 128, "fire4");
+  x = fire(b, x, 32, 128, 128, "fire5");
+  x = b.max_pool(x, 3, 2, 0, "pool5");
+  x = fire(b, x, 48, 192, 192, "fire6");
+  x = fire(b, x, 48, 192, 192, "fire7");
+  x = fire(b, x, 64, 256, 256, "fire8");
+  x = fire(b, x, 64, 256, 256, "fire9");
+
+  x = b.conv_relu(x, 1000, 1, 1, 0, "conv10");
+  x = b.global_avg_pool(x, "gap");
+  b.softmax(x, "prob");
+  return b.build();
+}
+
+}  // namespace pimcomp::zoo

@@ -1,0 +1,35 @@
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp::zoo {
+
+Graph vgg16(int input_size) {
+  if (input_size == 0) input_size = 224;
+  PIMCOMP_CHECK(input_size >= 32 && input_size % 32 == 0,
+                "vgg16 input size must be a positive multiple of 32");
+
+  GraphBuilder b("vgg16", {3, input_size, input_size});
+  NodeId x = b.input();
+
+  const int stage_channels[5] = {64, 128, 256, 512, 512};
+  const int stage_depth[5] = {2, 2, 3, 3, 3};
+  int conv_index = 1;
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int i = 0; i < stage_depth[stage]; ++i) {
+      x = b.conv_relu(x, stage_channels[stage], 3, 1, 1,
+                      "conv" + std::to_string(conv_index));
+      ++conv_index;
+    }
+    x = b.max_pool(x, 2, 2, 0, "pool" + std::to_string(stage + 1));
+  }
+
+  x = b.flatten(x, "flatten");
+  x = b.fc_relu(x, 4096, "fc6");
+  x = b.fc_relu(x, 4096, "fc7");
+  x = b.fc(x, 1000, "fc8");
+  b.softmax(x, "prob");
+  return b.build();
+}
+
+}  // namespace pimcomp::zoo

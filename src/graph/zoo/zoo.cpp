@@ -1,0 +1,24 @@
+#include "graph/zoo/zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace pimcomp::zoo {
+
+const std::vector<std::string>& model_names() {
+  static const std::vector<std::string> names = {
+      "vgg16", "resnet18", "googlenet", "inception-v3", "squeezenet"};
+  return names;
+}
+
+Graph build(const std::string& name, int input_size) {
+  if (name == "vgg16") return vgg16(input_size);
+  if (name == "resnet18") return resnet18(input_size);
+  if (name == "squeezenet") return squeezenet(input_size);
+  if (name == "googlenet") return googlenet(input_size);
+  if (name == "inception-v3" || name == "inception_v3") {
+    return inception_v3(input_size);
+  }
+  throw GraphError("unknown zoo model: " + name);
+}
+
+}  // namespace pimcomp::zoo

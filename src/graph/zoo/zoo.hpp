@@ -1,0 +1,49 @@
+#ifndef PIMCOMP_GRAPH_ZOO_ZOO_HPP
+#define PIMCOMP_GRAPH_ZOO_ZOO_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pimcomp::zoo {
+
+/// The five benchmark networks of the paper's evaluation (Section V-A2).
+/// Each builder reproduces the reference architecture's layer configuration
+/// (batch-norm folded into the preceding convolution, as is standard for
+/// inference compilation). `input_size` is the square input resolution;
+/// passing 0 selects the canonical resolution (224, or 299 for
+/// inception-v3). Smaller resolutions shrink activation maps but keep the
+/// network topology, which is what the compile-time and shape-driven
+/// behaviour depends on.
+
+/// VGG-16 (Simonyan & Zisserman): 13 conv + 3 FC. Requires input_size to be
+/// a positive multiple of 32.
+Graph vgg16(int input_size = 0);
+
+/// ResNet-18 (He et al.): 7x7 stem + 4 stages of 2 basic blocks with
+/// residual eltwise-adds + FC. Requires a multiple of 32.
+Graph resnet18(int input_size = 0);
+
+/// SqueezeNet v1.1 (Iandola et al.): 8 fire modules (squeeze/expand/concat)
+/// + final 1x1 classifier conv. Requires a multiple of 16.
+Graph squeezenet(int input_size = 0);
+
+/// GoogLeNet / Inception-v1 (Szegedy et al.): 9 inception modules with four
+/// parallel branches each. Requires a multiple of 32.
+Graph googlenet(int input_size = 0);
+
+/// Inception-v3 (Szegedy et al.): factorized 7x7 and asymmetric 1x7/7x1
+/// convolutions across A/B/C/D/E module families. Canonical input 299;
+/// any input >= 96 is accepted.
+Graph inception_v3(int input_size = 0);
+
+/// Names accepted by `build()`, in the paper's presentation order.
+const std::vector<std::string>& model_names();
+
+/// Builds a zoo model by name; throws GraphError for unknown names.
+Graph build(const std::string& name, int input_size = 0);
+
+}  // namespace pimcomp::zoo
+
+#endif  // PIMCOMP_GRAPH_ZOO_ZOO_HPP

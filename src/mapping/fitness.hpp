@@ -1,0 +1,90 @@
+#ifndef PIMCOMP_MAPPING_FITNESS_HPP
+#define PIMCOMP_MAPPING_FITNESS_HPP
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "mapping/mapping_solution.hpp"
+#include "partition/workload.hpp"
+
+namespace pimcomp {
+
+/// Timing constants the fitness estimators need: the single-MVM latency
+/// T_MVM and the per-core issue interval T_interval (on-chip bandwidth
+/// limit; paper Fig 5).
+struct FitnessParams {
+  Picoseconds mvm_latency = 0;
+  Picoseconds issue_interval = 0;
+
+  /// Used by the cross-core accumulation penalty: a gene holding a partial
+  /// replica must exchange its partial sums with other cores every cycle
+  /// and fold them on the VFU.
+  double local_memory_gbps = 32.0;
+  int activation_bytes = 2;
+  double vfu_ops_per_ns = 1.2;
+
+  static FitnessParams from(const HardwareConfig& hw, int parallelism_degree) {
+    return {hw.mvm_latency, hw.mvm_issue_interval(parallelism_degree),
+            hw.local_memory_gbps, hw.activation_bits / 8, hw.vfu_ops_per_ns};
+  }
+};
+
+/// The paper's f(n): duration of one operation cycle when n AGs are live in
+/// a core — n * T_interval when issue-bandwidth-bound (n > T_MVM/T_interval),
+/// else T_MVM.
+Picoseconds cycle_time(int live_ags, const FitnessParams& params);
+
+/// HT-mode fitness F_HT = max_i time_i (paper Fig 5): per core, walk the
+/// cycle-count staircase of its genes, charging f(n) per remaining cycle.
+/// Returns estimated picoseconds for one inference on the busiest core
+/// (lower is better).
+double ht_fitness(const MappingSolution& solution,
+                  const FitnessParams& params);
+
+/// Estimated per-core times (the quantity max'ed by ht_fitness), for
+/// reporting and tests.
+std::vector<double> ht_core_times(const MappingSolution& solution,
+                                  const FitnessParams& params);
+
+/// LL-mode fitness (paper Fig 6; recursion reconstructed per DESIGN.md
+/// §5.3). Precomputes the solution-independent waiting fractions W once per
+/// workload; `evaluate` is then O(partitions + genes) per candidate.
+class LLFitnessContext {
+ public:
+  /// One inter-node dependency in the crossbar-node dependency graph.
+  struct Edge {
+    /// Partition index of the providing crossbar node, or -1 when the
+    /// provider chain reaches the graph input (data ready at t=0).
+    int provider = -1;
+    /// Fraction of the provider's output stream the consumer must wait for
+    /// before its first window can start (W in the paper).
+    double waiting_fraction = 0.0;
+  };
+
+  explicit LLFitnessContext(const Workload& workload);
+
+  /// Crossbar consumers of each partition (inverse of `edges()`); used for
+  /// the row-forwarding fan-out estimate.
+  const std::vector<std::vector<int>>& consumers() const { return consumers_; }
+
+  /// Estimated end-to-end latency (picoseconds) of one inference under the
+  /// fine-grained pipeline; lower is better.
+  double evaluate(const MappingSolution& solution,
+                  const FitnessParams& params) const;
+
+  /// Estimated per-partition finish times, for reporting and tests.
+  std::vector<double> finish_times(const MappingSolution& solution,
+                                   const FitnessParams& params) const;
+
+  /// Dependency edges per partition index (exposed for tests).
+  const std::vector<std::vector<Edge>>& edges() const { return edges_; }
+
+ private:
+  const Workload* workload_;
+  std::vector<std::vector<Edge>> edges_;      // per partition index
+  std::vector<std::vector<int>> consumers_;   // per partition index
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_MAPPING_FITNESS_HPP

@@ -1,0 +1,32 @@
+#include "mapping/gene.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+std::string Gene::to_string() const {
+  std::ostringstream oss;
+  oss << "gene(node=" << node << " ags=" << ag_count << ")";
+  return oss.str();
+}
+
+std::int64_t encode_gene(const Gene& gene) {
+  if (gene.node < 0 || gene.ag_count == 0) return 0;
+  PIMCOMP_CHECK(gene.ag_count > 0 && gene.ag_count <= kMaxAgCountPerGene,
+                "gene ag_count must be in [1, 9999] for integer encoding");
+  return static_cast<std::int64_t>(gene.node) * 10000 + gene.ag_count;
+}
+
+Gene decode_gene(std::int64_t encoded) {
+  if (encoded == 0) return Gene{};
+  PIMCOMP_CHECK(encoded > 0, "encoded gene must be non-negative");
+  Gene gene;
+  gene.node = static_cast<NodeId>(encoded / 10000);
+  gene.ag_count = static_cast<int>(encoded % 10000);
+  PIMCOMP_CHECK(gene.ag_count > 0, "encoded gene has zero AG count");
+  return gene;
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,37 @@
+#ifndef PIMCOMP_MAPPING_GENE_HPP
+#define PIMCOMP_MAPPING_GENE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "graph/node.hpp"
+
+namespace pimcomp {
+
+/// One gene of the genetic algorithm's chromosome: "several AGs of a node"
+/// resident on one core (paper §IV-C1). The paper encodes a gene as the
+/// integer `node_index * 10000 + ag_count` (e.g. 1030025 = 25 AGs of node
+/// 103); `encode_gene`/`decode_gene` implement that wire format, while the
+/// in-memory representation keeps the fields separate.
+struct Gene {
+  NodeId node = -1;
+  int ag_count = 0;
+
+  bool operator==(const Gene&) const = default;
+  std::string to_string() const;
+};
+
+/// Maximum AG count representable in the paper's integer encoding.
+inline constexpr int kMaxAgCountPerGene = 9999;
+
+/// Packs a gene into the paper's integer format. Throws ConfigError when
+/// ag_count is outside [0, 9999].
+std::int64_t encode_gene(const Gene& gene);
+
+/// Unpacks the paper's integer format; 0 decodes to an empty gene
+/// (node = -1, ag_count = 0) matching an unused chromosome slot.
+Gene decode_gene(std::int64_t encoded);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_MAPPING_GENE_HPP

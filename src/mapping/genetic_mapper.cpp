@@ -1,0 +1,438 @@
+#include "mapping/genetic_mapper.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "mapping/fitness.hpp"
+#include "mapping/puma_mapper.hpp"
+
+namespace pimcomp {
+
+std::string to_string(PipelineMode mode) {
+  switch (mode) {
+    case PipelineMode::kHighThroughput: return "high-throughput";
+    case PipelineMode::kLowLatency: return "low-latency";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Finds a core that can accept `ag_count` AGs of `node`, trying a few random
+/// probes before falling back to a full scan from a random offset. Returns
+/// -1 when no core fits.
+int find_feasible_core(const MappingSolution& s, Rng& rng, NodeId node,
+                       int ag_count, int exclude = -1) {
+  const int cores = s.core_count();
+  for (int probe = 0; probe < 8; ++probe) {
+    const int c = rng.uniform_int(cores);
+    if (c != exclude && s.can_add(c, node, ag_count)) return c;
+  }
+  const int offset = rng.uniform_int(cores);
+  for (int i = 0; i < cores; ++i) {
+    const int c = (offset + i) % cores;
+    if (c != exclude && s.can_add(c, node, ag_count)) return c;
+  }
+  return -1;
+}
+
+/// Places one full replica (ags_per_replica AGs) of `node`, preferring a
+/// single core so that intra-replica accumulation stays local. With
+/// `prefer_locality` (LL mode) cores already hosting the node are tried
+/// first, keeping the node's host-core set small — every extra host core
+/// multiplies the row-forwarding fan-out its providers pay. Returns false
+/// (leaving the solution unchanged) when placement is impossible.
+bool place_replica(MappingSolution& s, Rng& rng, const NodePartition& p,
+                   bool prefer_locality = false) {
+  const int ags = p.ags_per_replica();
+  if (prefer_locality) {
+    for (int core : s.cores_of(p.node)) {
+      if (s.can_add(core, p.node, ags)) {
+        s.add(core, p.node, ags);
+        return true;
+      }
+    }
+  }
+  const int whole_core = find_feasible_core(s, rng, p.node, ags);
+  if (whole_core >= 0) {
+    s.add(whole_core, p.node, ags);
+    return true;
+  }
+  // Scatter AG by AG; roll back on failure.
+  std::vector<int> placed_cores;
+  placed_cores.reserve(static_cast<std::size_t>(ags));
+  for (int i = 0; i < ags; ++i) {
+    const int c = find_feasible_core(s, rng, p.node, 1);
+    if (c < 0) {
+      for (int undo : placed_cores) s.remove(undo, p.node, 1);
+      return false;
+    }
+    s.add(c, p.node, 1);
+    placed_cores.push_back(c);
+  }
+  return true;
+}
+
+/// Removes one full replica's worth of AGs from random cores holding the
+/// node. The caller guarantees replication >= 2.
+void remove_replica(MappingSolution& s, Rng& rng, const NodePartition& p) {
+  int remaining = p.ags_per_replica();
+  std::vector<int> cores = s.cores_of(p.node);
+  rng.shuffle(cores);
+  for (int c : cores) {
+    if (remaining == 0) break;
+    remaining -= s.remove(c, p.node, remaining);
+  }
+  PIMCOMP_ASSERT(remaining == 0, "replica removal fell short");
+}
+
+/// Per-node replication targets for one random individual. Half the
+/// population draws window-proportional targets (pipeline-shaped, with
+/// multiplicative noise), the other half draws unstructured random targets;
+/// the mix keeps the initial population diverse across very different
+/// replication scales (a node with thousands of sliding windows may deserve
+/// a hundred replicas, which single-step mutations alone would take too
+/// long to reach).
+std::vector<int> replication_targets(const Workload& workload, Rng& rng,
+                                     double target_fill) {
+  const int count = workload.partition_count();
+  std::vector<int> targets(static_cast<std::size_t>(count), 1);
+  const auto budget = static_cast<std::int64_t>(
+      target_fill * static_cast<double>(workload.total_xbars_available()));
+
+  if (rng.bernoulli(0.5)) {
+    // Window-proportional: find the per-replica cycle target C such that
+    // R_i = ceil(windows_i / C) fits the budget, then perturb.
+    int max_windows = 1;
+    for (const NodePartition& p : workload.partitions()) {
+      max_windows = std::max(max_windows, p.windows);
+    }
+    auto xbars_needed = [&](int cycle_target) {
+      std::int64_t total = 0;
+      for (const NodePartition& p : workload.partitions()) {
+        const int replicas =
+            std::min(p.windows, (p.windows + cycle_target - 1) / cycle_target);
+        total += static_cast<std::int64_t>(replicas) * p.xbars_per_replica();
+      }
+      return total;
+    };
+    int lo = 1, hi = max_windows;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (xbars_needed(mid) <= budget) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    for (int i = 0; i < count; ++i) {
+      const NodePartition& p =
+          workload.partitions()[static_cast<std::size_t>(i)];
+      const double noise = 0.5 + rng.uniform01();
+      const int base = (p.windows + lo - 1) / lo;
+      targets[static_cast<std::size_t>(i)] = std::max(
+          1, std::min(p.windows,
+                      static_cast<int>(static_cast<double>(base) * noise)));
+    }
+  } else {
+    // Unstructured: heavy-tailed random replication per node.
+    for (int i = 0; i < count; ++i) {
+      const NodePartition& p =
+          workload.partitions()[static_cast<std::size_t>(i)];
+      const double u = rng.uniform01();
+      targets[static_cast<std::size_t>(i)] = std::max(
+          1, static_cast<int>(u * u * p.windows));
+    }
+  }
+  return targets;
+}
+
+/// Builds one random valid individual: one replica of every node first
+/// (largest first so big layers are not stranded by fragmentation), then
+/// growth toward random replication targets until the utilization budget or
+/// placement failure.
+MappingSolution random_individual(const Workload& workload,
+                                  const MapperOptions& options, Rng& rng,
+                                  double target_fill) {
+  // LL mode prefers tight host-core sets (row-forwarding fan-out); HT mode
+  // benefits from spreading AGs to parallelize MVM issue.
+  const bool prefer_locality = options.mode == PipelineMode::kLowLatency;
+  MappingSolution s(workload, options.max_nodes_per_core);
+
+  std::vector<const NodePartition*> order;
+  order.reserve(static_cast<std::size_t>(workload.partition_count()));
+  for (const NodePartition& p : workload.partitions()) order.push_back(&p);
+  std::sort(order.begin(), order.end(),
+            [](const NodePartition* a, const NodePartition* b) {
+              return a->xbars_per_replica() > b->xbars_per_replica();
+            });
+  for (const NodePartition* p : order) {
+    if (!place_replica(s, rng, *p, prefer_locality)) {
+      throw CapacityError(
+          "cannot place one replica of every node; raise core_count or "
+          "max_nodes_per_core (node " +
+          std::to_string(p->node) + " was stranded)");
+    }
+  }
+
+  const std::vector<int> targets =
+      replication_targets(workload, rng, target_fill);
+  const auto budget = static_cast<std::int64_t>(
+      target_fill * static_cast<double>(workload.total_xbars_available()));
+  std::vector<const NodePartition*> growable = order;
+  while (!growable.empty() && s.total_xbars_used() < budget) {
+    const int pick = rng.pick_index(growable);
+    const NodePartition* p = growable[static_cast<std::size_t>(pick)];
+    const int target =
+        targets[static_cast<std::size_t>(workload.partition_index(p->node))];
+    if (s.replication(p->node) >= std::min(target, p->windows) ||
+        !place_replica(s, rng, *p, prefer_locality)) {
+      growable.erase(growable.begin() + pick);
+    }
+  }
+  return s;
+}
+
+/// Mutation I: grow a random node's replication. The step size scales with
+/// the current replication (geometric moves) so heavily-windowed nodes can
+/// reach their useful replication range within a GA run.
+bool mutate_grow(MappingSolution& s, Rng& rng, const Workload& workload,
+                 bool prefer_locality) {
+  const int pick = rng.uniform_int(workload.partition_count());
+  const NodePartition& p =
+      workload.partitions()[static_cast<std::size_t>(pick)];
+  const int current = s.replication(p.node);
+  if (current >= p.windows) return false;
+  const int step = 1 + rng.uniform_int(std::max(1, current / 2));
+  bool grew = false;
+  for (int i = 0; i < step && s.replication(p.node) < p.windows; ++i) {
+    if (!place_replica(s, rng, p, prefer_locality)) break;
+    grew = true;
+  }
+  return grew;
+}
+
+/// Mutation II: shrink a random node's replication (geometric step, never
+/// below one replica).
+bool mutate_shrink(MappingSolution& s, Rng& rng, const Workload& workload) {
+  const int pick = rng.uniform_int(workload.partition_count());
+  const NodePartition& p =
+      workload.partitions()[static_cast<std::size_t>(pick)];
+  const int current = s.replication(p.node);
+  if (current < 2) return false;
+  const int step = 1 + rng.uniform_int(std::max(1, (current - 1) / 2));
+  for (int i = 0; i < step && s.replication(p.node) >= 2; ++i) {
+    remove_replica(s, rng, p);
+  }
+  return true;
+}
+
+/// Mutation III: spread part of a random gene to other cores.
+bool mutate_spread(MappingSolution& s, Rng& rng) {
+  const int core = rng.uniform_int(s.core_count());
+  const auto& genes = s.genes(core);
+  if (genes.empty()) return false;
+  const Gene gene = genes[static_cast<std::size_t>(rng.pick_index(genes))];
+  if (gene.ag_count < 2) return false;
+  const int to_move = rng.uniform_range(1, gene.ag_count - 1);
+  int moved = 0;
+  for (int i = 0; i < to_move; ++i) {
+    const int dst = find_feasible_core(s, rng, gene.node, 1, core);
+    if (dst < 0) break;
+    s.remove(core, gene.node, 1);
+    s.add(dst, gene.node, 1);
+    ++moved;
+  }
+  return moved > 0;
+}
+
+/// Mutation IV: merge a gene into a same-node gene on another core. Half of
+/// the time the merge targets *partial-replica* genes (counts misaligned to
+/// ags-per-replica), pulling a remainder onto another remainder's core so
+/// the stitched accumulation group becomes core-local — the move that
+/// directly removes cross-core partial-sum traffic.
+bool mutate_merge(MappingSolution& s, Rng& rng, const Workload& workload) {
+  const int pick = rng.uniform_int(workload.partition_count());
+  const NodePartition& p =
+      workload.partitions()[static_cast<std::size_t>(pick)];
+  std::vector<int> cores = s.cores_of(p.node);
+  if (cores.size() < 2) return false;
+
+  const int per_replica = p.ags_per_replica();
+  auto count_on = [&](int core) {
+    for (const Gene& g : s.genes(core)) {
+      if (g.node == p.node) return g.ag_count;
+    }
+    return 0;
+  };
+
+  int src = -1;
+  int dst = -1;
+  if (per_replica > 1 && rng.bernoulli(0.5)) {
+    // Alignment merge: move one remainder onto another remainder's core.
+    std::vector<int> misaligned;
+    for (int core : cores) {
+      if (count_on(core) % per_replica != 0) misaligned.push_back(core);
+    }
+    if (misaligned.size() >= 2) {
+      rng.shuffle(misaligned);
+      src = misaligned[0];
+      dst = misaligned[1];
+    }
+  }
+  if (src < 0) {
+    rng.shuffle(cores);
+    src = cores[0];
+    dst = cores[1];
+  }
+
+  const int src_count = count_on(src);
+  int movable = 0;
+  if (per_replica > 1 && src_count % per_replica != 0) {
+    // Prefer moving exactly the misaligned remainder.
+    const int remainder = src_count % per_replica;
+    if (s.can_add(dst, p.node, remainder)) movable = remainder;
+  }
+  if (movable == 0) {
+    while (movable < src_count && s.can_add(dst, p.node, movable + 1)) {
+      ++movable;
+    }
+  }
+  if (movable == 0) return false;
+  s.remove(src, p.node, movable);
+  s.add(dst, p.node, movable);
+  return true;
+}
+
+struct Individual {
+  MappingSolution solution;
+  double fitness = 0.0;
+};
+
+}  // namespace
+
+MappingSolution GeneticMapper::map(const Workload& workload,
+                                   const MapperOptions& options) {
+  PIMCOMP_CHECK(config_.population >= 1, "population must be >= 1");
+  PIMCOMP_CHECK(config_.generations >= 0, "generations must be >= 0");
+  PIMCOMP_CHECK(config_.elite >= 0 && config_.elite <= config_.population,
+                "elite must be within population");
+  PIMCOMP_CHECK(config_.enable_grow || config_.enable_shrink ||
+                    config_.enable_spread || config_.enable_merge,
+                "at least one mutation operator must be enabled");
+
+  Rng rng(options.seed);
+  const FitnessParams params =
+      FitnessParams::from(workload.hardware(), options.parallelism_degree);
+  const LLFitnessContext ll_context(workload);
+
+  stats_ = GaStats{};
+  auto evaluate = [&](const MappingSolution& s) {
+    ++stats_.evaluations;
+    return options.mode == PipelineMode::kHighThroughput
+               ? ht_fitness(s, params)
+               : ll_context.evaluate(s, params);
+  };
+
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(config_.population));
+  // Memetic seeding: one individual starts from the pipeline-balanced
+  // heuristic. Elitism keeps it only while nothing fitter is found, so the
+  // GA's result can never fall below the baseline under its own objective
+  // (both the Fig 5 staircase and the Fig 6 recursion now price cross-core
+  // accumulation and row-forwarding fan-out, which keeps the objective
+  // aligned with the simulator).
+  if (config_.seed_baseline && config_.population > 1) {
+    try {
+      PumaMapper baseline;
+      MappingSolution s = baseline.map(workload, options);
+      const double f = evaluate(s);
+      population.push_back({std::move(s), f});
+    } catch (const CapacityError&) {
+      // Fall through to purely random initialization.
+    }
+  }
+  while (static_cast<int>(population.size()) < config_.population) {
+    MappingSolution s =
+        random_individual(workload, options, rng, config_.target_fill);
+    const double f = evaluate(s);
+    population.push_back({std::move(s), f});
+  }
+
+  auto best_index = [&population]() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < population.size(); ++i) {
+      if (population[i].fitness < population[best].fitness) best = i;
+    }
+    return best;
+  };
+
+  stats_.initial_best = population[best_index()].fitness;
+  stats_.best_history.push_back(stats_.initial_best);
+
+  std::vector<int> ops;
+  if (config_.enable_grow) ops.push_back(0);
+  if (config_.enable_shrink) ops.push_back(1);
+  if (config_.enable_spread) ops.push_back(2);
+  if (config_.enable_merge) ops.push_back(3);
+
+  auto tournament = [&]() -> const Individual& {
+    std::size_t winner =
+        static_cast<std::size_t>(rng.uniform_int(config_.population));
+    for (int i = 1; i < config_.tournament_size; ++i) {
+      const auto rival =
+          static_cast<std::size_t>(rng.uniform_int(config_.population));
+      if (population[rival].fitness < population[winner].fitness) {
+        winner = rival;
+      }
+    }
+    return population[winner];
+  };
+
+  for (int gen = 0; gen < config_.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    // Elitism: carry the best individuals unchanged (no crossover; the
+    // paper skips it as impractical for this encoding).
+    std::vector<std::size_t> ranking(population.size());
+    for (std::size_t i = 0; i < ranking.size(); ++i) ranking[i] = i;
+    std::sort(ranking.begin(), ranking.end(), [&](std::size_t a, std::size_t b) {
+      return population[a].fitness < population[b].fitness;
+    });
+    for (int e = 0; e < config_.elite && e < config_.population; ++e) {
+      next.push_back(population[ranking[static_cast<std::size_t>(e)]]);
+    }
+    while (static_cast<int>(next.size()) < config_.population) {
+      Individual child = tournament();
+      const int mutation_count =
+          rng.uniform_range(1, std::max(1, config_.mutations_per_child));
+      bool changed = false;
+      for (int m = 0; m < mutation_count; ++m) {
+        switch (ops[static_cast<std::size_t>(rng.pick_index(ops))]) {
+          case 0:
+            changed |= mutate_grow(child.solution, rng, workload,
+                                   options.mode == PipelineMode::kLowLatency);
+            break;
+          case 1: changed |= mutate_shrink(child.solution, rng, workload); break;
+          case 2: changed |= mutate_spread(child.solution, rng); break;
+          case 3: changed |= mutate_merge(child.solution, rng, workload); break;
+          default: break;
+        }
+      }
+      if (changed) child.fitness = evaluate(child.solution);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    stats_.best_history.push_back(population[best_index()].fitness);
+  }
+
+  const std::size_t best = best_index();
+  stats_.final_best = population[best].fitness;
+  MappingSolution result = std::move(population[best].solution);
+  result.validate();
+  return result;
+}
+
+}  // namespace pimcomp

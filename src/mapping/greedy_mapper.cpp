@@ -1,0 +1,34 @@
+#include "mapping/greedy_mapper.hpp"
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+MappingSolution GreedyMapper::map(const Workload& workload,
+                                  const MapperOptions& options) {
+  MappingSolution solution(workload, options.max_nodes_per_core);
+  const int cores = solution.core_count();
+  int cursor = 0;
+  for (const NodePartition& p : workload.partitions()) {
+    for (int ag = 0; ag < p.ags_per_replica(); ++ag) {
+      bool placed = false;
+      for (int step = 0; step < cores; ++step) {
+        const int c = (cursor + step) % cores;
+        if (solution.can_add(c, p.node, 1)) {
+          solution.add(c, p.node, 1);
+          cursor = c;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        throw CapacityError("greedy mapper could not place node " +
+                            std::to_string(p.node));
+      }
+    }
+  }
+  solution.validate();
+  return solution;
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,21 @@
+#ifndef PIMCOMP_MAPPING_GREEDY_MAPPER_HPP
+#define PIMCOMP_MAPPING_GREEDY_MAPPER_HPP
+
+#include "mapping/mapper.hpp"
+
+namespace pimcomp {
+
+/// Minimal baseline for ablation: no replication at all (R = 1 everywhere)
+/// and first-fit sequential core packing. Isolates how much of PIMCOMP's
+/// gain comes from replication + placement rather than scheduling.
+class GreedyMapper : public Mapper {
+ public:
+  std::string name() const override { return "greedy-norep"; }
+
+  MappingSolution map(const Workload& workload,
+                      const MapperOptions& options) override;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_MAPPING_GREEDY_MAPPER_HPP

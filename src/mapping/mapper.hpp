@@ -1,0 +1,48 @@
+#ifndef PIMCOMP_MAPPING_MAPPER_HPP
+#define PIMCOMP_MAPPING_MAPPER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "mapping/mapping_solution.hpp"
+#include "partition/workload.hpp"
+
+namespace pimcomp {
+
+/// The two compilation modes of the paper (§IV-A): High Throughput pipelines
+/// whole inferences layer-by-layer; Low Latency pipelines at output-window
+/// granularity inside a single inference.
+enum class PipelineMode { kHighThroughput, kLowLatency };
+
+std::string to_string(PipelineMode mode);
+
+/// Options shared by all replication+mapping strategies.
+struct MapperOptions {
+  PipelineMode mode = PipelineMode::kHighThroughput;
+
+  /// How many AGs may compute simultaneously per core (Fig 8 x-axis); sets
+  /// the MVM issue interval used in fitness estimation.
+  int parallelism_degree = 20;
+
+  /// The paper's max_node_num_in_core chromosome bound.
+  int max_nodes_per_core = 8;
+
+  std::uint64_t seed = 1;
+};
+
+/// Interface of stage 2+3 (weight replicating + core mapping) strategies.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Strategy name for reports ("pimcomp-ga", "puma-like", ...).
+  virtual std::string name() const = 0;
+
+  /// Produces a valid mapping for the workload.
+  virtual MappingSolution map(const Workload& workload,
+                              const MapperOptions& options) = 0;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_MAPPING_MAPPER_HPP

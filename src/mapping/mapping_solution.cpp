@@ -1,0 +1,284 @@
+#include "mapping/mapping_solution.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace pimcomp {
+
+MappingSolution::MappingSolution(const Workload& workload,
+                                 int max_nodes_per_core)
+    : workload_(&workload),
+      core_count_(workload.hardware().core_count),
+      max_nodes_per_core_(max_nodes_per_core) {
+  PIMCOMP_CHECK(max_nodes_per_core >= 1,
+                "max_nodes_per_core must be positive");
+  genes_.resize(static_cast<std::size_t>(core_count_));
+  xbars_used_.assign(static_cast<std::size_t>(core_count_), 0);
+  total_ags_.assign(static_cast<std::size_t>(workload.partition_count()), 0);
+}
+
+const std::vector<Gene>& MappingSolution::genes(int core) const {
+  PIMCOMP_ASSERT(core >= 0 && core < core_count_, "core out of range");
+  return genes_[static_cast<std::size_t>(core)];
+}
+
+bool MappingSolution::can_add(int core, NodeId node, int ag_count) const {
+  PIMCOMP_ASSERT(core >= 0 && core < core_count_, "core out of range");
+  PIMCOMP_ASSERT(ag_count > 0, "ag_count must be positive");
+  const NodePartition& p = workload_->partition_of(node);
+  if (xbars_used_[static_cast<std::size_t>(core)] +
+          ag_count * p.xbars_per_ag >
+      workload_->hardware().xbars_per_core) {
+    return false;
+  }
+  if (!has_node(core, node) &&
+      gene_count(core) >= max_nodes_per_core_) {
+    return false;
+  }
+  // Guard the integer gene encoding bound.
+  for (const Gene& g : genes_[static_cast<std::size_t>(core)]) {
+    if (g.node == node && g.ag_count + ag_count > kMaxAgCountPerGene) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MappingSolution::add(int core, NodeId node, int ag_count) {
+  PIMCOMP_CHECK(can_add(core, node, ag_count),
+                "MappingSolution::add called with infeasible placement");
+  const NodePartition& p = workload_->partition_of(node);
+  auto& core_genes = genes_[static_cast<std::size_t>(core)];
+  auto it = std::find_if(core_genes.begin(), core_genes.end(),
+                         [node](const Gene& g) { return g.node == node; });
+  if (it == core_genes.end()) {
+    core_genes.push_back(Gene{node, ag_count});
+  } else {
+    it->ag_count += ag_count;
+  }
+  xbars_used_[static_cast<std::size_t>(core)] += ag_count * p.xbars_per_ag;
+  total_ags_[static_cast<std::size_t>(workload_->partition_index(node))] +=
+      ag_count;
+}
+
+int MappingSolution::remove(int core, NodeId node, int ag_count) {
+  PIMCOMP_ASSERT(core >= 0 && core < core_count_, "core out of range");
+  PIMCOMP_ASSERT(ag_count > 0, "ag_count must be positive");
+  auto& core_genes = genes_[static_cast<std::size_t>(core)];
+  auto it = std::find_if(core_genes.begin(), core_genes.end(),
+                         [node](const Gene& g) { return g.node == node; });
+  if (it == core_genes.end()) return 0;
+  const int removed = std::min(it->ag_count, ag_count);
+  it->ag_count -= removed;
+  if (it->ag_count == 0) core_genes.erase(it);
+  const NodePartition& p = workload_->partition_of(node);
+  xbars_used_[static_cast<std::size_t>(core)] -= removed * p.xbars_per_ag;
+  total_ags_[static_cast<std::size_t>(workload_->partition_index(node))] -=
+      removed;
+  return removed;
+}
+
+int MappingSolution::total_ags(NodeId node) const {
+  return total_ags_[static_cast<std::size_t>(workload_->partition_index(node))];
+}
+
+int MappingSolution::replication(NodeId node) const {
+  const NodePartition& p = workload_->partition_of(node);
+  return total_ags(node) / p.ags_per_replica();
+}
+
+int MappingSolution::cycles(NodeId node) const {
+  const NodePartition& p = workload_->partition_of(node);
+  const int r = replication(node);
+  PIMCOMP_ASSERT(r >= 1, "cycles() on a node without a full replica");
+  return ceil_div(p.windows, r);
+}
+
+int MappingSolution::xbars_used(int core) const {
+  PIMCOMP_ASSERT(core >= 0 && core < core_count_, "core out of range");
+  return xbars_used_[static_cast<std::size_t>(core)];
+}
+
+int MappingSolution::free_xbars(int core) const {
+  return workload_->hardware().xbars_per_core - xbars_used(core);
+}
+
+int MappingSolution::gene_count(int core) const {
+  PIMCOMP_ASSERT(core >= 0 && core < core_count_, "core out of range");
+  return static_cast<int>(genes_[static_cast<std::size_t>(core)].size());
+}
+
+bool MappingSolution::has_node(int core, NodeId node) const {
+  PIMCOMP_ASSERT(core >= 0 && core < core_count_, "core out of range");
+  const auto& core_genes = genes_[static_cast<std::size_t>(core)];
+  return std::any_of(core_genes.begin(), core_genes.end(),
+                     [node](const Gene& g) { return g.node == node; });
+}
+
+std::vector<int> MappingSolution::cores_of(NodeId node) const {
+  std::vector<int> cores;
+  for (int c = 0; c < core_count_; ++c) {
+    if (has_node(c, node)) cores.push_back(c);
+  }
+  return cores;
+}
+
+std::int64_t MappingSolution::total_xbars_used() const {
+  std::int64_t total = 0;
+  for (int used : xbars_used_) total += used;
+  return total;
+}
+
+void MappingSolution::validate() const {
+  const HardwareConfig& hw = workload_->hardware();
+  std::vector<int> recount(static_cast<std::size_t>(
+                               workload_->partition_count()),
+                           0);
+  for (int c = 0; c < core_count_; ++c) {
+    const auto& core_genes = genes_[static_cast<std::size_t>(c)];
+    if (static_cast<int>(core_genes.size()) > max_nodes_per_core_) {
+      throw Error("core " + std::to_string(c) + " holds " +
+                  std::to_string(core_genes.size()) +
+                  " nodes, exceeding max_nodes_per_core");
+    }
+    int xbars = 0;
+    for (std::size_t i = 0; i < core_genes.size(); ++i) {
+      const Gene& g = core_genes[i];
+      PIMCOMP_ASSERT(g.ag_count > 0, "gene with zero AG count");
+      for (std::size_t j = i + 1; j < core_genes.size(); ++j) {
+        if (core_genes[j].node == g.node) {
+          throw Error("core " + std::to_string(c) +
+                      " has duplicate genes for node " +
+                      std::to_string(g.node));
+        }
+      }
+      const NodePartition& p = workload_->partition_of(g.node);
+      xbars += g.ag_count * p.xbars_per_ag;
+      recount[static_cast<std::size_t>(workload_->partition_index(g.node))] +=
+          g.ag_count;
+    }
+    if (xbars != xbars_used_[static_cast<std::size_t>(c)]) {
+      throw Error("core " + std::to_string(c) + " crossbar cache is stale");
+    }
+    if (xbars > hw.xbars_per_core) {
+      throw Error("core " + std::to_string(c) + " uses " +
+                  std::to_string(xbars) + " crossbars, budget is " +
+                  std::to_string(hw.xbars_per_core));
+    }
+  }
+  for (const NodePartition& p : workload_->partitions()) {
+    const int total =
+        recount[static_cast<std::size_t>(workload_->partition_index(p.node))];
+    if (total != total_ags(p.node)) {
+      throw Error("node " + std::to_string(p.node) + " AG-total cache stale");
+    }
+    if (total < p.ags_per_replica()) {
+      throw Error("node " + std::to_string(p.node) +
+                  " lacks a full replica (" + std::to_string(total) + "/" +
+                  std::to_string(p.ags_per_replica()) + " AGs)");
+    }
+    if (total % p.ags_per_replica() != 0) {
+      throw Error("node " + std::to_string(p.node) + " AG total " +
+                  std::to_string(total) +
+                  " is not a multiple of ags_per_replica " +
+                  std::to_string(p.ags_per_replica()));
+    }
+  }
+}
+
+std::vector<AgInstance> MappingSolution::instantiate() const {
+  validate();
+  std::vector<AgInstance> instances;
+  for (const NodePartition& p : workload_->partitions()) {
+    const int col_chunks = p.col_chunks;
+    const int row_slices = p.row_slices;
+    const int per_replica = row_slices * col_chunks;
+
+    auto emit = [&](int core, std::int64_t identity) {
+      AgInstance ag;
+      ag.node = p.node;
+      ag.replica = static_cast<int>(identity / per_replica);
+      const int within = static_cast<int>(identity % per_replica);
+      ag.row_slice = within / col_chunks;
+      ag.col_chunk = within % col_chunks;
+      ag.core = core;
+      ag.xbars = p.xbars_per_ag;
+      ag.cols = p.chunk_cols(ag.col_chunk);
+      instances.push_back(ag);
+    };
+
+    // Pass 1: every gene realizes as many *whole* replicas as it can hold,
+    // keeping each replica's accumulation group on one core (no cross-core
+    // partial sums for them). Pass 2 stitches the per-gene remainders into
+    // the trailing replicas, which also carry the shortest window ranges.
+    std::int64_t next = 0;
+    std::vector<std::pair<int, int>> remainders;  // (core, leftover AGs)
+    for (int c = 0; c < core_count_; ++c) {
+      for (const Gene& g : genes_[static_cast<std::size_t>(c)]) {
+        if (g.node != p.node) continue;
+        const int whole = g.ag_count / per_replica;
+        for (int k = 0; k < whole * per_replica; ++k) emit(c, next++);
+        const int leftover = g.ag_count - whole * per_replica;
+        if (leftover > 0) remainders.emplace_back(c, leftover);
+      }
+    }
+    for (const auto& [core, leftover] : remainders) {
+      for (int k = 0; k < leftover; ++k) emit(core, next++);
+    }
+  }
+  return instances;
+}
+
+std::vector<std::int64_t> MappingSolution::encode() const {
+  std::vector<std::int64_t> chromosome(
+      static_cast<std::size_t>(core_count_) * max_nodes_per_core_, 0);
+  for (int c = 0; c < core_count_; ++c) {
+    const auto& core_genes = genes_[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < core_genes.size(); ++i) {
+      chromosome[static_cast<std::size_t>(c) * max_nodes_per_core_ + i] =
+          encode_gene(core_genes[i]);
+    }
+  }
+  return chromosome;
+}
+
+MappingSolution MappingSolution::decode(
+    const Workload& workload, int max_nodes_per_core,
+    const std::vector<std::int64_t>& chromosome) {
+  MappingSolution solution(workload, max_nodes_per_core);
+  PIMCOMP_CHECK(chromosome.size() ==
+                    static_cast<std::size_t>(solution.core_count()) *
+                        max_nodes_per_core,
+                "chromosome length must be core_count * max_nodes_per_core");
+  for (std::size_t slot = 0; slot < chromosome.size(); ++slot) {
+    const Gene gene = decode_gene(chromosome[slot]);
+    if (gene.ag_count == 0) continue;
+    const int core = static_cast<int>(slot) / max_nodes_per_core;
+    solution.add(core, gene.node, gene.ag_count);
+  }
+  return solution;
+}
+
+std::string MappingSolution::to_string() const {
+  std::ostringstream oss;
+  oss << "mapping over " << core_count_ << " cores, "
+      << total_xbars_used() << " crossbars used\n";
+  for (const NodePartition& p : workload_->partitions()) {
+    oss << "  node " << p.node << " ("
+        << workload_->graph().node(p.node).name << "): R=" << replication(p.node)
+        << " over cores {";
+    bool first = true;
+    for (int c : cores_of(p.node)) {
+      if (!first) oss << ", ";
+      oss << c;
+      first = false;
+    }
+    oss << "}\n";
+  }
+  return oss.str();
+}
+
+}  // namespace pimcomp

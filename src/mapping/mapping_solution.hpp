@@ -1,0 +1,98 @@
+#ifndef PIMCOMP_MAPPING_MAPPING_SOLUTION_HPP
+#define PIMCOMP_MAPPING_MAPPING_SOLUTION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/gene.hpp"
+#include "partition/array_group.hpp"
+#include "partition/workload.hpp"
+
+namespace pimcomp {
+
+/// The joint weight-replicating + core-mapping decision: which AGs of which
+/// node live on which core. This is both the GA's phenotype and the input to
+/// dataflow scheduling.
+///
+/// Invariants (enforced by the mutation primitives and checked by
+/// `validate()`):
+///  * each node appears at most once per core (genes merge);
+///  * per-core crossbars used <= hardware budget;
+///  * per-core distinct nodes <= max_nodes_per_core (paper's
+///    max_node_num_in_core chromosome bound);
+///  * each node's total AG count is a positive multiple of its
+///    ags-per-replica, i.e. replication is integral and >= 1.
+class MappingSolution {
+ public:
+  MappingSolution(const Workload& workload, int max_nodes_per_core);
+
+  const Workload& workload() const { return *workload_; }
+  int core_count() const { return core_count_; }
+  int max_nodes_per_core() const { return max_nodes_per_core_; }
+
+  /// Genes resident on a core (each a distinct node).
+  const std::vector<Gene>& genes(int core) const;
+
+  // --- Mutation primitives (used by mappers) -------------------------------
+
+  /// True when `ag_count` more AGs of `node` fit on `core` (crossbar budget
+  /// and node-slot bound).
+  bool can_add(int core, NodeId node, int ag_count) const;
+
+  /// Adds AGs of `node` to `core`, merging into an existing gene.
+  /// Throws if infeasible (call can_add first).
+  void add(int core, NodeId node, int ag_count);
+
+  /// Removes up to `ag_count` AGs of `node` from `core`; returns how many
+  /// were actually removed (0 when the node is absent).
+  int remove(int core, NodeId node, int ag_count);
+
+  // --- Queries ---------------------------------------------------------------
+
+  int total_ags(NodeId node) const;
+  /// Replication factor: total AGs / AGs-per-replica (floor).
+  int replication(NodeId node) const;
+  /// Operation cycles each replica runs: ceil(windows / replication).
+  int cycles(NodeId node) const;
+
+  int xbars_used(int core) const;
+  int free_xbars(int core) const;
+  int gene_count(int core) const;
+  bool has_node(int core, NodeId node) const;
+  /// Cores currently holding at least one AG of `node`.
+  std::vector<int> cores_of(NodeId node) const;
+
+  /// Total crossbars used across all cores.
+  std::int64_t total_xbars_used() const;
+
+  /// Checks every invariant; throws Error with a diagnostic on violation.
+  void validate() const;
+
+  /// Expands genes into concrete AG instances (replica-major assignment in
+  /// core order) for the scheduler. Requires a valid solution.
+  std::vector<AgInstance> instantiate() const;
+
+  /// Chromosome in the paper's integer format: core-major, fixed
+  /// max_nodes_per_core slots per core, zero-padded.
+  std::vector<std::int64_t> encode() const;
+
+  /// Rebuilds a solution from the integer chromosome.
+  static MappingSolution decode(const Workload& workload,
+                                int max_nodes_per_core,
+                                const std::vector<std::int64_t>& chromosome);
+
+  std::string to_string() const;
+
+ private:
+  const Workload* workload_;
+  int core_count_;
+  int max_nodes_per_core_;
+  std::vector<std::vector<Gene>> genes_;  // per core
+  std::vector<int> xbars_used_;           // per core cache
+  std::vector<int> total_ags_;            // per partition index cache
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_MAPPING_MAPPING_SOLUTION_HPP

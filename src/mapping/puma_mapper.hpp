@@ -1,0 +1,37 @@
+#ifndef PIMCOMP_MAPPING_PUMA_MAPPER_HPP
+#define PIMCOMP_MAPPING_PUMA_MAPPER_HPP
+
+#include "mapping/mapper.hpp"
+
+namespace pimcomp {
+
+/// The PUMA-like baseline of the paper's evaluation (§V-A2): weight
+/// replication chosen heuristically to *balance the inter-layer pipeline*
+/// (replicate early layers so every layer advances at a similar cycle
+/// count — PUMA [10] / Ambrosi et al. [18]), followed by a greedy
+/// sequential core mapping that packs AGs into cores in topological order.
+/// PIMCOMP's GA is compared against this under both pipeline modes.
+class PumaMapper : public Mapper {
+ public:
+  /// `utilization` caps the crossbar fraction the balancer may fill.
+  explicit PumaMapper(double utilization = 0.90) : utilization_(utilization) {}
+
+  std::string name() const override { return "puma-like"; }
+
+  MappingSolution map(const Workload& workload,
+                      const MapperOptions& options) override;
+
+  /// The pipeline-balancing replication rule alone (exposed for tests):
+  /// smallest per-replica cycle target C such that sum_i
+  /// ceil(windows_i / C) replicas fit into the utilization budget, then
+  /// R_i = ceil(windows_i / C).
+  static std::vector<int> balanced_replication(const Workload& workload,
+                                               double utilization);
+
+ private:
+  double utilization_;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_MAPPING_PUMA_MAPPER_HPP

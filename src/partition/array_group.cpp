@@ -1,0 +1,14 @@
+#include "partition/array_group.hpp"
+
+#include <sstream>
+
+namespace pimcomp {
+
+std::string AgInstance::to_string() const {
+  std::ostringstream oss;
+  oss << "AG(node=" << node << " r=" << replica << " rs=" << row_slice
+      << " cc=" << col_chunk << " core=" << core << " xbars=" << xbars << ")";
+  return oss.str();
+}
+
+}  // namespace pimcomp

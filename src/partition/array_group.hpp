@@ -1,0 +1,41 @@
+#ifndef PIMCOMP_PARTITION_ARRAY_GROUP_HPP
+#define PIMCOMP_PARTITION_ARRAY_GROUP_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "graph/node.hpp"
+
+namespace pimcomp {
+
+/// One Array Group *instance* after replication and core mapping: a bundle
+/// of crossbars that receives the same input vector slice and is always
+/// co-located on one core (paper Section IV-B).
+///
+/// The paper's Fig 4 defines an AG as one crossbar-height slice of the
+/// weight matrix spanning all Cout columns. When Cout is so large that one
+/// such slice exceeds a core's crossbar budget we additionally chunk
+/// columns, so an AG is identified by (replica, row_slice, col_chunk); AGs
+/// that share (replica, col_chunk) accumulate their partial sums.
+struct AgInstance {
+  NodeId node = -1;
+  int replica = 0;    ///< which weight replica this AG belongs to
+  int row_slice = 0;  ///< vertical slice index of the weight matrix
+  int col_chunk = 0;  ///< horizontal chunk index of the weight matrix
+  int core = -1;      ///< core this AG's crossbars are mapped to
+  int xbars = 0;      ///< physical crossbars in this AG
+  int cols = 0;       ///< output columns produced by this AG
+
+  /// Stable ordering key inside a node: replica-major, then row, then chunk.
+  std::int64_t order_key(int row_slices, int col_chunks) const {
+    return (static_cast<std::int64_t>(replica) * row_slices + row_slice) *
+               col_chunks +
+           col_chunk;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_PARTITION_ARRAY_GROUP_HPP

@@ -1,0 +1,59 @@
+#include "partition/node_partitioner.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace pimcomp {
+
+std::string NodePartition::to_string() const {
+  std::ostringstream oss;
+  oss << "partition(node=" << node << " matrix=" << matrix_rows << "x"
+      << matrix_cols << " row_slices=" << row_slices
+      << " col_chunks=" << col_chunks << " xbars/AG=" << xbars_per_ag
+      << " windows=" << windows << ")";
+  return oss.str();
+}
+
+NodePartition partition_node(const Graph& graph, NodeId node_id,
+                             const HardwareConfig& hw) {
+  const Node& node = graph.node(node_id);
+  PIMCOMP_CHECK(node.is_crossbar(),
+                "partition_node requires a CONV or FC node");
+
+  NodePartition p;
+  p.node = node_id;
+
+  if (node.type == OpType::kConv) {
+    const TensorShape in = graph.node(node.inputs[0]).output_shape;
+    p.matrix_rows = node.conv.kernel_h * node.conv.kernel_w * in.channels;
+    p.matrix_cols = node.conv.out_channels;
+    p.out_height = node.output_shape.height;
+    p.out_width = node.output_shape.width;
+  } else {  // FC: a 1x1-output convolution over the flattened input.
+    const TensorShape in = graph.node(node.inputs[0]).output_shape;
+    p.matrix_rows = static_cast<int>(in.elements());
+    p.matrix_cols = node.fc_units;
+    p.out_height = 1;
+    p.out_width = 1;
+  }
+  p.windows = p.out_height * p.out_width;
+
+  const int logical_cols = hw.logical_cols_per_xbar();
+  const int xbars_full_width = ceil_div(p.matrix_cols, logical_cols);
+  p.row_slices = ceil_div(p.matrix_rows, hw.logical_rows_per_xbar());
+  // Chunk columns so one AG (= one row slice of one chunk) fits in a core.
+  p.col_chunks = ceil_div(xbars_full_width, hw.xbars_per_core);
+  const int xbars_per_chunk = ceil_div(xbars_full_width, p.col_chunks);
+  p.xbars_per_ag = xbars_per_chunk;
+  p.cols_per_chunk = xbars_per_chunk * logical_cols;
+
+  PIMCOMP_ASSERT(p.xbars_per_ag <= hw.xbars_per_core,
+                 "AG exceeds a core's crossbar budget");
+  PIMCOMP_ASSERT(p.col_chunks * p.cols_per_chunk >= p.matrix_cols,
+                 "column chunks must cover the weight matrix");
+  return p;
+}
+
+}  // namespace pimcomp

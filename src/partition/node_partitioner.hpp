@@ -1,0 +1,58 @@
+#ifndef PIMCOMP_PARTITION_NODE_PARTITIONER_HPP
+#define PIMCOMP_PARTITION_NODE_PARTITIONER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "arch/hardware_config.hpp"
+#include "graph/graph.hpp"
+
+namespace pimcomp {
+
+/// Node-partitioning result for one crossbar (CONV/FC) node: the lowered
+/// weight-matrix geometry and its Array-Group decomposition (paper §IV-B).
+struct NodePartition {
+  NodeId node = -1;
+
+  // Lowered weight matrix: each convolution kernel flattens to one column.
+  int matrix_rows = 0;  ///< kh * kw * Cin (FC: flattened input length)
+  int matrix_cols = 0;  ///< Cout (FC: output units)
+
+  // Array-Group decomposition.
+  int row_slices = 0;    ///< ceil(matrix_rows / xbar_rows)
+  int col_chunks = 0;    ///< chunks so one AG fits a core's crossbar budget
+  int xbars_per_ag = 0;  ///< crossbars in one (full) AG
+  int cols_per_chunk = 0;  ///< output columns per chunk (last may be smaller)
+
+  /// Input sliding windows per inference (Hout * Wout; 1 for FC).
+  int windows = 0;
+
+  /// Output feature geometry (needed by LL receptive-field scheduling).
+  int out_height = 0;
+  int out_width = 0;
+
+  int ags_per_replica() const { return row_slices * col_chunks; }
+  int xbars_per_replica() const { return ags_per_replica() * xbars_per_ag; }
+
+  /// Columns actually produced by chunk `cc` (the last chunk may be narrow).
+  int chunk_cols(int cc) const {
+    const int begin = cc * cols_per_chunk;
+    const int end = begin + cols_per_chunk;
+    return (end > matrix_cols ? matrix_cols : end) - begin;
+  }
+
+  /// MVM operations per inference for one replica covering all windows.
+  std::int64_t mvms_per_inference() const {
+    return static_cast<std::int64_t>(windows) * ags_per_replica();
+  }
+
+  std::string to_string() const;
+};
+
+/// Partitions one crossbar node (throws ConfigError for non-crossbar nodes).
+NodePartition partition_node(const Graph& graph, NodeId node,
+                             const HardwareConfig& hw);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_PARTITION_NODE_PARTITIONER_HPP

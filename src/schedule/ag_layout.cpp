@@ -1,0 +1,82 @@
+#include "schedule/ag_layout.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace pimcomp {
+
+int AgLayout::slice_rows(const NodePartition& p, const AgInstance& ag,
+                         const HardwareConfig& hw) {
+  const int begin = ag.row_slice * hw.logical_rows_per_xbar();
+  const int end = std::min(p.matrix_rows, begin + hw.logical_rows_per_xbar());
+  PIMCOMP_ASSERT(end > begin, "AG row slice outside the weight matrix");
+  return end - begin;
+}
+
+AgLayout AgLayout::build(const MappingSolution& solution) {
+  const Workload& workload = solution.workload();
+  AgLayout layout;
+  layout.instances = solution.instantiate();
+
+  layout.partition_groups.resize(
+      static_cast<std::size_t>(workload.partition_count()));
+  layout.partition_host_cores.resize(
+      static_cast<std::size_t>(workload.partition_count()));
+  layout.core_instances.resize(
+      static_cast<std::size_t>(solution.core_count()));
+
+  std::map<std::tuple<NodeId, int, int>, std::vector<int>> group_members;
+  for (std::size_t i = 0; i < layout.instances.size(); ++i) {
+    const AgInstance& ag = layout.instances[i];
+    group_members[{ag.node, ag.replica, ag.col_chunk}].push_back(
+        static_cast<int>(i));
+    layout.core_instances[static_cast<std::size_t>(ag.core)].push_back(
+        static_cast<int>(i));
+    auto& hosts = layout.partition_host_cores[static_cast<std::size_t>(
+        workload.partition_index(ag.node))];
+    if (std::find(hosts.begin(), hosts.end(), ag.core) == hosts.end()) {
+      hosts.push_back(ag.core);
+    }
+  }
+  for (auto& hosts : layout.partition_host_cores) {
+    std::sort(hosts.begin(), hosts.end());
+  }
+
+  for (auto& [key, members] : group_members) {
+    const auto [node, replica, chunk] = key;
+    const int pidx = workload.partition_index(node);
+    const NodePartition& p =
+        workload.partitions()[static_cast<std::size_t>(pidx)];
+
+    std::sort(members.begin(), members.end(), [&](int a, int b) {
+      return layout.instances[static_cast<std::size_t>(a)].row_slice <
+             layout.instances[static_cast<std::size_t>(b)].row_slice;
+    });
+    PIMCOMP_ASSERT(static_cast<int>(members.size()) == p.row_slices,
+                   "accumulation group missing row slices");
+
+    AccumGroup group;
+    group.node = node;
+    group.partition = pidx;
+    group.replica = replica;
+    group.chunk = chunk;
+    group.members = members;
+    group.owner_core =
+        layout.instances[static_cast<std::size_t>(members.front())].core;
+    const int cyc = solution.cycles(node);
+    group.window_begin = std::min(p.windows, replica * cyc);
+    group.window_end = std::min(p.windows, (replica + 1) * cyc);
+    group.cols = p.chunk_cols(chunk);
+
+    const int gid = static_cast<int>(layout.groups.size());
+    layout.groups.push_back(std::move(group));
+    layout.partition_groups[static_cast<std::size_t>(pidx)].push_back(gid);
+  }
+  return layout;
+}
+
+}  // namespace pimcomp

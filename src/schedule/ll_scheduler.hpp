@@ -1,0 +1,34 @@
+#ifndef PIMCOMP_SCHEDULE_LL_SCHEDULER_HPP
+#define PIMCOMP_SCHEDULE_LL_SCHEDULER_HPP
+
+#include "mapping/mapping_solution.hpp"
+#include "schedule/memory_allocator.hpp"
+#include "schedule/operation.hpp"
+
+namespace pimcomp {
+
+/// Options of the Low-Latency dataflow generator.
+struct LlScheduleOptions {
+  MemoryPolicy memory_policy = MemoryPolicy::kAgReuse;
+};
+
+/// Generates the LL-mode dataflow (paper §IV-D2): every node forwards its
+/// outputs to its consumers as soon as they exist, and a consumer window
+/// starts once the receptive-field readiness condition (rd, cd) is met.
+///
+/// Concretely, per output row of each accumulation group the owner core
+/// accumulates partials (pulling cross-core contributions), applies the
+/// downstream vector work, and sends a row packet to every core hosting AGs
+/// of a consumer node. Consumer cores pull packets on demand — draining
+/// their channels in FIFO order — right before the first window that needs
+/// them. Local-memory residency follows the selected reuse policy: naive
+/// holds each op result until row/node retirement with fresh blocks per ADD,
+/// ADD-reuse folds accumulation in place, and AG-reuse additionally recycles
+/// partials immediately and retires consumed input rows by the sliding
+/// receptive-field bound.
+Schedule schedule_ll(const MappingSolution& solution,
+                     const LlScheduleOptions& options);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_SCHEDULE_LL_SCHEDULER_HPP

@@ -1,0 +1,100 @@
+#include "schedule/memory_allocator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+std::string to_string(MemoryPolicy policy) {
+  switch (policy) {
+    case MemoryPolicy::kNaive: return "naive";
+    case MemoryPolicy::kAddReuse: return "add-reuse";
+    case MemoryPolicy::kAgReuse: return "ag-reuse";
+  }
+  return "unknown";
+}
+
+LocalMemoryPlanner::LocalMemoryPlanner(MemoryPolicy policy,
+                                       std::int64_t capacity_bytes,
+                                       bool spill_on_overflow)
+    : policy_(policy),
+      capacity_(capacity_bytes),
+      spill_on_overflow_(spill_on_overflow) {
+  PIMCOMP_CHECK(capacity_bytes > 0, "local memory capacity must be positive");
+}
+
+int LocalMemoryPlanner::alloc(std::int64_t bytes, BlockClass block_class) {
+  PIMCOMP_ASSERT(bytes >= 0, "negative allocation");
+  Block block;
+  block.bytes = bytes;
+  block.block_class = block_class;
+  block.live = true;
+  if (spill_on_overflow_ && usage_ + bytes > capacity_) {
+    // Overflow: this block lives in global memory instead (write now, read
+    // back at use). Usage does not grow.
+    block.spilled = true;
+    spill_traffic_ += 2 * bytes;
+  } else {
+    usage_ += bytes;
+    peak_ = std::max(peak_, usage_);
+  }
+  blocks_.push_back(block);
+  return static_cast<int>(blocks_.size()) - 1;
+}
+
+int LocalMemoryPlanner::accumulate_into(int accumulator_block,
+                                        std::int64_t bytes) {
+  if (policy_ == MemoryPolicy::kNaive || accumulator_block < 0) {
+    return alloc(bytes, BlockClass::kAccumulator);
+  }
+  PIMCOMP_ASSERT(
+      accumulator_block < static_cast<int>(blocks_.size()) &&
+          blocks_[static_cast<std::size_t>(accumulator_block)].live,
+      "accumulate_into on a dead block");
+  return accumulator_block;
+}
+
+bool LocalMemoryPlanner::reclaim_on_free(BlockClass block_class) const {
+  switch (policy_) {
+    case MemoryPolicy::kNaive:
+      return false;
+    case MemoryPolicy::kAddReuse:
+      // Only collapsed accumulator chains benefit; partials and inputs wait
+      // for the flush.
+      return block_class == BlockClass::kAccumulator;
+    case MemoryPolicy::kAgReuse:
+      return true;
+  }
+  return false;
+}
+
+void LocalMemoryPlanner::free(int block) {
+  if (block < 0) return;  // spilled blocks have no local residence
+  PIMCOMP_ASSERT(block < static_cast<int>(blocks_.size()), "bad block id");
+  Block& b = blocks_[static_cast<std::size_t>(block)];
+  if (!b.live) return;
+  if (!reclaim_on_free(b.block_class)) return;  // held until flush()
+  b.live = false;
+  if (!b.spilled) usage_ -= b.bytes;
+}
+
+void LocalMemoryPlanner::force_free(int block) {
+  if (block < 0) return;
+  PIMCOMP_ASSERT(block < static_cast<int>(blocks_.size()), "bad block id");
+  Block& b = blocks_[static_cast<std::size_t>(block)];
+  if (!b.live) return;
+  b.live = false;
+  if (!b.spilled) usage_ -= b.bytes;
+}
+
+void LocalMemoryPlanner::flush() {
+  for (Block& b : blocks_) {
+    if (b.live && !b.spilled) usage_ -= b.bytes;
+    b.live = false;
+  }
+  blocks_.clear();
+  PIMCOMP_ASSERT(usage_ == 0, "flush left residual usage");
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,105 @@
+#ifndef PIMCOMP_SCHEDULE_MEMORY_ALLOCATOR_HPP
+#define PIMCOMP_SCHEDULE_MEMORY_ALLOCATOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimcomp {
+
+/// On-chip memory reuse policies of Fig 7. Each level subsumes the previous:
+///  * kNaive      — a fresh block per operation result; nothing is reclaimed
+///                  until the next flush epoch;
+///  * kAddReuse   — accumulation chains update their accumulator block in
+///                  place instead of allocating per ADD;
+///  * kAgReuse    — additionally, AG partial-sum buffers and consumed input
+///                  rows are reclaimed the moment their last reader is done.
+enum class MemoryPolicy { kNaive, kAddReuse, kAgReuse };
+
+std::string to_string(MemoryPolicy policy);
+
+/// Classes of locally-buffered data; the policy decides which are
+/// reclaimable.
+enum class BlockClass {
+  kInput,        ///< staged input rows / received packets
+  kPartial,      ///< per-AG MVM partial sums
+  kAccumulator,  ///< cross-AG accumulation results
+  kOther,
+};
+
+/// Schedule-time planner for one core's scratchpad. The schedulers drive it
+/// with alloc/free/flush calls while emitting operations, and stamp the
+/// running `usage()` into `Operation::local_usage` so the simulator can
+/// integrate time-weighted occupancy (Fig 10).
+///
+/// The planner also models *overflow spill*: an allocation that would push
+/// usage past the physical capacity is redirected to global memory instead
+/// (usage does not grow, but 2x the bytes — write + later read-back — are
+/// charged as extra global traffic). This is what makes the naive policy
+/// cost global-memory accesses that AG-reuse avoids (Fig 10, HT mode).
+class LocalMemoryPlanner {
+ public:
+  /// `spill_on_overflow` selects what happens when usage would exceed the
+  /// physical capacity: true (HT mode) redirects the block to global memory
+  /// and charges spill traffic; false (LL mode) lets usage grow past the
+  /// capacity so the report can show by how much a policy *would* overflow
+  /// the 64 kB design target (paper Fig 10, LL).
+  LocalMemoryPlanner(MemoryPolicy policy, std::int64_t capacity_bytes,
+                     bool spill_on_overflow = true);
+
+  /// Allocates a block and returns its id (monotonically increasing). A
+  /// block that overflowed to global memory still gets an id; freeing it is
+  /// a no-op on local usage.
+  int alloc(std::int64_t bytes, BlockClass block_class);
+
+  /// Reuses `accumulator_block` in place for another accumulation step.
+  /// Under kNaive this allocates a fresh block instead (returning its id);
+  /// under the reuse policies it returns the same id with no usage growth.
+  int accumulate_into(int accumulator_block, std::int64_t bytes);
+
+  /// Marks a block dead. Reclaims immediately under kAgReuse (for kInput /
+  /// kPartial classes) and for kAccumulator under kAddReuse+; otherwise the
+  /// space is held until the next flush().
+  void free(int block);
+
+  /// Reclaims a block immediately under every policy. Used for frees that
+  /// are dataflow necessities (e.g. LL sliding-window retirement) rather
+  /// than reuse optimizations; the policies differ in *when* the schedulers
+  /// call this, not in whether it reclaims.
+  void force_free(int block);
+
+  /// Epoch boundary (HT batch flush / LL node completion): every surviving
+  /// block is reclaimed under all policies.
+  void flush();
+
+  std::int64_t usage() const { return usage_; }
+  std::int64_t peak_usage() const { return peak_; }
+
+  /// Extra global-memory traffic caused by overflow spills so far.
+  std::int64_t spill_traffic_bytes() const { return spill_traffic_; }
+
+  MemoryPolicy policy() const { return policy_; }
+  std::int64_t capacity() const { return capacity_; }
+
+ private:
+  struct Block {
+    std::int64_t bytes = 0;
+    BlockClass block_class = BlockClass::kOther;
+    bool live = false;
+    bool spilled = false;
+  };
+
+  bool reclaim_on_free(BlockClass block_class) const;
+
+  MemoryPolicy policy_;
+  std::int64_t capacity_;
+  bool spill_on_overflow_;
+  std::int64_t usage_ = 0;
+  std::int64_t peak_ = 0;
+  std::int64_t spill_traffic_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_SCHEDULE_MEMORY_ALLOCATOR_HPP

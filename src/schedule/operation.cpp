@@ -1,0 +1,37 @@
+#include "schedule/operation.hpp"
+
+namespace pimcomp {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMvm: return "MVM";
+    case OpKind::kVfu: return "VFU";
+    case OpKind::kCommSend: return "SEND";
+    case OpKind::kCommRecv: return "RECV";
+    case OpKind::kLoadGlobal: return "LOAD";
+    case OpKind::kStoreGlobal: return "STORE";
+  }
+  return "?";
+}
+
+std::int64_t Schedule::count(OpKind kind) const {
+  std::int64_t n = 0;
+  for (const auto& program : programs) {
+    for (const Operation& op : program) {
+      if (op.kind == kind) ++n;
+    }
+  }
+  return n;
+}
+
+std::int64_t Schedule::total_bytes(OpKind kind) const {
+  std::int64_t n = 0;
+  for (const auto& program : programs) {
+    for (const Operation& op : program) {
+      if (op.kind == kind) n += op.bytes;
+    }
+  }
+  return n;
+}
+
+}  // namespace pimcomp

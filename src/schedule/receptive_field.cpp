@@ -1,0 +1,146 @@
+#include "schedule/receptive_field.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "partition/workload.hpp"
+
+namespace pimcomp {
+
+double StreamPos::fraction(int height, int width) const {
+  if (full) return 1.0;
+  PIMCOMP_ASSERT(height > 0 && width > 0, "stream extent must be positive");
+  const double covered =
+      static_cast<double>(row - 1) * width + static_cast<double>(col);
+  return clamp(covered / (static_cast<double>(height) * width), 0.0, 1.0);
+}
+
+StreamPos StreamPos::later(const StreamPos& a, const StreamPos& b) {
+  if (a.full || b.full) return whole();
+  if (a.row != b.row) return a.row > b.row ? a : b;
+  return a.col >= b.col ? a : b;
+}
+
+std::string StreamPos::to_string() const {
+  if (full) return "(full)";
+  std::ostringstream oss;
+  oss << "(" << row << "," << col << ")";
+  return oss.str();
+}
+
+namespace {
+
+/// rd = min(H, K + s*(r-1) - p), clamped to at least 1 (windows that start
+/// entirely inside the padding still need the first real input row).
+int required_extent(int input_extent, int kernel, int stride, int padding,
+                    int r) {
+  const int last = kernel + stride * (r - 1) - padding;
+  return clamp(last, 1, input_extent);
+}
+
+}  // namespace
+
+StreamPos window_requirement(const Node& node, const TensorShape& input_shape,
+                             int r, int c) {
+  switch (node.type) {
+    case OpType::kConv: {
+      const ConvAttrs& a = node.conv;
+      return StreamPos::at(
+          required_extent(input_shape.height, a.kernel_h, a.stride,
+                          a.padding_h, r),
+          required_extent(input_shape.width, a.kernel_w, a.stride,
+                          a.padding_w, c));
+    }
+    case OpType::kPool: {
+      const PoolAttrs& a = node.pool;
+      if (a.kind == PoolKind::kGlobalAverage) return StreamPos::whole();
+      return StreamPos::at(
+          required_extent(input_shape.height, a.kernel, a.stride, a.padding,
+                          r),
+          required_extent(input_shape.width, a.kernel, a.stride, a.padding,
+                          c));
+    }
+    case OpType::kRelu:
+    case OpType::kConcat:
+    case OpType::kEltwise:
+      // Element-wise / channel-wise: output (r, c) needs input (r, c).
+      return StreamPos::at(std::min(r, input_shape.height),
+                           std::min(c, input_shape.width));
+    case OpType::kFC:
+    case OpType::kFlatten:
+    case OpType::kSoftmax:
+      return StreamPos::whole();
+    case OpType::kInput:
+      break;
+  }
+  throw GraphError("window_requirement: unsupported op " +
+                   to_string(node.type));
+}
+
+StreamPos prefix_requirement(const Node& node, const TensorShape& input_shape,
+                             int out_width, const StreamPos& pos) {
+  if (pos.full) {
+    // Producing the whole output needs the whole input for every op type.
+    return StreamPos::whole();
+  }
+  StreamPos need = window_requirement(node, input_shape, pos.row, pos.col);
+  if (pos.row > 1) {
+    // Earlier full rows of the prefix may extend the column requirement to
+    // the end of the input rows they touch.
+    need = StreamPos::later(
+        need, window_requirement(node, input_shape, pos.row - 1, out_width));
+  }
+  return need;
+}
+
+std::vector<ProviderRequirement> trace_requirements(const Workload& workload,
+                                                    NodeId consumer, int r,
+                                                    int c) {
+  const Graph& graph = workload.graph();
+  const Node& consumer_node = graph.node(consumer);
+
+  std::vector<ProviderRequirement> result;
+  auto record = [&result](int provider, const StreamPos& pos) {
+    for (ProviderRequirement& req : result) {
+      if (req.provider == provider) {
+        req.pos = StreamPos::later(req.pos, pos);
+        return;
+      }
+    }
+    result.push_back({provider, pos});
+  };
+
+  std::vector<std::pair<NodeId, StreamPos>> work;
+  for (NodeId producer : consumer_node.inputs) {
+    work.emplace_back(producer,
+                      window_requirement(
+                          consumer_node, graph.node(producer).output_shape, r,
+                          c));
+  }
+  while (!work.empty()) {
+    auto [producer, need] = work.back();
+    work.pop_back();
+    const Node& p = graph.node(producer);
+    if (p.type == OpType::kInput) {
+      record(-1, need);
+      continue;
+    }
+    if (p.is_crossbar()) {
+      record(workload.partition_index(producer), need);
+      continue;
+    }
+    for (NodeId upstream : p.inputs) {
+      work.emplace_back(upstream,
+                        prefix_requirement(p,
+                                           graph.node(upstream).output_shape,
+                                           p.output_shape.width, need));
+    }
+  }
+  return result;
+}
+
+}  // namespace pimcomp

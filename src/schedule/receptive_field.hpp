@@ -1,0 +1,70 @@
+#ifndef PIMCOMP_SCHEDULE_RECEPTIVE_FIELD_HPP
+#define PIMCOMP_SCHEDULE_RECEPTIVE_FIELD_HPP
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace pimcomp {
+
+/// A position in a producer's output stream. Activations stream pixel-major
+/// (row-major over (row, col), all channels of a pixel together), matching
+/// the sliding-window production order of crossbar nodes. `full` marks
+/// operators that need the complete tensor (FC, softmax, global pooling,
+/// flatten feeding an FC).
+struct StreamPos {
+  bool full = false;
+  int row = 0;  ///< 1-based last required row (valid when !full)
+  int col = 0;  ///< 1-based last required column
+
+  static StreamPos whole() { return {true, 0, 0}; }
+  static StreamPos at(int r, int c) { return {false, r, c}; }
+
+  /// Fraction of an H x W stream covered by this position (1.0 when full).
+  double fraction(int height, int width) const;
+
+  /// Later of two positions in stream order.
+  static StreamPos later(const StreamPos& a, const StreamPos& b);
+
+  bool operator==(const StreamPos&) const = default;
+  std::string to_string() const;
+};
+
+/// The paper's (rd, cd) formula (§IV-D2): the last input-stream position a
+/// node needs in order to compute its output window (r, c) (1-based).
+/// CONV/POOL apply `min(H, K + s*(r-1) - p)`; FC and other whole-tensor ops
+/// return `whole()`; element-wise ops pass (r, c) through unchanged.
+StreamPos window_requirement(const Node& node, const TensorShape& input_shape,
+                             int r, int c);
+
+/// The last input-stream position a node needs to produce its *output stream
+/// prefix* up to (r, c): the window requirement of (r, c) joined with that of
+/// (r-1, out_width) — earlier rows need the full input width. Used when
+/// chaining requirements through intermediate (non-crossbar) operators.
+StreamPos prefix_requirement(const Node& node, const TensorShape& input_shape,
+                             int out_width, const StreamPos& pos);
+
+class Workload;
+
+/// One resolved upstream dependency of a crossbar node's output window:
+/// which crossbar provider (partition index; -1 = the graph input) must have
+/// produced its stream up to `pos`.
+struct ProviderRequirement {
+  int provider = -1;
+  StreamPos pos;
+};
+
+/// Chains `window_requirement` / `prefix_requirement` upward from crossbar
+/// node `consumer`'s output window (r, c) through all intermediate operators
+/// until crossbar nodes or the graph input are reached. Requirements that
+/// reach the same provider along several paths are merged with the later
+/// stream position. This is the paper's §IV-D2 readiness condition in
+/// provider coordinates; the LL scheduler calls it per window and the LL
+/// fitness uses its (1,1) fractions as the waiting percentages W.
+std::vector<ProviderRequirement> trace_requirements(const Workload& workload,
+                                                    NodeId consumer, int r,
+                                                    int c);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_SCHEDULE_RECEPTIVE_FIELD_HPP

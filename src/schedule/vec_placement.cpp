@@ -1,0 +1,116 @@
+#include "schedule/vec_placement.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+std::int64_t vfu_elements(const Graph& graph, NodeId node_id) {
+  const Node& node = graph.node(node_id);
+  const std::int64_t out = node.output_shape.elements();
+  switch (node.type) {
+    case OpType::kRelu:
+      return out;
+    case OpType::kPool: {
+      if (node.pool.kind == PoolKind::kGlobalAverage) {
+        return graph.node(node.inputs[0]).output_shape.elements();
+      }
+      return out * node.pool.kernel * node.pool.kernel;
+    }
+    case OpType::kEltwise:
+      return out * static_cast<std::int64_t>(node.inputs.size() - 1);
+    case OpType::kSoftmax:
+      // exp + sum + divide passes.
+      return out * 3;
+    case OpType::kConcat:
+    case OpType::kFlatten:
+      return 0;  // realized by local-memory addressing
+    case OpType::kInput:
+    case OpType::kConv:
+    case OpType::kFC:
+      return 0;
+  }
+  return 0;
+}
+
+bool is_fused_activation(const Graph& graph, NodeId node_id) {
+  const Node& node = graph.node(node_id);
+  if (node.type != OpType::kRelu) return false;
+  return graph.node(node.inputs[0]).is_crossbar();
+}
+
+std::int64_t node_input_bytes(const Graph& graph, NodeId node_id,
+                              const HardwareConfig& hw) {
+  const Node& node = graph.node(node_id);
+  std::int64_t total = 0;
+  for (NodeId in : node.inputs) {
+    total += graph.node(in).output_shape.bytes(hw.activation_bits);
+  }
+  return total;
+}
+
+std::int64_t node_output_bytes(const Graph& graph, NodeId node_id,
+                               const HardwareConfig& hw) {
+  return graph.node(node_id).output_shape.bytes(hw.activation_bits);
+}
+
+std::vector<NodeId> standalone_vec_nodes(const Graph& graph) {
+  std::vector<NodeId> nodes;
+  for (const Node& node : graph.nodes()) {
+    if (node.type == OpType::kInput || node.is_crossbar()) continue;
+    if (is_fused_activation(graph, node.id)) continue;
+    nodes.push_back(node.id);
+  }
+  return nodes;
+}
+
+namespace {
+
+/// Counts the crossbar nodes that reach `node` through non-crossbar ops
+/// (the producers that share a VEC node's cost).
+int crossbar_provider_count(const Graph& graph, NodeId node_id) {
+  int count = 0;
+  std::vector<NodeId> work = graph.node(node_id).inputs;
+  std::vector<bool> seen(static_cast<std::size_t>(graph.node_count()), false);
+  while (!work.empty()) {
+    const NodeId current = work.back();
+    work.pop_back();
+    if (seen[static_cast<std::size_t>(current)]) continue;
+    seen[static_cast<std::size_t>(current)] = true;
+    const Node& n = graph.node(current);
+    if (n.is_crossbar() || n.type == OpType::kInput) {
+      ++count;
+      continue;
+    }
+    for (NodeId in : n.inputs) work.push_back(in);
+  }
+  return count == 0 ? 1 : count;
+}
+
+}  // namespace
+
+std::int64_t downstream_vec_elements(const Workload& workload, NodeId node_id) {
+  const Graph& graph = workload.graph();
+  PIMCOMP_CHECK(graph.node(node_id).is_crossbar(),
+                "downstream_vec_elements expects a crossbar node");
+  double total = 0.0;
+  std::vector<NodeId> work{node_id};
+  std::vector<bool> seen(static_cast<std::size_t>(graph.node_count()), false);
+  while (!work.empty()) {
+    const NodeId current = work.back();
+    work.pop_back();
+    for (NodeId consumer : graph.consumers(current)) {
+      if (seen[static_cast<std::size_t>(consumer)]) continue;
+      seen[static_cast<std::size_t>(consumer)] = true;
+      const Node& c = graph.node(consumer);
+      if (c.is_crossbar()) continue;  // stop at the next crossbar layer
+      total += static_cast<double>(vfu_elements(graph, consumer)) /
+               crossbar_provider_count(graph, consumer);
+      work.push_back(consumer);
+    }
+  }
+  return static_cast<std::int64_t>(total);
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,34 @@
+#include "sim/channel.hpp"
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+void ChannelNetwork::send(int src, int dst, int tag, Picoseconds arrival,
+                          std::int64_t bytes) {
+  queues_[{src, dst, tag}].push_back({arrival, bytes});
+}
+
+bool ChannelNetwork::has_message(int src, int dst, int tag) const {
+  auto it = queues_.find({src, dst, tag});
+  return it != queues_.end() && !it->second.empty();
+}
+
+ChannelNetwork::Message ChannelNetwork::pop(int src, int dst, int tag) {
+  auto it = queues_.find({src, dst, tag});
+  PIMCOMP_ASSERT(it != queues_.end() && !it->second.empty(),
+                 "pop on empty channel");
+  Message m = it->second.front();
+  it->second.pop_front();
+  return m;
+}
+
+std::int64_t ChannelNetwork::in_flight() const {
+  std::int64_t total = 0;
+  for (const auto& [key, queue] : queues_) {
+    total += static_cast<std::int64_t>(queue.size());
+  }
+  return total;
+}
+
+}  // namespace pimcomp

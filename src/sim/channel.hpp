@@ -1,0 +1,44 @@
+#ifndef PIMCOMP_SIM_CHANNEL_HPP
+#define PIMCOMP_SIM_CHANNEL_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "common/units.hpp"
+
+namespace pimcomp {
+
+/// Rendezvous channels between cores. Sends are non-blocking (the message is
+/// deposited with its arrival timestamp); receives block until a matching
+/// message is available. FIFO order per (src, dst, tag) triple — the
+/// schedulers guarantee matched emission order per logical channel, which
+/// the simulator verifies by checking byte counts.
+class ChannelNetwork {
+ public:
+  struct Message {
+    Picoseconds arrival = 0;
+    std::int64_t bytes = 0;
+  };
+
+  /// Deposits a message on (src -> dst, tag).
+  void send(int src, int dst, int tag, Picoseconds arrival,
+            std::int64_t bytes);
+
+  /// True when (src -> dst, tag) has a pending message.
+  bool has_message(int src, int dst, int tag) const;
+
+  /// Pops the head message of (src -> dst, tag); must be non-empty.
+  Message pop(int src, int dst, int tag);
+
+  /// Total messages currently in flight (deadlock diagnostics).
+  std::int64_t in_flight() const;
+
+ private:
+  std::map<std::tuple<int, int, int>, std::deque<Message>> queues_;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_SIM_CHANNEL_HPP

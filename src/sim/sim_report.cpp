@@ -1,0 +1,35 @@
+#include "sim/sim_report.hpp"
+
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace pimcomp {
+
+std::string SimReport::to_string() const {
+  std::ostringstream oss;
+  oss << "SimReport{\n"
+      << "  makespan: " << format_double(to_us(makespan), 3) << " us\n"
+      << "  active cores: " << active_cores << "\n"
+      << "  mvm ops: " << mvm_ops << ", vfu ops: " << vfu_ops
+      << ", messages: " << comm_messages << " ("
+      << format_bytes(static_cast<double>(comm_bytes)) << ")\n"
+      << "  dynamic energy: " << format_double(to_uj(dynamic_energy.total()), 2)
+      << " uJ (mvm " << format_double(to_uj(dynamic_energy.mvm), 2) << ", vfu "
+      << format_double(to_uj(dynamic_energy.vfu), 2) << ", local "
+      << format_double(to_uj(dynamic_energy.local_memory), 2) << ", global "
+      << format_double(to_uj(dynamic_energy.global_memory), 2) << ", noc "
+      << format_double(to_uj(dynamic_energy.noc), 2) << ")\n"
+      << "  leakage energy: " << format_double(to_uj(leakage_energy), 2)
+      << " uJ\n"
+      << "  local memory: avg "
+      << format_bytes(avg_local_memory_bytes) << ", peak "
+      << format_bytes(static_cast<double>(peak_local_memory_bytes)) << "\n"
+      << "  global traffic: "
+      << format_bytes(static_cast<double>(global_traffic_bytes)) << " (spill "
+      << format_bytes(static_cast<double>(spill_traffic_bytes)) << ")\n"
+      << "}";
+  return oss.str();
+}
+
+}  // namespace pimcomp

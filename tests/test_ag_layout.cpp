@@ -1,0 +1,158 @@
+#include "schedule/ag_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/zoo/zoo.hpp"
+#include "mapping/puma_mapper.hpp"
+#include "schedule/operation.hpp"
+
+namespace pimcomp {
+namespace {
+
+class LayoutFixture : public ::testing::Test {
+ protected:
+  LayoutFixture() : graph_(zoo::squeezenet(64)) {
+    hw_ = HardwareConfig::puma_default();
+    hw_.core_count = 36;
+    workload_ = std::make_unique<Workload>(graph_, hw_);
+    PumaMapper mapper;
+    MapperOptions options;
+    solution_ =
+        std::make_unique<MappingSolution>(mapper.map(*workload_, options));
+    layout_ = AgLayout::build(*solution_);
+  }
+
+  Graph graph_;
+  HardwareConfig hw_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<MappingSolution> solution_;
+  AgLayout layout_;
+};
+
+TEST_F(LayoutFixture, InstanceCountMatchesSolution) {
+  std::int64_t expected = 0;
+  for (const NodePartition& p : workload_->partitions()) {
+    expected += solution_->total_ags(p.node);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(layout_.instances.size()), expected);
+}
+
+TEST_F(LayoutFixture, GroupsHaveAllRowSlices) {
+  for (const AccumGroup& g : layout_.groups) {
+    const NodePartition& p =
+        workload_->partitions()[static_cast<std::size_t>(g.partition)];
+    ASSERT_EQ(static_cast<int>(g.members.size()), p.row_slices);
+    // Members are sorted by row slice and cover 0..row_slices-1.
+    for (int i = 0; i < p.row_slices; ++i) {
+      EXPECT_EQ(layout_.instances[static_cast<std::size_t>(g.members[
+                    static_cast<std::size_t>(i)])].row_slice,
+                i);
+    }
+  }
+}
+
+TEST_F(LayoutFixture, OwnerIsFirstRowSliceCore) {
+  for (const AccumGroup& g : layout_.groups) {
+    const AgInstance& first =
+        layout_.instances[static_cast<std::size_t>(g.members.front())];
+    EXPECT_EQ(g.owner_core, first.core);
+    EXPECT_EQ(first.row_slice, 0);
+  }
+}
+
+TEST_F(LayoutFixture, WindowRangesPartitionTheWindows) {
+  // Per (node, chunk): the replica window ranges tile [0, windows) without
+  // overlap.
+  for (const NodePartition& p : workload_->partitions()) {
+    const int chunks = p.col_chunks;
+    for (int cc = 0; cc < chunks; ++cc) {
+      std::vector<std::pair<int, int>> ranges;
+      for (int gid :
+           layout_.partition_groups[static_cast<std::size_t>(
+               workload_->partition_index(p.node))]) {
+        const AccumGroup& g = layout_.groups[static_cast<std::size_t>(gid)];
+        if (g.chunk != cc) continue;
+        if (!g.empty()) ranges.push_back({g.window_begin, g.window_end});
+      }
+      std::sort(ranges.begin(), ranges.end());
+      int covered = 0;
+      for (const auto& [begin, end] : ranges) {
+        EXPECT_EQ(begin, covered) << "gap or overlap for node " << p.node;
+        covered = end;
+      }
+      EXPECT_EQ(covered, p.windows);
+    }
+  }
+}
+
+TEST_F(LayoutFixture, CoreInstancesConsistent) {
+  std::size_t total = 0;
+  for (int c = 0; c < 36; ++c) {
+    for (int idx : layout_.core_instances[static_cast<std::size_t>(c)]) {
+      EXPECT_EQ(layout_.instances[static_cast<std::size_t>(idx)].core, c);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, layout_.instances.size());
+}
+
+TEST_F(LayoutFixture, HostCoresAreSortedAndExact) {
+  for (const NodePartition& p : workload_->partitions()) {
+    const auto& hosts = layout_.partition_host_cores[static_cast<std::size_t>(
+        workload_->partition_index(p.node))];
+    EXPECT_TRUE(std::is_sorted(hosts.begin(), hosts.end()));
+    std::set<int> expected;
+    for (const AgInstance& ag : layout_.instances) {
+      if (ag.node == p.node) expected.insert(ag.core);
+    }
+    EXPECT_EQ(std::set<int>(hosts.begin(), hosts.end()), expected);
+  }
+}
+
+TEST_F(LayoutFixture, SliceRowsCoverMatrix) {
+  for (const NodePartition& p : workload_->partitions()) {
+    // Sum of slice rows over one replica's row slices equals matrix_rows.
+    const auto& gids = layout_.partition_groups[static_cast<std::size_t>(
+        workload_->partition_index(p.node))];
+    ASSERT_FALSE(gids.empty());
+    const AccumGroup& g = layout_.groups[static_cast<std::size_t>(gids[0])];
+    int total_rows = 0;
+    for (int member : g.members) {
+      total_rows += AgLayout::slice_rows(
+          p, layout_.instances[static_cast<std::size_t>(member)], hw_);
+    }
+    EXPECT_EQ(total_rows, p.matrix_rows);
+  }
+}
+
+TEST(OperationStats, CountAndBytesHelpers) {
+  Schedule s;
+  s.programs.resize(2);
+  Operation send;
+  send.kind = OpKind::kCommSend;
+  send.bytes = 100;
+  Operation load;
+  load.kind = OpKind::kLoadGlobal;
+  load.bytes = 300;
+  s.programs[0] = {send, load};
+  s.programs[1] = {send};
+  EXPECT_EQ(s.count(OpKind::kCommSend), 2);
+  EXPECT_EQ(s.count(OpKind::kMvm), 0);
+  EXPECT_EQ(s.total_bytes(OpKind::kCommSend), 200);
+  EXPECT_EQ(s.total_bytes(OpKind::kLoadGlobal), 300);
+  EXPECT_EQ(s.core_count(), 2);
+}
+
+TEST(OperationStats, KindNames) {
+  EXPECT_EQ(to_string(OpKind::kMvm), "MVM");
+  EXPECT_EQ(to_string(OpKind::kVfu), "VFU");
+  EXPECT_EQ(to_string(OpKind::kCommSend), "SEND");
+  EXPECT_EQ(to_string(OpKind::kCommRecv), "RECV");
+  EXPECT_EQ(to_string(OpKind::kLoadGlobal), "LOAD");
+  EXPECT_EQ(to_string(OpKind::kStoreGlobal), "STORE");
+}
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "arch/area_model.hpp"
+#include "arch/component_models.hpp"
+#include "arch/energy_model.hpp"
+#include "arch/hardware_config.hpp"
+#include "arch/noc.hpp"
+#include "common/error.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(HardwareConfig, PumaDefaultMatchesTableI) {
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  EXPECT_EQ(hw.xbar_rows, 128);
+  EXPECT_EQ(hw.xbar_cols, 128);
+  EXPECT_EQ(hw.cell_bits, 2);
+  EXPECT_EQ(hw.weight_bits, 16);
+  EXPECT_EQ(hw.xbars_per_core, 64);
+  EXPECT_EQ(hw.cores_per_chip, 36);
+  EXPECT_EQ(hw.local_memory_bytes, 64 * 1024);
+  EXPECT_EQ(hw.global_memory_bytes, 4 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(hw.ht_link_gbps, 6.4);
+  EXPECT_NO_THROW(hw.validate());
+}
+
+TEST(HardwareConfig, LogicalGeometry) {
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  // A 16-bit weight spans 8 two-bit cells: 128 physical cols -> 16 logical.
+  EXPECT_EQ(hw.logical_cols_per_xbar(), 16);
+  EXPECT_EQ(hw.logical_rows_per_xbar(), 128);
+  EXPECT_EQ(hw.weights_per_core(), 64LL * 128 * 16);
+}
+
+TEST(HardwareConfig, ChipArithmetic) {
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 72;
+  EXPECT_EQ(hw.chip_count(), 2);
+  EXPECT_EQ(hw.chip_of_core(0), 0);
+  EXPECT_EQ(hw.chip_of_core(35), 0);
+  EXPECT_EQ(hw.chip_of_core(36), 1);
+  hw.core_count = 37;
+  EXPECT_EQ(hw.chip_count(), 2);
+}
+
+TEST(HardwareConfig, IssueInterval) {
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  EXPECT_EQ(hw.mvm_issue_interval(1), hw.mvm_latency);
+  EXPECT_EQ(hw.mvm_issue_interval(20), hw.mvm_latency / 20);
+  EXPECT_GE(hw.mvm_issue_interval(1 << 30), 1);  // never zero
+  EXPECT_THROW(hw.mvm_issue_interval(0), ConfigError);
+}
+
+TEST(HardwareConfig, ValidationCatchesBadFields) {
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.weight_bits = 15;  // not a multiple of cell_bits
+  EXPECT_THROW(hw.validate(), ConfigError);
+  hw = HardwareConfig::puma_default();
+  hw.core_count = 0;
+  EXPECT_THROW(hw.validate(), ConfigError);
+  hw = HardwareConfig::puma_default();
+  hw.mvm_latency = 0;
+  EXPECT_THROW(hw.validate(), ConfigError);
+  hw = HardwareConfig::puma_default();
+  hw.xbar_cols = 4;  // too narrow for one 16-bit weight at 2b cells
+  EXPECT_THROW(hw.validate(), ConfigError);
+}
+
+TEST(ComponentTable, ReproducesTableIPowers) {
+  const ComponentTable t =
+      build_component_table(HardwareConfig::puma_default());
+  EXPECT_NEAR(t.pimmu.peak_power_mw, 1221.76, 0.01);
+  EXPECT_NEAR(t.vfu.peak_power_mw, 22.80, 0.01);
+  EXPECT_NEAR(t.local_memory.peak_power_mw, 18.00, 0.01);
+  EXPECT_NEAR(t.control_unit.peak_power_mw, 8.00, 0.01);
+  EXPECT_NEAR(t.core.peak_power_mw, 1270.56, 0.01);
+  EXPECT_NEAR(t.router.peak_power_mw, 43.13, 0.01);
+  EXPECT_NEAR(t.global_memory.peak_power_mw, 257.72, 0.01);
+  EXPECT_NEAR(t.hyper_transport.peak_power_mw, 10.40e3, 1.0);
+}
+
+TEST(ComponentTable, ReproducesTableIAreas) {
+  const ComponentTable t =
+      build_component_table(HardwareConfig::puma_default());
+  EXPECT_NEAR(t.pimmu.area_mm2, 0.77, 0.001);
+  EXPECT_NEAR(t.vfu.area_mm2, 0.048, 0.001);
+  EXPECT_NEAR(t.local_memory.area_mm2, 0.085, 0.001);
+  EXPECT_NEAR(t.core.area_mm2, 1.01, 0.01);
+  EXPECT_NEAR(t.router.area_mm2, 0.14, 0.001);
+  EXPECT_NEAR(t.global_memory.area_mm2, 2.42, 0.01);
+  // Chip: 36*(core+router) + global memory + hyper transport ~ 62.9 mm^2.
+  EXPECT_NEAR(t.chip.area_mm2, 62.92, 1.0);
+}
+
+TEST(ComponentTable, ChipPowerAggregates) {
+  const ComponentTable t =
+      build_component_table(HardwareConfig::puma_default());
+  // Table I chip: 56.79 W.
+  EXPECT_NEAR(t.chip.peak_power_mw / 1000.0, 56.79, 1.0);
+}
+
+TEST(ComponentTable, ScalesWithGeometry) {
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.xbars_per_core = 32;
+  const ComponentTable half = build_component_table(hw);
+  const ComponentTable full =
+      build_component_table(HardwareConfig::puma_default());
+  EXPECT_NEAR(half.pimmu.peak_power_mw, full.pimmu.peak_power_mw / 2, 0.01);
+  EXPECT_NEAR(half.pimmu.area_mm2, full.pimmu.area_mm2 / 2, 0.001);
+}
+
+TEST(CactiLite, MonotonicInCapacity) {
+  EXPECT_LT(cacti_lite_energy_per_byte_pj(64 * 1024),
+            cacti_lite_energy_per_byte_pj(4 * 1024 * 1024));
+  EXPECT_LT(cacti_lite_leakage_mw(64 * 1024),
+            cacti_lite_leakage_mw(128 * 1024));
+  EXPECT_LT(cacti_lite_area_mm2(64 * 1024), cacti_lite_area_mm2(256 * 1024));
+}
+
+TEST(OrionLite, FlitScaling) {
+  EXPECT_NEAR(orion_lite_flit_energy_pj(16) / orion_lite_flit_energy_pj(8),
+              2.0, 1e-9);
+  EXPECT_GT(orion_lite_router_leakage_mw(8), 0.0);
+}
+
+TEST(AreaModel, TotalsScaleWithChips) {
+  HardwareConfig hw = HardwareConfig::puma_default();
+  const AreaReport one = compute_area(hw);
+  hw.core_count = 72;
+  const AreaReport two = compute_area(hw);
+  EXPECT_EQ(one.chip_count, 1);
+  EXPECT_EQ(two.chip_count, 2);
+  EXPECT_NEAR(two.total_mm2, 2 * one.total_mm2, 1e-9);
+}
+
+TEST(EnergyModel, PositiveAndSane) {
+  const EnergyModel e(HardwareConfig::puma_default());
+  EXPECT_GT(e.mvm_energy_per_xbar(), 0.0);
+  EXPECT_GT(e.vfu_energy_per_element(), 0.0);
+  EXPECT_GT(e.local_mem_energy_per_byte(), 0.0);
+  EXPECT_GT(e.global_mem_energy_per_byte(), e.local_mem_energy_per_byte());
+  EXPECT_GT(e.noc_energy_per_flit_hop(), 0.0);
+  EXPECT_GT(e.core_leakage_mw(), 0.0);
+  EXPECT_GT(e.chip_shared_leakage_mw(), 0.0);
+  // Leakage energy arithmetic: cores x time x power.
+  EXPECT_NEAR(e.core_leakage_energy(2, kPsPerUs),
+              2 * energy_mw_ps(e.core_leakage_mw(), kPsPerUs), 1e-9);
+}
+
+TEST(NocModel, MeshHops) {
+  HardwareConfig hw = HardwareConfig::puma_default();  // 36 cores: 6x6 mesh
+  const NocModel noc(hw);
+  EXPECT_EQ(noc.mesh_side(), 6);
+  EXPECT_EQ(noc.hops(0, 0), 0);
+  EXPECT_EQ(noc.hops(0, 1), 1);
+  EXPECT_EQ(noc.hops(0, 6), 1);   // one row down
+  EXPECT_EQ(noc.hops(0, 35), 10); // corner to corner: 5 + 5
+}
+
+TEST(NocModel, BusConnectionSingleHop) {
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.connection = CoreConnection::kBus;
+  const NocModel noc(hw);
+  EXPECT_EQ(noc.hops(0, 35), 1);
+  EXPECT_EQ(noc.hops(3, 3), 0);
+}
+
+TEST(NocModel, ChipCrossing) {
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 72;
+  const NocModel noc(hw);
+  EXPECT_FALSE(noc.crosses_chip(0, 35));
+  EXPECT_TRUE(noc.crosses_chip(0, 36));
+  // Crossing a chip must cost more than staying on chip for equal bytes.
+  EXPECT_GT(noc.transfer_latency(0, 36, 1024),
+            noc.transfer_latency(0, 35, 1024));
+}
+
+TEST(NocModel, LatencyMonotonicInBytes) {
+  const NocModel noc(HardwareConfig::puma_default());
+  EXPECT_LT(noc.transfer_latency(0, 5, 64), noc.transfer_latency(0, 5, 4096));
+  EXPECT_EQ(noc.transfer_latency(2, 2, 4096), 0);
+  EXPECT_EQ(noc.flits(64), 8);
+  EXPECT_EQ(noc.flits(65), 9);
+}
+
+}  // namespace
+}  // namespace pimcomp

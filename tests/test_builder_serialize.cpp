@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/serialize.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(Builder, QuickstartGraph) {
+  GraphBuilder b("toy", {3, 32, 32});
+  NodeId x = b.input();
+  x = b.conv_relu(x, 16, 3, 1, 1, "c1");
+  x = b.max_pool(x, 2, 2);
+  x = b.fc(b.flatten(x), 10, "fc");
+  b.softmax(x);
+  Graph g = b.build();
+  EXPECT_TRUE(g.finalized());
+  EXPECT_EQ(g.crossbar_node_count(), 2);
+}
+
+TEST(Builder, ShapeOfDuringConstruction) {
+  GraphBuilder b("toy", {3, 32, 32});
+  NodeId x = b.conv(b.input(), 8, 3, 2, 1);
+  EXPECT_EQ(b.shape_of(x), (TensorShape{8, 16, 16}));
+  x = b.max_pool(x, 2, 2);
+  EXPECT_EQ(b.shape_of(x), (TensorShape{8, 8, 8}));
+  b.build();
+}
+
+TEST(Builder, CannotBuildTwice) {
+  GraphBuilder b("toy", {3, 8, 8});
+  b.conv(b.input(), 2, 3, 1, 1);
+  b.build();
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Builder, RejectsInvalidInputShape) {
+  EXPECT_THROW(GraphBuilder("bad", {0, 8, 8}), ConfigError);
+}
+
+void expect_graph_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.name(), b.name());
+  for (NodeId id = 0; id < a.node_count(); ++id) {
+    const Node& na = a.node(id);
+    const Node& nb = b.node(id);
+    EXPECT_EQ(na.type, nb.type) << "node " << id;
+    EXPECT_EQ(na.inputs, nb.inputs) << "node " << id;
+    EXPECT_EQ(na.output_shape, nb.output_shape) << "node " << id;
+    EXPECT_EQ(na.weight_params, nb.weight_params) << "node " << id;
+    EXPECT_EQ(na.conv, nb.conv) << "node " << id;
+    EXPECT_EQ(na.pool, nb.pool) << "node " << id;
+    EXPECT_EQ(na.eltwise, nb.eltwise) << "node " << id;
+    EXPECT_EQ(na.fc_units, nb.fc_units) << "node " << id;
+  }
+}
+
+TEST(Serialize, RoundTripSmallGraph) {
+  GraphBuilder b("small", {3, 16, 16});
+  NodeId x = b.conv_relu(b.input(), 8, 3, 1, 1, "c1");
+  NodeId y = b.conv(b.input(), 8, 3, 1, 1, "c2");
+  x = b.eltwise_add(x, y, "add");
+  x = b.max_pool(x, 2, 2, 0, "pool");
+  x = b.fc(b.flatten(x), 10, "fc");
+  b.softmax(x, "prob");
+  Graph original = b.build();
+
+  const Json json = graph_to_json(original);
+  Graph restored = graph_from_json(json);
+  expect_graph_equal(original, restored);
+}
+
+TEST(Serialize, JsonCarriesAttributes) {
+  GraphBuilder b("attrs", {3, 16, 16});
+  b.conv_rect(b.input(), 8, 1, 7, 1, 0, 3, "asym");
+  Graph g = b.build();
+  const Json json = graph_to_json(g);
+  const Json& node = json.at("nodes").at(std::size_t{0});
+  EXPECT_EQ(node.at("op").as_string(), "conv");
+  EXPECT_EQ(node.at("kernel").at(std::size_t{0}).as_int(), 1);
+  EXPECT_EQ(node.at("kernel").at(1).as_int(), 7);
+  EXPECT_EQ(node.at("padding").at(std::size_t{0}).as_int(), 0);
+  EXPECT_EQ(node.at("padding").at(1).as_int(), 3);
+}
+
+TEST(Serialize, ScalarPaddingAccepted) {
+  const Json doc = Json::parse(R"({
+    "name": "legacy", "input": [3, 8, 8],
+    "nodes": [{"name": "c", "op": "conv", "inputs": [0],
+               "out_channels": 4, "kernel": [3, 3], "stride": 1,
+               "padding": 1}]
+  })");
+  Graph g = graph_from_json(doc);
+  EXPECT_EQ(g.node(1).conv.padding_h, 1);
+  EXPECT_EQ(g.node(1).conv.padding_w, 1);
+}
+
+TEST(Serialize, MalformedDocumentsThrow) {
+  EXPECT_THROW(graph_from_json(Json::parse(R"({"name":"x"})")), JsonError);
+  EXPECT_THROW(
+      graph_from_json(Json::parse(R"({"name":"x","input":[3],"nodes":[]})")),
+      GraphError);
+}
+
+class ZooRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooRoundTrip, SerializationPreservesEveryNode) {
+  const int size = GetParam() == "inception-v3" ? 96 : 64;
+  Graph original = zoo::build(GetParam(), size);
+  Graph restored = graph_from_json(graph_to_json(original));
+  expect_graph_equal(original, restored);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooRoundTrip,
+                         ::testing::Values("vgg16", "resnet18", "googlenet",
+                                           "inception-v3", "squeezenet"));
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/zoo/zoo.hpp"
+#include "mapping/gene.hpp"
+#include "mapping/mapping_solution.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(Gene, PaperEncodingExample) {
+  // "1030025 represents 25 AGs of the 103rd node" (paper §IV-C1).
+  const Gene g{103, 25};
+  EXPECT_EQ(encode_gene(g), 1030025);
+  const Gene back = decode_gene(1030025);
+  EXPECT_EQ(back.node, 103);
+  EXPECT_EQ(back.ag_count, 25);
+}
+
+TEST(Gene, EmptySlotIsZero) {
+  EXPECT_EQ(encode_gene(Gene{}), 0);
+  const Gene empty = decode_gene(0);
+  EXPECT_EQ(empty.node, -1);
+  EXPECT_EQ(empty.ag_count, 0);
+}
+
+TEST(Gene, RejectsOutOfRangeCounts) {
+  EXPECT_THROW(encode_gene(Gene{1, 10000}), ConfigError);
+  EXPECT_THROW(encode_gene(Gene{1, -3}), ConfigError);
+  EXPECT_NO_THROW(encode_gene(Gene{1, kMaxAgCountPerGene}));
+  EXPECT_THROW(decode_gene(-5), ConfigError);
+  EXPECT_THROW(decode_gene(30000), ConfigError);  // zero ag_count
+}
+
+class SolutionTest : public ::testing::Test {
+ protected:
+  SolutionTest()
+      : graph_(zoo::squeezenet(64)), hw_(HardwareConfig::puma_default()) {
+    hw_.core_count = 36;
+    workload_ = std::make_unique<Workload>(graph_, hw_);
+  }
+
+  Graph graph_;
+  HardwareConfig hw_;
+  std::unique_ptr<Workload> workload_;
+};
+
+TEST_F(SolutionTest, AddMergesIntoOneGenePerNodePerCore) {
+  MappingSolution s(*workload_, 8);
+  const NodeId node = workload_->partitions()[0].node;
+  ASSERT_TRUE(s.can_add(0, node, 1));
+  s.add(0, node, 1);
+  s.add(0, node, 2);
+  EXPECT_EQ(s.gene_count(0), 1);
+  EXPECT_EQ(s.genes(0)[0].ag_count, 3);
+  EXPECT_EQ(s.total_ags(node), 3);
+}
+
+TEST_F(SolutionTest, CapacityEnforced) {
+  MappingSolution s(*workload_, 8);
+  const NodePartition& p = workload_->partitions()[0];
+  const int fit = hw_.xbars_per_core / p.xbars_per_ag;
+  EXPECT_TRUE(s.can_add(0, p.node, fit));
+  EXPECT_FALSE(s.can_add(0, p.node, fit + 1));
+  s.add(0, p.node, fit);
+  EXPECT_FALSE(s.can_add(0, p.node, 1));
+  EXPECT_EQ(s.free_xbars(0), hw_.xbars_per_core - fit * p.xbars_per_ag);
+}
+
+TEST_F(SolutionTest, NodeSlotBoundEnforced) {
+  MappingSolution s(*workload_, 2);
+  s.add(0, workload_->partitions()[0].node, 1);
+  s.add(0, workload_->partitions()[1].node, 1);
+  EXPECT_FALSE(s.can_add(0, workload_->partitions()[2].node, 1));
+  // Existing nodes can still grow.
+  EXPECT_TRUE(s.can_add(0, workload_->partitions()[0].node, 1));
+}
+
+TEST_F(SolutionTest, RemoveReturnsActualCount) {
+  MappingSolution s(*workload_, 8);
+  const NodeId node = workload_->partitions()[0].node;
+  s.add(0, node, 3);
+  EXPECT_EQ(s.remove(0, node, 2), 2);
+  EXPECT_EQ(s.remove(0, node, 5), 1);  // only one left
+  EXPECT_EQ(s.remove(0, node, 1), 0);  // gene gone
+  EXPECT_EQ(s.gene_count(0), 0);
+}
+
+TEST_F(SolutionTest, ReplicationAndCycles) {
+  MappingSolution s(*workload_, 8);
+  const NodePartition& p = workload_->partitions()[0];
+  s.add(0, p.node, p.ags_per_replica());
+  EXPECT_EQ(s.replication(p.node), 1);
+  EXPECT_EQ(s.cycles(p.node), p.windows);
+  s.add(1, p.node, p.ags_per_replica());
+  EXPECT_EQ(s.replication(p.node), 2);
+  EXPECT_EQ(s.cycles(p.node), (p.windows + 1) / 2);
+}
+
+TEST_F(SolutionTest, ValidateCatchesMissingReplicas) {
+  MappingSolution s(*workload_, 8);
+  // Give only the first node a replica; everything else is missing.
+  s.add(0, workload_->partitions()[0].node,
+        workload_->partitions()[0].ags_per_replica());
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST_F(SolutionTest, ValidateCatchesPartialReplicaTotals) {
+  MappingSolution s(*workload_, 8);
+  for (const NodePartition& p : workload_->partitions()) {
+    int remaining = p.ags_per_replica();
+    int guard = 0;
+    for (int c = 0; remaining > 0; ++c) {
+      ASSERT_LT(++guard, 100000) << "placement did not converge";
+      int add = std::min(remaining, 4);
+      while (add > 0 && !s.can_add(c % 36, p.node, add)) --add;
+      if (add > 0) {
+        s.add(c % 36, p.node, add);
+        remaining -= add;
+      }
+    }
+  }
+  EXPECT_NO_THROW(s.validate());
+  // Now break one node's total.
+  const NodePartition& p0 = workload_->partitions()[0];
+  if (p0.ags_per_replica() > 1) {
+    for (int c = 0; c < 36; ++c) {
+      if (s.remove(c, p0.node, 1) == 1) break;
+    }
+    EXPECT_THROW(s.validate(), Error);
+  }
+}
+
+TEST_F(SolutionTest, EncodeDecodeRoundTrip) {
+  MappingSolution s(*workload_, 8);
+  for (const NodePartition& p : workload_->partitions()) {
+    int remaining = p.ags_per_replica();
+    int core = p.node % 36;
+    int guard = 0;
+    while (remaining > 0) {
+      ASSERT_LT(++guard, 100000) << "placement did not converge";
+      int add = std::min(remaining, 3);
+      while (add > 0 && !s.can_add(core, p.node, add)) --add;
+      if (add > 0) {
+        s.add(core, p.node, add);
+        remaining -= add;
+      } else {
+        core = (core + 1) % 36;
+      }
+    }
+  }
+  const std::vector<std::int64_t> chromosome = s.encode();
+  EXPECT_EQ(chromosome.size(), 36u * 8u);
+  MappingSolution restored = MappingSolution::decode(*workload_, 8, chromosome);
+  EXPECT_EQ(restored.encode(), chromosome);
+  for (const NodePartition& p : workload_->partitions()) {
+    EXPECT_EQ(restored.total_ags(p.node), s.total_ags(p.node));
+  }
+}
+
+TEST_F(SolutionTest, InstantiateKeepsWholeReplicasLocal) {
+  MappingSolution s(*workload_, 8);
+  std::vector<bool> whole_replica(
+      static_cast<std::size_t>(graph_.node_count()), false);
+  for (const NodePartition& p : workload_->partitions()) {
+    // Two whole replicas on distinct cores where one fits a core; nodes
+    // whose replica exceeds a core's crossbars scatter AG by AG.
+    if (p.xbars_per_replica() <= hw_.xbars_per_core) {
+      int placed = 0;
+      for (int c = 0; c < 36 && placed < 2; ++c) {
+        if (s.can_add(c, p.node, p.ags_per_replica())) {
+          s.add(c, p.node, p.ags_per_replica());
+          ++placed;
+        }
+      }
+      ASSERT_GE(placed, 1);
+      whole_replica[static_cast<std::size_t>(p.node)] = true;
+    } else {
+      int remaining = p.ags_per_replica();
+      int guard = 0;
+      for (int c = 0; remaining > 0; ++c) {
+        ASSERT_LT(++guard, 100000);
+        if (s.can_add(c % 36, p.node, 1)) {
+          s.add(c % 36, p.node, 1);
+          --remaining;
+        }
+      }
+    }
+  }
+  const std::vector<AgInstance> instances = s.instantiate();
+  // Whole-replica nodes: every (replica, chunk) accumulation group must
+  // live on exactly one core (instantiate's pass-1 guarantee).
+  std::map<std::tuple<NodeId, int, int>, int> group_core;
+  for (const AgInstance& ag : instances) {
+    if (!whole_replica[static_cast<std::size_t>(ag.node)]) continue;
+    const auto key = std::make_tuple(ag.node, ag.replica, ag.col_chunk);
+    auto it = group_core.find(key);
+    if (it == group_core.end()) {
+      group_core[key] = ag.core;
+    } else {
+      EXPECT_EQ(it->second, ag.core) << "scattered group for node " << ag.node;
+    }
+  }
+}
+
+TEST_F(SolutionTest, InstantiateCountsMatchTotals) {
+  MappingSolution s(*workload_, 8);
+  for (const NodePartition& p : workload_->partitions()) {
+    int remaining = 2 * p.ags_per_replica();
+    int guard = 0;
+    for (int c = 0; remaining > 0; ++c) {
+      ASSERT_LT(++guard, 100000) << "placement did not converge";
+      int add = std::min(remaining, 2);
+      while (add > 0 && !s.can_add(c % 36, p.node, add)) --add;
+      if (add > 0) {
+        s.add(c % 36, p.node, add);
+        remaining -= add;
+      }
+    }
+    ASSERT_EQ(remaining, 0);
+  }
+  const auto instances = s.instantiate();
+  std::map<NodeId, int> counts;
+  for (const AgInstance& ag : instances) ++counts[ag.node];
+  for (const NodePartition& p : workload_->partitions()) {
+    EXPECT_EQ(counts[p.node], s.total_ags(p.node));
+    EXPECT_EQ(counts[p.node], 2 * p.ags_per_replica());
+  }
+}
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,141 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+
+namespace pimcomp {
+namespace {
+
+Node input_node(TensorShape shape) {
+  Node n;
+  n.type = OpType::kInput;
+  n.name = "input";
+  n.output_shape = shape;
+  return n;
+}
+
+TEST(TensorShape, ElementsAndBytes) {
+  const TensorShape s{3, 224, 224};
+  EXPECT_EQ(s.elements(), 3 * 224 * 224);
+  EXPECT_EQ(s.bytes(16), 3 * 224 * 224 * 2);
+  EXPECT_EQ(s.to_string(), "3x224x224");
+  EXPECT_TRUE(s.valid());
+  EXPECT_FALSE(TensorShape{}.valid());
+  EXPECT_FALSE((TensorShape{0, 3, 3}).valid());
+}
+
+TEST(OpType, RoundTripNames) {
+  for (OpType t : {OpType::kInput, OpType::kConv, OpType::kFC, OpType::kPool,
+                   OpType::kRelu, OpType::kConcat, OpType::kEltwise,
+                   OpType::kFlatten, OpType::kSoftmax}) {
+    EXPECT_EQ(op_type_from_string(to_string(t)), t);
+  }
+  EXPECT_THROW(op_type_from_string("bogus"), GraphError);
+}
+
+TEST(OpType, Classification) {
+  EXPECT_TRUE(is_crossbar_op(OpType::kConv));
+  EXPECT_TRUE(is_crossbar_op(OpType::kFC));
+  EXPECT_FALSE(is_crossbar_op(OpType::kPool));
+  EXPECT_TRUE(is_vector_op(OpType::kRelu));
+  EXPECT_TRUE(is_vector_op(OpType::kEltwise));
+  EXPECT_FALSE(is_vector_op(OpType::kConcat));
+  EXPECT_FALSE(is_vector_op(OpType::kConv));
+}
+
+TEST(Graph, AddAssignsSequentialIds) {
+  Graph g("test");
+  EXPECT_EQ(g.add_node(input_node({3, 8, 8})), 0);
+  Node conv;
+  conv.type = OpType::kConv;
+  conv.inputs = {0};
+  conv.conv = {8, 3, 3, 1, 1, 1};
+  EXPECT_EQ(g.add_node(conv), 1);
+  EXPECT_EQ(g.node_count(), 2);
+}
+
+TEST(Graph, RejectsForwardReferences) {
+  Graph g("test");
+  g.add_node(input_node({3, 8, 8}));
+  Node bad;
+  bad.type = OpType::kRelu;
+  bad.inputs = {5};  // refers to a node that does not exist yet
+  EXPECT_THROW(g.add_node(bad), GraphError);
+}
+
+TEST(Graph, FinalizeRequiresInputFirst) {
+  Graph g("test");
+  Node conv;
+  conv.type = OpType::kConv;
+  conv.output_shape = {1, 1, 1};
+  EXPECT_THROW(
+      {
+        g.add_node(conv);
+        g.finalize();
+      },
+      GraphError);
+}
+
+TEST(Graph, FinalizeRejectsSecondInput) {
+  Graph g("test");
+  g.add_node(input_node({3, 8, 8}));
+  g.add_node(input_node({3, 8, 8}));
+  EXPECT_THROW(g.finalize(), GraphError);
+}
+
+TEST(Graph, FinalizeRejectsOrphanNodes) {
+  Graph g("test");
+  g.add_node(input_node({3, 8, 8}));
+  Node orphan;
+  orphan.type = OpType::kRelu;  // no inputs
+  g.add_node(orphan);
+  EXPECT_THROW(g.finalize(), GraphError);
+}
+
+TEST(Graph, ConsumersAndSinks) {
+  GraphBuilder b("t", {3, 8, 8});
+  const NodeId c1 = b.conv(b.input(), 4, 3, 1, 1, "c1");
+  const NodeId r1 = b.relu(c1);
+  const NodeId c2 = b.conv(r1, 4, 3, 1, 1, "c2a");
+  const NodeId c3 = b.conv(r1, 4, 3, 1, 1, "c2b");
+  Graph g = b.build();
+
+  EXPECT_EQ(g.consumers(c1).size(), 1u);
+  EXPECT_EQ(g.consumers(r1).size(), 2u);
+  ASSERT_EQ(g.sinks().size(), 2u);
+  EXPECT_EQ(g.sinks()[0], c2);
+  EXPECT_EQ(g.sinks()[1], c3);
+}
+
+TEST(Graph, WeightAndMacTotals) {
+  GraphBuilder b("t", {3, 8, 8});
+  NodeId x = b.conv(b.input(), 4, 3, 1, 1, "c");  // 3*3*3*4 = 108 params
+  x = b.fc(b.flatten(x), 10);                     // 4*8*8*10 = 2560 params
+  Graph g = b.build();
+  EXPECT_EQ(g.total_weight_params(), 108 + 2560);
+  // conv MACs = params * out_h * out_w = 108 * 64; fc MACs = params.
+  EXPECT_EQ(g.total_macs(), 108 * 64 + 2560);
+  EXPECT_EQ(g.crossbar_node_count(), 2);
+}
+
+TEST(Graph, CannotAddAfterFinalize) {
+  GraphBuilder b("t", {3, 8, 8});
+  b.conv(b.input(), 4, 3);
+  Graph g = b.build();
+  Node extra;
+  extra.type = OpType::kRelu;
+  extra.inputs = {0};
+  EXPECT_THROW(g.add_node(extra), ConfigError);
+}
+
+TEST(Graph, AutoNamesUnnamedNodes) {
+  GraphBuilder b("t", {3, 8, 8});
+  const NodeId c = b.conv(b.input(), 4, 3);
+  Graph g = b.build();
+  EXPECT_FALSE(g.node(c).name.empty());
+}
+
+}  // namespace
+}  // namespace pimcomp

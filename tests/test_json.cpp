@@ -1,0 +1,146 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pimcomp {
+namespace {
+
+TEST(JsonValue, Scalars) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_FALSE(Json(false).as_bool());
+  EXPECT_DOUBLE_EQ(Json(3.5).as_number(), 3.5);
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_EQ(Json("hello").as_string(), "hello");
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1.0).as_string(), JsonError);
+  EXPECT_THROW(Json("x").as_number(), JsonError);
+  EXPECT_THROW(Json().as_bool(), JsonError);
+  EXPECT_THROW(Json(1).at("key"), JsonError);
+  EXPECT_THROW(Json(1).at(std::size_t{0}), JsonError);
+}
+
+TEST(JsonValue, ArrayOperations) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(Json::array());
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(std::size_t{0}).as_int(), 1);
+  EXPECT_EQ(arr.at(1).as_string(), "two");
+  EXPECT_THROW(arr.at(3), JsonError);
+}
+
+TEST(JsonValue, ObjectOperations) {
+  Json obj = Json::object();
+  obj["a"] = 1;
+  obj["b"] = "text";
+  obj["a"] = 2;  // overwrite
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("z"));
+  EXPECT_EQ(obj.at("a").as_int(), 2);
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_THROW(obj.at("missing"), JsonError);
+}
+
+TEST(JsonValue, GetWithFallback) {
+  Json obj = Json::object();
+  obj["x"] = 5;
+  EXPECT_EQ(obj.get("x", 0), 5);
+  EXPECT_EQ(obj.get("y", 7), 7);
+  EXPECT_EQ(obj.get("name", std::string("none")), "none");
+  EXPECT_TRUE(obj.get("flag", true));
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj["zebra"] = 1;
+  obj["apple"] = 2;
+  obj["mango"] = 3;
+  const auto& items = obj.items();
+  EXPECT_EQ(items[0].first, "zebra");
+  EXPECT_EQ(items[1].first, "apple");
+  EXPECT_EQ(items[2].first, "mango");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(Json::parse("\"str\"").as_string(), "str");
+}
+
+TEST(JsonParse, NestedDocument) {
+  const Json doc = Json::parse(R"({
+    "name": "vgg16",
+    "input": [3, 224, 224],
+    "nodes": [{"op": "conv", "stride": 1}, {"op": "pool"}]
+  })");
+  EXPECT_EQ(doc.at("name").as_string(), "vgg16");
+  EXPECT_EQ(doc.at("input").size(), 3u);
+  EXPECT_EQ(doc.at("input").at(1).as_int(), 224);
+  EXPECT_EQ(doc.at("nodes").at(std::size_t{0}).at("op").as_string(), "conv");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(Json::parse(R"("q\"q")").as_string(), "q\"q");
+  EXPECT_EQ(Json::parse(R"("back\\slash")").as_string(), "back\\slash");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+}
+
+TEST(JsonParse, Whitespace) {
+  EXPECT_EQ(Json::parse("  [ 1 , 2 ]  ").size(), 2u);
+  EXPECT_EQ(Json::parse("{ }").size(), 0u);
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+}
+
+TEST(JsonParse, MalformedThrows) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("[1] trailing"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+}
+
+TEST(JsonDump, CompactAndPretty) {
+  Json obj = Json::object();
+  obj["a"] = 1;
+  Json arr = Json::array();
+  arr.push_back(2);
+  obj["b"] = std::move(arr);
+  EXPECT_EQ(obj.dump(-1), "{\"a\":1,\"b\":[2]}");
+  const std::string pretty = obj.dump(2);
+  EXPECT_NE(pretty.find("\n"), std::string::npos);
+}
+
+TEST(JsonDump, IntegersStayIntegral) {
+  EXPECT_EQ(Json(1000000).dump(-1), "1000000");
+  EXPECT_EQ(Json(static_cast<std::int64_t>(1) << 40).dump(-1),
+            "1099511627776");
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsStable) {
+  const Json first = Json::parse(GetParam());
+  const std::string dumped = first.dump(-1);
+  const Json second = Json::parse(dumped);
+  EXPECT_EQ(second.dump(-1), dumped);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTrip,
+    ::testing::Values(
+        R"({"a":1,"b":[true,null,"x"],"c":{"d":2.5}})",
+        R"([1,2,3,[4,[5]]])", R"("plain string")", R"(3.14159)",
+        R"({"empty_obj":{},"empty_arr":[]})",
+        R"({"esc":"line\nbreak\ttab"})"));
+
+}  // namespace
+}  // namespace pimcomp

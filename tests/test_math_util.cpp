@@ -1,0 +1,82 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(CeilDiv, ExactDivision) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(0, 7), 0);
+}
+
+TEST(CeilDiv, RoundsUp) {
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(1, 128), 1);
+  EXPECT_EQ(ceil_div<std::int64_t>(25088, 128), 196);
+}
+
+TEST(RoundUp, Basics) {
+  EXPECT_EQ(round_up(0, 4), 0);
+  EXPECT_EQ(round_up(1, 4), 4);
+  EXPECT_EQ(round_up(8, 4), 8);
+  EXPECT_EQ(round_up(37, 36), 72);
+}
+
+TEST(Clamp, Basics) {
+  EXPECT_EQ(clamp(5, 0, 10), 5);
+  EXPECT_EQ(clamp(-5, 0, 10), 0);
+  EXPECT_EQ(clamp(15, 0, 10), 10);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Isqrt, Values) {
+  EXPECT_EQ(isqrt(0), 0);
+  EXPECT_EQ(isqrt(1), 1);
+  EXPECT_EQ(isqrt(35), 5);
+  EXPECT_EQ(isqrt(36), 6);
+  EXPECT_EQ(isqrt(37), 6);
+}
+
+TEST(CheckedInt, PassesAndThrows) {
+  EXPECT_EQ(checked_int(42), 42);
+  EXPECT_EQ(checked_int(2147483647LL), 2147483647);
+  EXPECT_THROW(checked_int(2147483648LL), Error);
+  EXPECT_THROW(checked_int(-1), Error);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(from_ns(1.0), 1000);
+  EXPECT_EQ(from_us(1.0), 1000000);
+  EXPECT_DOUBLE_EQ(to_ns(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_us(from_us(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_seconds(kPsPerSec), 1.0);
+}
+
+TEST(Units, EnergyFromPower) {
+  // 1 mW for 1 second = 1 mJ = 1e9 pJ.
+  EXPECT_DOUBLE_EQ(energy_mw_ps(1.0, kPsPerSec), 1e9);
+  // 100 mW for 1 us = 0.1 uJ = 1e5 pJ.
+  EXPECT_DOUBLE_EQ(energy_mw_ps(100.0, kPsPerUs), 1e5);
+}
+
+class CeilDivProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CeilDivProperty, InverseOfMultiplication) {
+  const auto [a, b] = GetParam();
+  const int q = ceil_div(a, b);
+  EXPECT_GE(q * b, a);
+  EXPECT_LT((q - 1) * b, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CeilDivProperty,
+    ::testing::Values(std::pair{1, 1}, std::pair{7, 3}, std::pair{128, 128},
+                      std::pair{129, 128}, std::pair{4096, 17},
+                      std::pair{999, 1000}, std::pair{1000, 999}));
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,153 @@
+#include "schedule/memory_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(Planner, NaiveNeverReclaimsUntilFlush) {
+  LocalMemoryPlanner planner(MemoryPolicy::kNaive, 1024);
+  const int a = planner.alloc(100, BlockClass::kPartial);
+  const int b = planner.alloc(200, BlockClass::kInput);
+  EXPECT_EQ(planner.usage(), 300);
+  planner.free(a);
+  planner.free(b);
+  EXPECT_EQ(planner.usage(), 300);  // deferred
+  planner.flush();
+  EXPECT_EQ(planner.usage(), 0);
+}
+
+TEST(Planner, NaiveAllocatesFreshAccumulators) {
+  LocalMemoryPlanner planner(MemoryPolicy::kNaive, 4096);
+  const int acc = planner.alloc(64, BlockClass::kAccumulator);
+  const int next = planner.accumulate_into(acc, 64);
+  EXPECT_NE(next, acc);  // Fig 7(a): a new block per operation
+  EXPECT_EQ(planner.usage(), 128);
+}
+
+TEST(Planner, AddReuseFoldsInPlace) {
+  LocalMemoryPlanner planner(MemoryPolicy::kAddReuse, 4096);
+  const int acc = planner.alloc(64, BlockClass::kAccumulator);
+  const int next = planner.accumulate_into(acc, 64);
+  EXPECT_EQ(next, acc);  // Fig 7(b): ADD-reuse
+  EXPECT_EQ(planner.usage(), 64);
+  // Accumulators reclaim on free; partials do not.
+  const int partial = planner.alloc(32, BlockClass::kPartial);
+  planner.free(partial);
+  EXPECT_EQ(planner.usage(), 96);
+  planner.free(acc);
+  EXPECT_EQ(planner.usage(), 32);
+}
+
+TEST(Planner, AgReuseReclaimsEverything) {
+  LocalMemoryPlanner planner(MemoryPolicy::kAgReuse, 4096);
+  const int p1 = planner.alloc(64, BlockClass::kPartial);
+  const int in = planner.alloc(128, BlockClass::kInput);
+  EXPECT_EQ(planner.usage(), 192);
+  planner.free(p1);
+  EXPECT_EQ(planner.usage(), 128);  // Fig 7(c): AG buffers recycle
+  planner.free(in);
+  EXPECT_EQ(planner.usage(), 0);
+}
+
+TEST(Planner, ForceFreeWorksUnderAllPolicies) {
+  for (MemoryPolicy policy : {MemoryPolicy::kNaive, MemoryPolicy::kAddReuse,
+                              MemoryPolicy::kAgReuse}) {
+    LocalMemoryPlanner planner(policy, 4096);
+    const int b = planner.alloc(100, BlockClass::kInput);
+    planner.force_free(b);
+    EXPECT_EQ(planner.usage(), 0) << to_string(policy);
+    planner.force_free(b);  // double free is a no-op
+    EXPECT_EQ(planner.usage(), 0);
+  }
+}
+
+TEST(Planner, PeakTracksHighWater) {
+  LocalMemoryPlanner planner(MemoryPolicy::kAgReuse, 4096);
+  const int a = planner.alloc(1000, BlockClass::kPartial);
+  planner.alloc(500, BlockClass::kPartial);
+  planner.free(a);
+  planner.alloc(100, BlockClass::kPartial);
+  EXPECT_EQ(planner.peak_usage(), 1500);
+  EXPECT_EQ(planner.usage(), 600);
+}
+
+TEST(Planner, SpillRedirectsOverflowToGlobal) {
+  LocalMemoryPlanner planner(MemoryPolicy::kNaive, 1000,
+                             /*spill_on_overflow=*/true);
+  planner.alloc(800, BlockClass::kInput);
+  const int spilled = planner.alloc(400, BlockClass::kPartial);
+  EXPECT_EQ(spilled, 1);  // block exists but lives in global memory
+  EXPECT_EQ(planner.usage(), 800);  // local usage unchanged
+  EXPECT_EQ(planner.spill_traffic_bytes(), 800);  // write + read back
+  planner.flush();
+  EXPECT_EQ(planner.usage(), 0);
+  EXPECT_EQ(planner.spill_traffic_bytes(), 800);  // sticky counter
+}
+
+TEST(Planner, OverflowGrowsWhenSpillDisabled) {
+  LocalMemoryPlanner planner(MemoryPolicy::kNaive, 1000,
+                             /*spill_on_overflow=*/false);
+  planner.alloc(800, BlockClass::kInput);
+  planner.alloc(400, BlockClass::kPartial);
+  EXPECT_EQ(planner.usage(), 1200);  // exceeds capacity by design (LL report)
+  EXPECT_EQ(planner.spill_traffic_bytes(), 0);
+}
+
+TEST(Planner, FreeOnSpilledBlockIsSafe) {
+  LocalMemoryPlanner planner(MemoryPolicy::kAgReuse, 100);
+  planner.alloc(80, BlockClass::kInput);
+  const int spilled = planner.alloc(50, BlockClass::kPartial);
+  planner.free(spilled);
+  planner.force_free(spilled);
+  EXPECT_EQ(planner.usage(), 80);
+}
+
+TEST(Planner, NegativeCapacityRejected) {
+  EXPECT_THROW(LocalMemoryPlanner(MemoryPolicy::kNaive, 0), ConfigError);
+}
+
+TEST(Planner, PolicyNames) {
+  EXPECT_EQ(to_string(MemoryPolicy::kNaive), "naive");
+  EXPECT_EQ(to_string(MemoryPolicy::kAddReuse), "add-reuse");
+  EXPECT_EQ(to_string(MemoryPolicy::kAgReuse), "ag-reuse");
+}
+
+class PolicyOrdering : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyOrdering, ReusePoliciesNeverUseMoreMemory) {
+  // Replay an identical allocation/free script under the three policies and
+  // check peak(naive) >= peak(add-reuse) >= peak(ag-reuse) — the Fig 7/10
+  // ordering.
+  const int chains = GetParam();
+  auto run = [&](MemoryPolicy policy) {
+    LocalMemoryPlanner planner(policy, 1 << 20);
+    for (int chain = 0; chain < chains; ++chain) {
+      int acc = -1;
+      std::vector<int> partials;
+      for (int member = 0; member < 4; ++member) {
+        partials.push_back(planner.alloc(64, BlockClass::kPartial));
+        acc = planner.accumulate_into(acc, 256);
+        planner.free(partials.back());
+      }
+      planner.free(acc);
+    }
+    return planner.peak_usage();
+  };
+  const std::int64_t naive = run(MemoryPolicy::kNaive);
+  const std::int64_t add = run(MemoryPolicy::kAddReuse);
+  const std::int64_t ag = run(MemoryPolicy::kAgReuse);
+  EXPECT_GE(naive, add);
+  EXPECT_GE(add, ag);
+  EXPECT_GT(naive, ag);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainCounts, PolicyOrdering,
+                         ::testing::Values(1, 4, 16, 64));
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "graph/builder.hpp"
+#include "graph/zoo/zoo.hpp"
+#include "partition/node_partitioner.hpp"
+#include "partition/workload.hpp"
+
+namespace pimcomp {
+namespace {
+
+Graph tiny_conv_graph(int cin, int cout, int k, int in_size) {
+  GraphBuilder b("tiny", {cin, in_size, in_size});
+  b.conv(b.input(), cout, k, 1, k / 2, "conv");
+  return b.build();
+}
+
+TEST(Partition, ConvMatrixLowering) {
+  // Fig 4: weight matrix height = kw*kh*Cin, width = Cout.
+  Graph g = tiny_conv_graph(64, 128, 3, 32);
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  const NodePartition p = partition_node(g, 1, hw);
+  EXPECT_EQ(p.matrix_rows, 3 * 3 * 64);
+  EXPECT_EQ(p.matrix_cols, 128);
+  EXPECT_EQ(p.row_slices, ceil_div(576, 128));  // 5 AG row slices
+  EXPECT_EQ(p.windows, 32 * 32);
+  EXPECT_EQ(p.out_height, 32);
+  EXPECT_EQ(p.out_width, 32);
+}
+
+TEST(Partition, XbarsPerAgUsesLogicalColumns) {
+  Graph g = tiny_conv_graph(64, 128, 3, 32);
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  const NodePartition p = partition_node(g, 1, hw);
+  // 128 output columns at 16 logical columns per crossbar -> 8 crossbars.
+  EXPECT_EQ(p.col_chunks, 1);
+  EXPECT_EQ(p.xbars_per_ag, 8);
+  EXPECT_EQ(p.ags_per_replica(), 5);
+  EXPECT_EQ(p.xbars_per_replica(), 40);
+}
+
+TEST(Partition, FCTreatedAsSpecialConv) {
+  GraphBuilder b("fc", {512, 2, 2});
+  b.fc(b.flatten(b.input()), 1000);
+  Graph g = b.build();
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  // Node 2 is the FC (0 input, 1 flatten).
+  const NodePartition p = partition_node(g, 2, hw);
+  EXPECT_EQ(p.matrix_rows, 2048);
+  EXPECT_EQ(p.matrix_cols, 1000);
+  EXPECT_EQ(p.windows, 1);
+  EXPECT_EQ(p.row_slices, 16);
+}
+
+TEST(Partition, WideLayersChunkToFitCore) {
+  // FC 4096 outputs: 256 crossbars of width if unchunked, must split so one
+  // AG fits the 64-crossbar core budget.
+  GraphBuilder b("wide", {512, 2, 2});
+  b.fc(b.flatten(b.input()), 4096);
+  Graph g = b.build();
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  const NodePartition p = partition_node(g, 2, hw);
+  EXPECT_EQ(p.col_chunks, 4);
+  EXPECT_LE(p.xbars_per_ag, hw.xbars_per_core);
+  // Chunks cover all columns exactly.
+  int covered = 0;
+  for (int cc = 0; cc < p.col_chunks; ++cc) covered += p.chunk_cols(cc);
+  EXPECT_EQ(covered, 4096);
+}
+
+TEST(Partition, RejectsNonCrossbarNodes) {
+  GraphBuilder b("p", {3, 8, 8});
+  const NodeId pool = b.max_pool(b.input(), 2, 2);
+  Graph g = b.build();
+  EXPECT_THROW(partition_node(g, pool, HardwareConfig::puma_default()),
+               ConfigError);
+}
+
+TEST(Workload, CollectsAllCrossbarNodes) {
+  Graph g = zoo::resnet18(64);
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 288;
+  const Workload w(g, hw);
+  EXPECT_EQ(w.partition_count(), 21);
+  EXPECT_GT(w.min_xbars_required(), 0);
+  EXPECT_LE(w.min_xbars_required(), w.total_xbars_available());
+}
+
+TEST(Workload, PartitionLookup) {
+  Graph g = zoo::resnet18(64);
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 288;
+  const Workload w(g, hw);
+  // Node 1 is conv1.
+  EXPECT_TRUE(w.has_partition(1));
+  EXPECT_EQ(w.partition_of(1).node, 1);
+  EXPECT_EQ(w.partition_index(0), -1);  // input node
+  EXPECT_THROW(w.partition_of(0), ConfigError);
+}
+
+TEST(Workload, ThrowsWhenHardwareTooSmall) {
+  Graph g = zoo::vgg16(224);  // 138M weights do not fit one 36-core chip
+  HardwareConfig hw = HardwareConfig::puma_default();
+  EXPECT_THROW(Workload(g, hw), CapacityError);
+}
+
+TEST(Workload, RecommendedCoresRoundToChips) {
+  Graph g = zoo::resnet18(64);
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 4096;  // plenty, we only query the recommendation
+  const Workload w(g, hw);
+  const int cores = w.recommended_core_count(2.0);
+  EXPECT_EQ(cores % hw.cores_per_chip, 0);
+  EXPECT_GE(static_cast<std::int64_t>(cores) * hw.xbars_per_core,
+            2 * w.min_xbars_required());
+  EXPECT_THROW(w.recommended_core_count(0.5), ConfigError);
+}
+
+TEST(Workload, MaxReplicationIsWindowCount) {
+  Graph g = zoo::resnet18(64);
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 288;
+  const Workload w(g, hw);
+  EXPECT_EQ(w.max_replication(1), w.partition_of(1).windows);
+}
+
+struct PartitionCase {
+  int cin, cout, kernel, in_size;
+};
+
+class PartitionSweep : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionSweep, GeometryInvariants) {
+  const PartitionCase c = GetParam();
+  Graph g = tiny_conv_graph(c.cin, c.cout, c.kernel, c.in_size);
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  const NodePartition p = partition_node(g, 1, hw);
+
+  // Row slices cover the matrix.
+  EXPECT_GE(p.row_slices * hw.logical_rows_per_xbar(), p.matrix_rows);
+  EXPECT_LT((p.row_slices - 1) * hw.logical_rows_per_xbar(), p.matrix_rows);
+  // One AG always fits a core.
+  EXPECT_LE(p.xbars_per_ag, hw.xbars_per_core);
+  // Chunks cover all columns, and all but the last are full width.
+  int covered = 0;
+  for (int cc = 0; cc < p.col_chunks; ++cc) {
+    EXPECT_GT(p.chunk_cols(cc), 0);
+    covered += p.chunk_cols(cc);
+  }
+  EXPECT_EQ(covered, p.matrix_cols);
+  // MVM count: windows per replica x AGs.
+  EXPECT_EQ(p.mvms_per_inference(),
+            static_cast<std::int64_t>(p.windows) * p.ags_per_replica());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionSweep,
+    ::testing::Values(PartitionCase{3, 64, 7, 32}, PartitionCase{64, 64, 3, 16},
+                      PartitionCase{128, 256, 3, 8},
+                      PartitionCase{512, 512, 3, 8},
+                      PartitionCase{16, 1000, 1, 4},
+                      PartitionCase{256, 2048, 1, 8},
+                      PartitionCase{1, 1, 1, 1}));
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,162 @@
+#include "schedule/receptive_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "partition/workload.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(StreamPos, FractionAndOrdering) {
+  EXPECT_DOUBLE_EQ(StreamPos::at(1, 1).fraction(10, 10), 0.01);
+  EXPECT_DOUBLE_EQ(StreamPos::at(10, 10).fraction(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(StreamPos::at(5, 10).fraction(10, 10), 0.5);
+  EXPECT_DOUBLE_EQ(StreamPos::whole().fraction(10, 10), 1.0);
+
+  EXPECT_EQ(StreamPos::later(StreamPos::at(2, 3), StreamPos::at(2, 5)),
+            StreamPos::at(2, 5));
+  EXPECT_EQ(StreamPos::later(StreamPos::at(3, 1), StreamPos::at(2, 9)),
+            StreamPos::at(3, 1));
+  EXPECT_TRUE(
+      StreamPos::later(StreamPos::at(3, 1), StreamPos::whole()).full);
+}
+
+Node conv_node(int k, int s, int p) {
+  Node n;
+  n.type = OpType::kConv;
+  n.conv = {8, k, k, s, p, p};
+  return n;
+}
+
+TEST(WindowRequirement, PaperFormulaConv) {
+  // rd = min(H, K + s*(r-1) - p)
+  const TensorShape in{4, 16, 16};
+  const Node n = conv_node(3, 1, 1);
+  EXPECT_EQ(window_requirement(n, in, 1, 1), StreamPos::at(2, 2));
+  EXPECT_EQ(window_requirement(n, in, 5, 7), StreamPos::at(6, 8));
+  EXPECT_EQ(window_requirement(n, in, 16, 16), StreamPos::at(16, 16));
+}
+
+TEST(WindowRequirement, StridedConv) {
+  const TensorShape in{4, 16, 16};
+  const Node n = conv_node(3, 2, 0);
+  // rd = 3 + 2*(r-1)
+  EXPECT_EQ(window_requirement(n, in, 1, 1), StreamPos::at(3, 3));
+  EXPECT_EQ(window_requirement(n, in, 4, 2), StreamPos::at(9, 5));
+  EXPECT_EQ(window_requirement(n, in, 7, 7), StreamPos::at(15, 15));
+}
+
+TEST(WindowRequirement, ClampsToInputExtent) {
+  const TensorShape in{4, 8, 8};
+  const Node n = conv_node(5, 3, 2);
+  EXPECT_EQ(window_requirement(n, in, 3, 3), StreamPos::at(8, 8));
+  // Heavily padded first window still needs at least one input row.
+  const Node wide = conv_node(3, 1, 2);
+  EXPECT_EQ(window_requirement(wide, in, 1, 1), StreamPos::at(1, 1));
+}
+
+TEST(WindowRequirement, WholeTensorOps) {
+  const TensorShape in{4, 8, 8};
+  Node fc;
+  fc.type = OpType::kFC;
+  EXPECT_TRUE(window_requirement(fc, in, 1, 1).full);
+  Node gap;
+  gap.type = OpType::kPool;
+  gap.pool.kind = PoolKind::kGlobalAverage;
+  EXPECT_TRUE(window_requirement(gap, in, 1, 1).full);
+  Node sm;
+  sm.type = OpType::kSoftmax;
+  EXPECT_TRUE(window_requirement(sm, in, 1, 1).full);
+}
+
+TEST(WindowRequirement, ElementwisePassThrough) {
+  const TensorShape in{4, 8, 8};
+  Node relu;
+  relu.type = OpType::kRelu;
+  EXPECT_EQ(window_requirement(relu, in, 3, 5), StreamPos::at(3, 5));
+  Node add;
+  add.type = OpType::kEltwise;
+  EXPECT_EQ(window_requirement(add, in, 8, 8), StreamPos::at(8, 8));
+}
+
+TEST(PrefixRequirement, ExtendsOverEarlierRows) {
+  const TensorShape in{4, 16, 16};
+  const Node n = conv_node(3, 1, 1);
+  // Producing the prefix up to output (r=2, c=1): window (2,1) needs input
+  // (3,2); the earlier full row needs input (2,16). In row-major stream
+  // order (3,2) is the later position and already implies (2,16).
+  const StreamPos need = prefix_requirement(n, in, 16, StreamPos::at(2, 1));
+  EXPECT_EQ(need, StreamPos::at(3, 2));
+  // A prefix ending mid-row never needs less than the row above in full.
+  const StreamPos row_above = window_requirement(n, in, 1, 16);
+  EXPECT_EQ(StreamPos::later(need, row_above), need);
+  // Full prefixes stay full.
+  EXPECT_TRUE(prefix_requirement(n, in, 16, StreamPos::whole()).full);
+}
+
+TEST(TraceRequirements, ThroughPoolAndRelu) {
+  GraphBuilder b("t", {4, 16, 16});
+  const NodeId conv1 = b.conv(b.input(), 8, 3, 1, 1, "c1");
+  const NodeId r1 = b.relu(conv1, "r1");
+  const NodeId p = b.max_pool(r1, 2, 2, 0, "p");
+  const NodeId c2 = b.conv(p, 8, 3, 1, 1, "c2");
+  (void)c2;
+  Graph g = b.build();
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 36;
+  const Workload w(g, hw);
+
+  // c2's window (1,1) needs pool output (2,2) -> conv rows (4,...) of c1.
+  const auto reqs = trace_requirements(w, c2, 1, 1);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].provider, w.partition_index(conv1));
+  EXPECT_EQ(reqs[0].pos.row, 4);
+
+  // The last window needs everything (clamped).
+  const auto last = trace_requirements(w, c2, 7, 7);
+  EXPECT_EQ(last[0].pos.row, 16);
+}
+
+TEST(TraceRequirements, MergesMultiPathProviders) {
+  // Diamond: one conv feeds two branches that re-join in an eltwise feeding
+  // the consumer; requirements along both paths merge to the later one.
+  GraphBuilder b("d", {4, 12, 12});
+  const NodeId src = b.conv(b.input(), 8, 3, 1, 1, "src");
+  const NodeId left = b.relu(src, "l");
+  const NodeId right = b.max_pool(src, 3, 1, 1, "r");  // same spatial size
+  const NodeId join = b.eltwise_add(left, right, "join");
+  const NodeId sink = b.conv(join, 8, 3, 1, 1, "sink");
+  Graph g = b.build();
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 36;
+  const Workload w(g, hw);
+
+  const auto reqs = trace_requirements(w, sink, 1, 1);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].provider, w.partition_index(src));
+  // Left path needs src row 2; right path (3x3 pool) needs row 3.
+  EXPECT_EQ(reqs[0].pos.row, 3);
+}
+
+TEST(TraceRequirements, MonotoneInWindowPosition) {
+  GraphBuilder b("m", {4, 16, 16});
+  const NodeId c1 = b.conv(b.input(), 8, 3, 1, 1, "c1");
+  const NodeId c2 = b.conv(c1, 8, 3, 1, 1, "c2");
+  (void)c2;
+  Graph g = b.build();
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 36;
+  const Workload w(g, hw);
+  int prev_row = 0;
+  for (int r = 1; r <= 16; ++r) {
+    const auto reqs = trace_requirements(w, c2, r, 16);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_GE(reqs[0].pos.row, prev_row);
+    prev_row = reqs[0].pos.row;
+  }
+  EXPECT_EQ(prev_row, 16);
+}
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,84 @@
+#include "common/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(TimeWeightedAverage, ConstantSignal) {
+  TimeWeightedAverage t;
+  t.record(0, 10.0);
+  EXPECT_DOUBLE_EQ(t.finish(100), 10.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 10.0);
+}
+
+TEST(TimeWeightedAverage, StepSignal) {
+  TimeWeightedAverage t;
+  t.record(0, 0.0);
+  t.record(50, 100.0);  // 0 for [0,50), 100 for [50,100)
+  EXPECT_DOUBLE_EQ(t.finish(100), 50.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 100.0);
+}
+
+TEST(TimeWeightedAverage, WeightsByDuration) {
+  TimeWeightedAverage t;
+  t.record(0, 4.0);
+  t.record(10, 8.0);  // 4 for 10 units, 8 for 30 units
+  EXPECT_DOUBLE_EQ(t.finish(40), (4.0 * 10 + 8.0 * 30) / 40.0);
+}
+
+TEST(TimeWeightedAverage, EmptySignal) {
+  TimeWeightedAverage t;
+  EXPECT_DOUBLE_EQ(t.finish(100), 0.0);
+}
+
+TEST(TimeWeightedAverage, OutOfOrderThrows) {
+  TimeWeightedAverage t;
+  t.record(100, 1.0);
+  EXPECT_THROW(t.record(50, 2.0), Error);
+}
+
+TEST(Geomean, Values) {
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  EXPECT_THROW(geomean({1.0, 0.0}), Error);
+  EXPECT_THROW(geomean({-1.0}), Error);
+}
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(StringUtil, FormatRatio) {
+  EXPECT_EQ(format_ratio(1.6), "1.60x");
+  EXPECT_EQ(format_ratio(2.4, 1), "2.4x");
+}
+
+TEST(StringUtil, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(64.0 * 1024), "64.0 kB");
+  EXPECT_EQ(format_bytes(4.0 * 1024 * 1024), "4.0 MB");
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("pimcomp-ga", "pimcomp"));
+  EXPECT_FALSE(starts_with("ga", "pimcomp"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("title");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // All rendered rows have equal width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t end = out.find('\n', pos);
+    if (end == std::string::npos) break;
+    const std::string line = out.substr(pos, end - pos);
+    if (!line.empty() && line[0] == '|') {
+      if (width == 0) width = line.size();
+      EXPECT_EQ(line.size(), width);
+    }
+    pos = end + 1;
+  }
+}
+
+TEST(Table, PadsShortRows) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+TEST(Table, EmptyTable) {
+  Table t("empty");
+  EXPECT_NE(t.to_string().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,129 @@
+#include "schedule/vec_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(VfuElements, PerOperatorCosts) {
+  GraphBuilder b("t", {4, 8, 8});
+  const NodeId c = b.conv(b.input(), 8, 3, 1, 1);
+  const NodeId r = b.relu(c);
+  const NodeId p = b.max_pool(r, 2, 2);
+  const NodeId g = b.global_avg_pool(p);
+  const NodeId f = b.fc(b.flatten(g), 10);
+  const NodeId s = b.softmax(f);
+  Graph graph = b.build();
+
+  EXPECT_EQ(vfu_elements(graph, r), 8 * 8 * 8);          // one op per element
+  EXPECT_EQ(vfu_elements(graph, p), 8 * 4 * 4 * 2 * 2);  // kernel^2 per output
+  EXPECT_EQ(vfu_elements(graph, g), 8 * 4 * 4);          // reads whole input
+  EXPECT_EQ(vfu_elements(graph, s), 10 * 3);             // exp + sum + divide
+  EXPECT_EQ(vfu_elements(graph, c), 0);                  // crossbar op
+  EXPECT_EQ(vfu_elements(graph, f), 0);
+}
+
+TEST(VfuElements, EltwiseAndConcat) {
+  GraphBuilder b("t", {4, 8, 8});
+  const NodeId a = b.conv(b.input(), 8, 1);
+  const NodeId c = b.conv(b.input(), 8, 1);
+  const NodeId add = b.eltwise_add(a, c);
+  const NodeId cat = b.concat({a, c});
+  Graph graph = b.build();
+  EXPECT_EQ(vfu_elements(graph, add), 8 * 8 * 8);  // (n-1) adds per element
+  EXPECT_EQ(vfu_elements(graph, cat), 0);          // pure addressing
+}
+
+TEST(FusedActivation, OnlyDirectCrossbarConsumers) {
+  GraphBuilder b("t", {4, 8, 8});
+  const NodeId c = b.conv(b.input(), 8, 3, 1, 1);
+  const NodeId r1 = b.relu(c);          // fused into the conv
+  const NodeId p = b.max_pool(r1, 2, 2);
+  const NodeId r2 = b.relu(p);          // NOT fused (consumes a pool)
+  (void)r2;
+  Graph graph = b.build();
+  EXPECT_TRUE(is_fused_activation(graph, r1));
+  EXPECT_FALSE(is_fused_activation(graph, r2));
+  EXPECT_FALSE(is_fused_activation(graph, p));
+}
+
+TEST(StandaloneVecNodes, ExcludesFusedAndCrossbar) {
+  Graph graph = zoo::resnet18(64);
+  const std::vector<NodeId> standalone = standalone_vec_nodes(graph);
+  for (NodeId id : standalone) {
+    const Node& n = graph.node(id);
+    EXPECT_FALSE(n.is_crossbar());
+    EXPECT_NE(n.type, OpType::kInput);
+    EXPECT_FALSE(is_fused_activation(graph, id));
+  }
+  // resnet18: the stem relu and each block's first-conv relu consume a
+  // crossbar node directly and fuse (1 + 8 = 9); the post-add relus consume
+  // eltwise nodes and stay standalone. 51 nodes - 21 crossbar - 1 input -
+  // 9 fused = 20 standalone VEC nodes.
+  int fused = 0;
+  for (const Node& n : graph.nodes()) {
+    if (is_fused_activation(graph, n.id)) ++fused;
+  }
+  EXPECT_EQ(fused, 9);
+  EXPECT_EQ(standalone.size(), 20u);
+}
+
+TEST(NodeBytes, InputAndOutputVolumes) {
+  GraphBuilder b("t", {4, 8, 8});
+  const NodeId a = b.conv(b.input(), 8, 1);
+  const NodeId c = b.conv(b.input(), 8, 1);
+  const NodeId add = b.eltwise_add(a, c);
+  Graph graph = b.build();
+  const HardwareConfig hw = HardwareConfig::puma_default();
+  // Two 8x8x8 16-bit operands in, one out.
+  EXPECT_EQ(node_input_bytes(graph, add, hw), 2 * 8 * 8 * 8 * 2);
+  EXPECT_EQ(node_output_bytes(graph, add, hw), 8 * 8 * 8 * 2);
+}
+
+TEST(DownstreamVecElements, ChargesEachVecNodeOnce) {
+  // Residual block: conv_a and conv_b feed an eltwise + relu; each conv is
+  // charged half of the shared chain, so the sum over convs equals the
+  // total VEC work.
+  GraphBuilder b("t", {4, 8, 8});
+  const NodeId a = b.conv(b.input(), 8, 3, 1, 1, "a");
+  const NodeId c = b.conv(b.input(), 8, 3, 1, 1, "c");
+  const NodeId add = b.eltwise_add(a, c);
+  const NodeId r = b.relu(add);
+  const NodeId d = b.conv(r, 8, 3, 1, 1, "d");
+  (void)d;
+  Graph graph = b.build();
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 36;
+  const Workload w(graph, hw);
+
+  const std::int64_t from_a = downstream_vec_elements(w, a);
+  const std::int64_t from_c = downstream_vec_elements(w, c);
+  const std::int64_t chain_total =
+      vfu_elements(graph, add) + vfu_elements(graph, r);
+  EXPECT_EQ(from_a, from_c);
+  EXPECT_NEAR(static_cast<double>(from_a + from_c),
+              static_cast<double>(chain_total), 2.0);
+  // d has no VEC consumers.
+  EXPECT_EQ(downstream_vec_elements(w, d), 0);
+}
+
+TEST(DownstreamVecElements, StopsAtNextCrossbarLayer) {
+  GraphBuilder b("t", {4, 8, 8});
+  const NodeId a = b.conv_relu(b.input(), 8, 3, 1, 1, "a");
+  const NodeId d = b.conv(a, 8, 3, 1, 1, "d");
+  const NodeId r2 = b.relu(d);
+  (void)r2;
+  Graph graph = b.build();
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 36;
+  const Workload w(graph, hw);
+  // a's chain covers only its own fused relu, not d's.
+  const NodeId conv_a = 1;
+  EXPECT_EQ(downstream_vec_elements(w, conv_a), 8 * 8 * 8);
+}
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,138 @@
+#include "graph/zoo/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(Zoo, ModelNamesMatchPaperOrder) {
+  const auto& names = zoo::model_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "vgg16");
+  EXPECT_EQ(names[4], "squeezenet");
+  EXPECT_THROW(zoo::build("alexnet"), GraphError);
+}
+
+TEST(Vgg16, CanonicalParameterCount) {
+  Graph g = zoo::vgg16(224);
+  // VGG-16 (no-BN) has 138.36M parameters (weights; biases excluded here).
+  const double params_m =
+      static_cast<double>(g.total_weight_params()) / 1e6;
+  EXPECT_NEAR(params_m, 138.3, 0.3);
+  EXPECT_EQ(g.crossbar_node_count(), 16);  // 13 conv + 3 fc
+}
+
+TEST(Vgg16, CanonicalMacCount) {
+  Graph g = zoo::vgg16(224);
+  // ~15.5 GMACs for a 224x224 inference.
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 15.5, 0.2);
+}
+
+TEST(Vgg16, RejectsBadInputSizes) {
+  EXPECT_THROW(zoo::vgg16(100), ConfigError);  // not a multiple of 32
+  EXPECT_NO_THROW(zoo::vgg16(64));
+}
+
+TEST(Resnet18, CanonicalParameterCount) {
+  Graph g = zoo::resnet18(224);
+  // ResNet-18 has ~11.69M parameters; conv+fc weights (BN folded) ~11.68M.
+  EXPECT_NEAR(static_cast<double>(g.total_weight_params()) / 1e6, 11.68, 0.1);
+  // 17 convs + 3 downsample projections + 1 fc = 21 crossbar nodes.
+  EXPECT_EQ(g.crossbar_node_count(), 21);
+}
+
+TEST(Resnet18, ResidualTopology) {
+  Graph g = zoo::resnet18(64);
+  int eltwise = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.type == OpType::kEltwise) ++eltwise;
+  }
+  EXPECT_EQ(eltwise, 8);  // two blocks per stage, four stages
+}
+
+TEST(Squeezenet, CanonicalParameterCount) {
+  Graph g = zoo::squeezenet(224);
+  // SqueezeNet v1.1: ~1.235M parameters.
+  EXPECT_NEAR(static_cast<double>(g.total_weight_params()) / 1e6, 1.235, 0.05);
+}
+
+TEST(Squeezenet, FireModuleTopology) {
+  Graph g = zoo::squeezenet(224);
+  int concats = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.type == OpType::kConcat) ++concats;
+  }
+  EXPECT_EQ(concats, 8);  // fire2..fire9
+  // 1 stem conv + 8 fires x 3 convs + conv10 = 26 crossbar nodes.
+  EXPECT_EQ(g.crossbar_node_count(), 26);
+}
+
+TEST(Googlenet, CanonicalParameterCount) {
+  Graph g = zoo::googlenet(224);
+  // GoogLeNet without auxiliary classifiers: ~7M parameters with true 5x5
+  // convolutions in the third branch (6.99M here).
+  EXPECT_NEAR(static_cast<double>(g.total_weight_params()) / 1e6, 7.0, 0.4);
+}
+
+TEST(Googlenet, InceptionTopology) {
+  Graph g = zoo::googlenet(224);
+  int concats = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.type == OpType::kConcat) ++concats;
+  }
+  EXPECT_EQ(concats, 9);  // 3a,3b,4a-4e,5a,5b
+  // 9 modules x 6 convs + stem 3 convs + fc = 58 crossbar nodes.
+  EXPECT_EQ(g.crossbar_node_count(), 58);
+}
+
+TEST(InceptionV3, CanonicalParameterCount) {
+  Graph g = zoo::inception_v3(299);
+  // Inception-v3: ~23.8M parameters.
+  EXPECT_NEAR(static_cast<double>(g.total_weight_params()) / 1e6, 23.8, 0.8);
+}
+
+TEST(InceptionV3, CanonicalOutputGrids) {
+  Graph g = zoo::inception_v3(299);
+  // Find the final concat before global pooling: 8x8 grid with 2048 channels.
+  const Node* last_concat = nullptr;
+  for (const Node& n : g.nodes()) {
+    if (n.type == OpType::kConcat) last_concat = &n;
+  }
+  ASSERT_NE(last_concat, nullptr);
+  EXPECT_EQ(last_concat->output_shape, (TensorShape{2048, 8, 8}));
+}
+
+TEST(InceptionV3, RejectsTinyInputs) {
+  EXPECT_THROW(zoo::inception_v3(64), ConfigError);
+  EXPECT_NO_THROW(zoo::inception_v3(96));
+}
+
+class ZooStructure : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooStructure, EndsWithSoftmaxAndHasSingleSink) {
+  const int size = GetParam() == "inception-v3" ? 96 : 64;
+  Graph g = zoo::build(GetParam(), size);
+  ASSERT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.node(g.sinks()[0]).type, OpType::kSoftmax);
+  // The classifier output is 1000-way.
+  EXPECT_EQ(g.node(g.sinks()[0]).output_shape.channels, 1000);
+}
+
+TEST_P(ZooStructure, ScalesWithInputResolution) {
+  if (GetParam() == "inception-v3") {
+    EXPECT_GT(zoo::build(GetParam(), 160).total_macs(),
+              zoo::build(GetParam(), 96).total_macs());
+  } else {
+    EXPECT_GT(zoo::build(GetParam(), 128).total_macs(),
+              zoo::build(GetParam(), 64).total_macs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooStructure,
+                         ::testing::Values("vgg16", "resnet18", "googlenet",
+                                           "inception-v3", "squeezenet"));
+
+}  // namespace
+}  // namespace pimcomp
