@@ -19,9 +19,7 @@ int main() {
 
   for (const std::string& name : {std::string("resnet18"),
                                   std::string("squeezenet")}) {
-    Graph graph = bench_model(name, cfg);
-    const HardwareConfig hw = bench_hardware(graph);
-    Compiler compiler(std::move(graph), hw);
+    CompilerSession session = bench_session(name, cfg);
 
     Table ladder("Mapper ladder on " + name + " (lower is better)");
     ladder.set_header({"mapper", "HT makespan (us)", "LL latency (us)",
@@ -29,33 +27,32 @@ int main() {
     for (int step = 0; step < 4; ++step) {
       std::string label;
       auto make_options = [&](PipelineMode mode) {
-        CompileOptions options =
-            bench_options(cfg, mode, kParallelism, MapperKind::kGenetic);
+        CompileOptions options = bench_options(cfg, mode, kParallelism, "ga");
         switch (step) {
           case 0:
-            options.mapper = MapperKind::kGreedy;
+            options.mapper = "greedy";
             label = "greedy (R=1)";
             break;
           case 1:
-            options.mapper = MapperKind::kGenetic;
+            options.mapper = "ga";
             options.ga.generations = 0;  // random initialization only
             label = "random init";
             break;
           case 2:
-            options.mapper = MapperKind::kPumaLike;
+            options.mapper = "puma";
             label = "puma-like";
             break;
           default:
-            options.mapper = MapperKind::kGenetic;
+            options.mapper = "ga";
             label = "pimcomp GA";
             break;
         }
         return options;
       };
       const RunOutcome ht =
-          run_one(compiler, make_options(PipelineMode::kHighThroughput));
+          run_one(session, make_options(PipelineMode::kHighThroughput));
       const RunOutcome ll =
-          run_one(compiler, make_options(PipelineMode::kLowLatency));
+          run_one(session, make_options(PipelineMode::kLowLatency));
       ladder.add_row({label, format_double(to_us(ht.sim.makespan), 1),
                       format_double(to_us(ll.sim.makespan), 1),
                       format_double(to_uj(ll.sim.total_energy()), 0)});
@@ -71,13 +68,13 @@ int main() {
                             "no shrink (op II)", "no spread (op III)",
                             "no merge (op IV)"};
     for (int disabled = -1; disabled < 4; ++disabled) {
-      CompileOptions options = bench_options(
-          cfg, PipelineMode::kLowLatency, kParallelism, MapperKind::kGenetic);
+      CompileOptions options =
+          bench_options(cfg, PipelineMode::kLowLatency, kParallelism, "ga");
       options.ga.enable_grow = disabled != 0;
       options.ga.enable_shrink = disabled != 1;
       options.ga.enable_spread = disabled != 2;
       options.ga.enable_merge = disabled != 3;
-      const RunOutcome out = run_one(compiler, options);
+      const RunOutcome out = run_one(session, options);
       ops.add_row({labels[disabled + 1],
                    format_double(to_us(out.sim.makespan), 1),
                    format_double(out.result.estimated_fitness / kPsPerUs, 1)});

@@ -21,6 +21,10 @@ int main() {
     struct Geometry {
       int rows, cols, per_core;
     };
+    // One session, one model build; each geometry is a scenario with a
+    // hardware override (its workload is cached per hardware fingerprint).
+    CompilerSession session(bench_model("resnet18", cfg),
+                            HardwareConfig::puma_default());
     for (const Geometry& g :
          {Geometry{64, 64, 128}, Geometry{128, 128, 64},
           Geometry{256, 256, 16}}) {
@@ -28,22 +32,22 @@ int main() {
       hw.xbar_rows = g.rows;
       hw.xbar_cols = g.cols;
       hw.xbars_per_core = g.per_core;
-      Graph graph = bench_model("resnet18", cfg);
-      hw = fit_core_count(graph, hw, 3.0);
-      Compiler compiler(std::move(graph), hw);
-      const RunOutcome ll = run_one(
-          compiler, bench_options(cfg, PipelineMode::kLowLatency, 20,
-                                  MapperKind::kGenetic));
-      const RunOutcome ht = run_one(
-          compiler, bench_options(cfg, PipelineMode::kHighThroughput, 20,
-                                  MapperKind::kGenetic));
+      hw = fit_core_count(session.graph(), hw, 3.0);
+      const std::string label =
+          std::to_string(g.rows) + "x" + std::to_string(g.cols);
+      CompileResult ll = session.compile(Scenario{
+          label, bench_options(cfg, PipelineMode::kLowLatency, 20), hw});
+      const SimReport ll_sim = session.simulate(ll);
+      CompileResult ht = session.compile(Scenario{
+          label, bench_options(cfg, PipelineMode::kHighThroughput, 20), hw});
+      const SimReport ht_sim = session.simulate(ht);
       const double util =
-          static_cast<double>(ll.result.solution.total_xbars_used()) /
-          static_cast<double>(ll.result.workload->total_xbars_available());
-      table.add_row({std::to_string(g.rows) + "x" + std::to_string(g.cols),
+          static_cast<double>(ll.solution.total_xbars_used()) /
+          static_cast<double>(ll.workload->total_xbars_available());
+      table.add_row({label,
                      std::to_string(g.per_core), std::to_string(hw.core_count),
-                     format_double(to_us(ll.sim.makespan), 1),
-                     format_double(to_us(ht.sim.makespan), 1),
+                     format_double(to_us(ll_sim.makespan), 1),
+                     format_double(to_us(ht_sim.makespan), 1),
                      format_double(100 * util, 1) + "%"});
       std::cout << "." << std::flush;
     }
@@ -54,19 +58,15 @@ int main() {
 
   // ---- Parallelism-degree sweep (both modes, googlenet) --------------------
   {
-    Graph graph = bench_model("googlenet", cfg);
-    const HardwareConfig hw = bench_hardware(graph);
-    Compiler compiler(std::move(graph), hw);
+    CompilerSession session = bench_session("googlenet", cfg);
     Table table("Parallelism sensitivity: googlenet");
     table.set_header({"parallelism", "HT makespan (us)", "LL latency (us)",
                       "HT energy (uJ)"});
     for (int p : {1, 5, 20, 40, 200, 2000}) {
-      const RunOutcome ht =
-          run_one(compiler, bench_options(cfg, PipelineMode::kHighThroughput,
-                                          p, MapperKind::kGenetic));
-      const RunOutcome ll =
-          run_one(compiler, bench_options(cfg, PipelineMode::kLowLatency, p,
-                                          MapperKind::kGenetic));
+      const RunOutcome ht = run_one(
+          session, bench_options(cfg, PipelineMode::kHighThroughput, p));
+      const RunOutcome ll = run_one(
+          session, bench_options(cfg, PipelineMode::kLowLatency, p));
       table.add_row({std::to_string(p),
                      format_double(to_us(ht.sim.makespan), 1),
                      format_double(to_us(ll.sim.makespan), 1),

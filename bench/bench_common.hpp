@@ -16,8 +16,9 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "graph/zoo/zoo.hpp"
 
 namespace pimcomp::bench {
@@ -62,7 +63,8 @@ inline HardwareConfig bench_hardware(const Graph& graph) {
 }
 
 inline CompileOptions bench_options(const BenchConfig& cfg, PipelineMode mode,
-                                    int parallelism, MapperKind mapper,
+                                    int parallelism,
+                                    const std::string& mapper = "ga",
                                     MemoryPolicy policy =
                                         MemoryPolicy::kAgReuse) {
   CompileOptions options;
@@ -76,15 +78,24 @@ inline CompileOptions bench_options(const BenchConfig& cfg, PipelineMode mode,
   return options;
 }
 
+/// Session over a bench model with auto-fitted hardware; every run through
+/// the same session reuses the cached node partitioning.
+inline CompilerSession bench_session(const std::string& name,
+                                     const BenchConfig& cfg) {
+  Graph graph = bench_model(name, cfg);
+  const HardwareConfig hw = bench_hardware(graph);
+  return CompilerSession(std::move(graph), hw);
+}
+
 struct RunOutcome {
   CompileResult result;
   SimReport sim;
 };
 
-inline RunOutcome run_one(const Compiler& compiler,
+inline RunOutcome run_one(CompilerSession& session,
                           const CompileOptions& options) {
-  CompileResult result = compiler.compile(options);
-  SimReport sim = compiler.simulate(result);
+  CompileResult result = session.compile(options);
+  SimReport sim = session.simulate(result);
   return {std::move(result), std::move(sim)};
 }
 

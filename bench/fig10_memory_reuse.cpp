@@ -38,14 +38,13 @@ int main() {
       // working sets are what trigger the overflow spills AG-reuse avoids.
       const HardwareConfig hw =
           fit_core_count(graph, HardwareConfig::puma_default(), 1.25);
-      Compiler compiler(std::move(graph), hw);
+      CompilerSession session(std::move(graph), hw);
       double traffic[3] = {0, 0, 0};
       double avg_kb[3] = {0, 0, 0};
       for (int i = 0; i < 3; ++i) {
         const RunOutcome out = run_one(
-            compiler,
-            bench_options(cfg, PipelineMode::kHighThroughput, kParallelism,
-                          MapperKind::kGenetic, policies[i]));
+            session, bench_options(cfg, PipelineMode::kHighThroughput,
+                                   kParallelism, "ga", policies[i]));
         traffic[i] = static_cast<double>(out.sim.global_traffic_bytes) / 1024;
         avg_kb[i] = out.sim.avg_local_memory_bytes / 1024;
         std::cout << "." << std::flush;
@@ -72,16 +71,13 @@ int main() {
                       "ag/naive", "paper add/ag", "ag peak <= 64kB?"});
     int index = 0;
     for (const std::string& name : zoo::model_names()) {
-      Graph graph = bench_model(name, cfg);
-      const HardwareConfig hw = bench_hardware(graph);
-      Compiler compiler(std::move(graph), hw);
+      CompilerSession session = bench_session(name, cfg);
       double avg_kb[3] = {0, 0, 0};
       double ag_avg_within = 0;
       for (int i = 0; i < 3; ++i) {
         const RunOutcome out = run_one(
-            compiler, bench_options(cfg, PipelineMode::kLowLatency,
-                                    kParallelism, MapperKind::kGenetic,
-                                    policies[i]));
+            session, bench_options(cfg, PipelineMode::kLowLatency,
+                                   kParallelism, "ga", policies[i]));
         avg_kb[i] = out.sim.avg_local_memory_bytes / 1024;
         if (i == 2) ag_avg_within = avg_kb[i];
         std::cout << "." << std::flush;

@@ -49,15 +49,14 @@ int main() {
 
     int model_index = 0;
     for (const std::string& name : zoo::model_names()) {
-      Graph graph = bench_model(name, cfg);
-      const HardwareConfig hw = bench_hardware(graph);
-      Compiler compiler(std::move(graph), hw);
+      // One session per model: the ten runs below share one partitioning.
+      CompilerSession session = bench_session(name, cfg);
       std::vector<std::string> row = {name};
       for (int p : parallelism) {
-        const RunOutcome ga = run_one(
-            compiler, bench_options(cfg, mode, p, MapperKind::kGenetic));
-        const RunOutcome puma = run_one(
-            compiler, bench_options(cfg, mode, p, MapperKind::kPumaLike));
+        const RunOutcome ga =
+            run_one(session, bench_options(cfg, mode, p, "ga"));
+        const RunOutcome puma =
+            run_one(session, bench_options(cfg, mode, p, "puma"));
         const double ratio = static_cast<double>(puma.sim.makespan) /
                              static_cast<double>(ga.sim.makespan);
         row.push_back(format_ratio(ratio));

@@ -28,16 +28,12 @@ int main() {
 
     int index = 0;
     for (const std::string& name : zoo::model_names()) {
-      Graph graph = bench_model(name, cfg);
-      const HardwareConfig hw = bench_hardware(graph);
-      Compiler compiler(std::move(graph), hw);
+      CompilerSession session = bench_session(name, cfg);
 
-      const RunOutcome puma = run_one(
-          compiler,
-          bench_options(cfg, mode, kParallelism, MapperKind::kPumaLike));
-      const RunOutcome ga = run_one(
-          compiler,
-          bench_options(cfg, mode, kParallelism, MapperKind::kGenetic));
+      const RunOutcome puma =
+          run_one(session, bench_options(cfg, mode, kParallelism, "puma"));
+      const RunOutcome ga =
+          run_one(session, bench_options(cfg, mode, kParallelism, "ga"));
 
       const double base = puma.sim.total_energy();
       table.add_row(

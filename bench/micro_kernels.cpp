@@ -56,6 +56,32 @@ void BM_GraphConstructionZoo(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphConstructionZoo);
 
+void BM_MapperRegistryCreate(benchmark::State& state) {
+  const CompileOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapperRegistry::create("puma", options));
+  }
+}
+BENCHMARK(BM_MapperRegistryCreate);
+
+// The session's workload-cache hot path: everything but node partitioning
+// (compare against BM_NodePartitioning + this to see the cached saving).
+void BM_SessionCachedCompile(benchmark::State& state) {
+  const Graph& graph = resnet_graph();
+  const HardwareConfig hw =
+      fit_core_count(graph, HardwareConfig::puma_default(), 3.0);
+  CompilerSession session(Graph(graph), hw);
+  CompileOptions options;
+  options.mapper = "puma";
+  options.mode = PipelineMode::kHighThroughput;
+  session.compile(options);  // warm the workload cache
+  for (auto _ : state) {
+    CompileResult result = session.compile(options);
+    benchmark::DoNotOptimize(result.schedule.total_ops);
+  }
+}
+BENCHMARK(BM_SessionCachedCompile);
+
 void BM_HtFitnessEvaluation(benchmark::State& state) {
   const MappingSolution& solution = resnet_solution();
   const FitnessParams params =

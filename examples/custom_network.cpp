@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "core/compile_report.hpp"
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "graph/builder.hpp"
 #include "graph/serialize.hpp"
 
@@ -36,17 +36,21 @@ int main(int argc, char** argv) {
   std::cout << "saved and reloaded '" << reloaded.name() << "' ("
             << reloaded.node_count() << " nodes) via " << path << "\n\n";
 
-  Compiler compiler(std::move(reloaded), HardwareConfig::puma_default());
+  // Both modes as one session batch: node partitioning runs once and the
+  // cached workload is shared by the two scenarios.
+  CompilerSession session(std::move(reloaded), HardwareConfig::puma_default());
   for (PipelineMode mode :
        {PipelineMode::kHighThroughput, PipelineMode::kLowLatency}) {
     CompileOptions options;
     options.mode = mode;
     options.ga.population = 30;
     options.ga.generations = 30;
-    const CompileResult result = compiler.compile(options);
-    const SimReport sim = compiler.simulate(result);
+    session.enqueue(options, to_string(mode));
+  }
+  for (const CompileResult& result : session.compile_all()) {
+    const SimReport sim = session.simulate(result);
     std::cout << describe(result);
-    std::cout << "  simulated " << to_string(mode) << ": "
+    std::cout << "  simulated " << to_string(result.options.mode) << ": "
               << to_us(sim.makespan) << " us, energy "
               << to_uj(sim.total_energy()) << " uJ\n\n";
   }

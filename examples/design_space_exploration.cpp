@@ -3,6 +3,10 @@
 // same network across crossbar geometries and reports the
 // performance / area / energy trade-off of each design point.
 //
+// The sweep is one CompilerSession batch: the model is built once, each
+// design point is a Scenario with a hardware override, and the session
+// caches the partitioned workload per hardware fingerprint.
+//
 //   ./build/examples/design_space_exploration
 
 #include <iostream>
@@ -10,7 +14,7 @@
 #include "arch/area_model.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "graph/zoo/zoo.hpp"
 
 int main() {
@@ -29,31 +33,34 @@ int main() {
       {"128x128, 32 xbars/core", 128, 128, 32},
   };
 
-  Table table("resnet18 @64 across crossbar design points (LL mode, P=20)");
-  table.set_header({"design", "cores", "latency (us)", "chip area (mm2)",
-                    "energy (uJ)", "xbar util"});
+  CompilerSession session(zoo::resnet18(64), HardwareConfig::puma_default());
   for (const DesignPoint& point : points) {
     HardwareConfig hw = HardwareConfig::puma_default();
     hw.xbar_rows = point.xbar_rows;
     hw.xbar_cols = point.xbar_cols;
     hw.xbars_per_core = point.xbars_per_core;
-
-    Graph graph = zoo::resnet18(64);
-    hw = fit_core_count(graph, hw, 3.0);
-    Compiler compiler(std::move(graph), hw);
+    hw = fit_core_count(session.graph(), hw, 3.0);
 
     CompileOptions options;
     options.mode = PipelineMode::kLowLatency;
     options.ga.population = 30;
     options.ga.generations = 40;
-    const CompileResult result = compiler.compile(options);
-    const SimReport sim = compiler.simulate(result);
+    session.enqueue(Scenario{point.label, options, hw});
+  }
+
+  Table table("resnet18 @64 across crossbar design points (LL mode, P=20)");
+  table.set_header({"design", "cores", "latency (us)", "chip area (mm2)",
+                    "energy (uJ)", "xbar util"});
+  int index = 0;
+  for (const CompileResult& result : session.compile_all()) {
+    const HardwareConfig& hw = result.workload->hardware();
+    const SimReport sim = session.simulate(result);
     const AreaReport area = compute_area(hw);
 
     const double utilization =
         static_cast<double>(result.solution.total_xbars_used()) /
         static_cast<double>(result.workload->total_xbars_available());
-    table.add_row({point.label, std::to_string(hw.core_count),
+    table.add_row({points[index++].label, std::to_string(hw.core_count),
                    format_double(to_us(sim.makespan), 1),
                    format_double(area.total_mm2, 1),
                    format_double(to_uj(sim.total_energy()), 0),

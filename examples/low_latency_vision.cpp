@@ -10,7 +10,7 @@
 
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "graph/zoo/zoo.hpp"
 
 int main(int argc, char** argv) {
@@ -22,27 +22,31 @@ int main(int argc, char** argv) {
       fit_core_count(graph, HardwareConfig::puma_default(), 3.0);
   std::cout << "resnet18 @ " << input_size << ", " << hw.core_count
             << " cores\n\n";
-  Compiler compiler(std::move(graph), hw);
-
-  Table table("LL latency: PIMCOMP GA vs PUMA-like baseline");
-  table.set_header({"mapper", "latency (us)", "messages", "comm (kB)",
-                    "leakage (uJ)", "active cores"});
-  double latency_ga = 0.0, latency_puma = 0.0;
-  for (MapperKind mapper : {MapperKind::kGenetic, MapperKind::kPumaLike}) {
+  // Both mappers as one session batch over a shared partitioned workload;
+  // the strategies are registry keys, so a plugin mapper slots in by name.
+  CompilerSession session(std::move(graph), hw);
+  for (const std::string& mapper : {std::string("ga"), std::string("puma")}) {
     CompileOptions options;
     options.mode = PipelineMode::kLowLatency;
     options.parallelism_degree = 20;
     options.mapper = mapper;
     options.ga.population = 60;
     options.ga.generations = 80;
-    const CompileResult result = compiler.compile(options);
-    const SimReport sim = compiler.simulate(result);
-    table.add_row({to_string(mapper), format_double(to_us(sim.makespan), 1),
+    session.enqueue(options, mapper);
+  }
+
+  Table table("LL latency: PIMCOMP GA vs PUMA-like baseline");
+  table.set_header({"mapper", "latency (us)", "messages", "comm (kB)",
+                    "leakage (uJ)", "active cores"});
+  double latency_ga = 0.0, latency_puma = 0.0;
+  for (const CompileResult& result : session.compile_all()) {
+    const SimReport sim = session.simulate(result);
+    table.add_row({result.mapper_name, format_double(to_us(sim.makespan), 1),
                    std::to_string(sim.comm_messages),
                    format_double(static_cast<double>(sim.comm_bytes) / 1024, 0),
                    format_double(to_uj(sim.leakage_energy), 0),
                    std::to_string(sim.active_cores)});
-    (mapper == MapperKind::kGenetic ? latency_ga : latency_puma) =
+    (result.options.mapper == "ga" ? latency_ga : latency_puma) =
         to_us(sim.makespan);
   }
   table.print();

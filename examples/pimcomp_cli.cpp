@@ -5,7 +5,7 @@
 //                        squeezenet) or a path to a PIMCOMP JSON graph
 //   --mode ht|ll         pipeline mode                   (default ll)
 //   --parallelism N      AGs computing per core          (default 20)
-//   --mapper ga|puma|greedy                              (default ga)
+//   --mapper KEY         a MapperRegistry key            (default ga)
 //   --policy naive|add|ag                                (default ag)
 //   --input N            zoo input resolution            (default 64/96)
 //   --cores N            core count (default: auto-fit with 3x headroom)
@@ -13,6 +13,7 @@
 //   --seed N             RNG seed                        (default 1)
 //   --dump-stream CORE   print a core's instruction stream
 //   --json               emit machine-readable JSON reports
+//   --list-mappers       print the registered mapper/scheduler keys
 //
 // Example:
 //   ./build/examples/pimcomp_cli resnet18 --mode ll --parallelism 20
@@ -20,10 +21,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "core/compile_report.hpp"
-#include "core/compiler.hpp"
+#include "core/pipeline.hpp"
+#include "core/session.hpp"
 #include "core/stream_printer.hpp"
 #include "graph/serialize.hpp"
 #include "graph/zoo/zoo.hpp"
@@ -35,11 +38,57 @@ using namespace pimcomp;
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <model|graph.json> [--mode ht|ll] [--parallelism N]\n"
-               "       [--mapper ga|puma|greedy] [--policy naive|add|ag]\n"
+               "       [--mapper KEY] [--policy naive|add|ag]\n"
                "       [--input N] [--cores N] [--pop N] [--gens N]\n"
-               "       [--seed N] [--dump-stream CORE] [--json]\n";
+               "       [--seed N] [--dump-stream CORE] [--json]\n"
+               "       [--list-mappers]\n";
   std::exit(2);
 }
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "pimcomp: " << message << '\n';
+  std::exit(2);
+}
+
+/// Strict decimal parse: the whole token must be numeric and >= min_value.
+/// Rejects the silent-zero behavior of atoi ("--pop abc" compiled with 0).
+long long parse_integer(const std::string& flag, const std::string& token,
+                        long long min_value) {
+  if (token.empty()) fail(flag + " needs a number, got ''");
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(token, &consumed, 10);
+  } catch (const std::exception&) {
+    fail(flag + " needs a number, got '" + token + "'");
+  }
+  if (consumed != token.size()) {
+    fail(flag + " needs a number, got '" + token + "'");
+  }
+  if (value < min_value) {
+    fail(flag + " must be >= " + std::to_string(min_value) + ", got '" +
+         token + "'");
+  }
+  return value;
+}
+
+int parse_int(const std::string& flag, const std::string& token,
+              long long min_value,
+              long long max_value = std::numeric_limits<int>::max()) {
+  const long long value = parse_integer(flag, token, min_value);
+  if (value > max_value) {
+    fail(flag + " is out of range: '" + token + "' (max " +
+         std::to_string(max_value) + ")");
+  }
+  return static_cast<int>(value);
+}
+
+// Sanity ceilings: values past these make the backend allocate per-core /
+// per-individual state until the machine keels over, long before any
+// meaningful compile.
+constexpr long long kMaxCores = 1 << 20;
+constexpr long long kMaxParallelism = 1 << 20;
+constexpr long long kMaxGaBudget = 1'000'000;
 
 bool is_zoo_model(const std::string& name) {
   for (const std::string& m : zoo::model_names()) {
@@ -48,9 +97,25 @@ bool is_zoo_model(const std::string& name) {
   return false;
 }
 
+void list_registries() {
+  std::cout << "mappers:";
+  for (const std::string& key : MapperRegistry::keys()) {
+    std::cout << ' ' << key;
+  }
+  std::cout << "\nschedulers:";
+  for (const std::string& key : SchedulerRegistry::keys()) {
+    std::cout << ' ' << key;
+  }
+  std::cout << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--list-mappers") {
+    list_registries();
+    return 0;
+  }
   if (argc < 2) usage(argv[0]);
   const std::string model = argv[1];
 
@@ -75,13 +140,16 @@ int main(int argc, char** argv) {
       else if (v == "ll") options.mode = PipelineMode::kLowLatency;
       else usage(argv[0]);
     } else if (arg == "--parallelism") {
-      options.parallelism_degree = std::atoi(next().c_str());
+      options.parallelism_degree =
+          parse_int(arg, next(), 1, kMaxParallelism);
     } else if (arg == "--mapper") {
       const std::string v = next();
-      if (v == "ga") options.mapper = MapperKind::kGenetic;
-      else if (v == "puma") options.mapper = MapperKind::kPumaLike;
-      else if (v == "greedy") options.mapper = MapperKind::kGreedy;
-      else usage(argv[0]);
+      if (!MapperRegistry::contains(v)) {
+        std::cerr << "pimcomp: unknown mapper '" << v << "'\n";
+        list_registries();
+        return 2;
+      }
+      options.mapper = v;
     } else if (arg == "--policy") {
       const std::string v = next();
       if (v == "naive") options.memory_policy = MemoryPolicy::kNaive;
@@ -89,19 +157,22 @@ int main(int argc, char** argv) {
       else if (v == "ag") options.memory_policy = MemoryPolicy::kAgReuse;
       else usage(argv[0]);
     } else if (arg == "--input") {
-      input_size = std::atoi(next().c_str());
+      input_size = parse_int(arg, next(), 1);
     } else if (arg == "--cores") {
-      cores = std::atoi(next().c_str());
+      cores = parse_int(arg, next(), 1, kMaxCores);
     } else if (arg == "--pop") {
-      options.ga.population = std::atoi(next().c_str());
+      options.ga.population = parse_int(arg, next(), 1, kMaxGaBudget);
     } else if (arg == "--gens") {
-      options.ga.generations = std::atoi(next().c_str());
+      options.ga.generations = parse_int(arg, next(), 0, kMaxGaBudget);
     } else if (arg == "--seed") {
-      options.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      options.seed = static_cast<std::uint64_t>(parse_integer(arg, next(), 0));
     } else if (arg == "--dump-stream") {
-      dump_core = std::atoi(next().c_str());
+      dump_core = parse_int(arg, next(), 0);
     } else if (arg == "--json") {
       emit_json = true;
+    } else if (arg == "--list-mappers") {
+      list_registries();
+      return 0;
     } else {
       usage(argv[0]);
     }
@@ -123,9 +194,9 @@ int main(int argc, char** argv) {
       hw = fit_core_count(graph, hw, 3.0);
     }
 
-    Compiler compiler(std::move(graph), hw);
-    const CompileResult result = compiler.compile(options);
-    const SimReport sim = compiler.simulate(result);
+    CompilerSession session(std::move(graph), hw);
+    const CompileResult result = session.compile(options);
+    const SimReport sim = session.simulate(result);
 
     if (emit_json) {
       Json out = Json::object();
@@ -145,7 +216,7 @@ int main(int argc, char** argv) {
     }
     if (dump_core >= 0) {
       std::cout << '\n'
-                << print_core_stream(result.schedule, compiler.graph(),
+                << print_core_stream(result.schedule, session.graph(),
                                      dump_core);
     }
   } catch (const std::exception& e) {

@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "core/compile_report.hpp"
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "graph/builder.hpp"
 
 int main() {
@@ -31,18 +31,21 @@ int main() {
   const HardwareConfig hw = HardwareConfig::puma_default();
   std::cout << hw.to_string() << "\n\n";
 
-  // 3. Compile. Low-latency mode pipelines layers at window granularity.
-  Compiler compiler(std::move(graph), hw);
+  // 3. Compile. Low-latency mode pipelines layers at window granularity;
+  //    the mapper is picked from the registry by key ("ga" is the paper's
+  //    genetic algorithm — try "puma" or "greedy" for the baselines).
+  CompilerSession session(std::move(graph), hw);
   CompileOptions options;
   options.mode = PipelineMode::kLowLatency;
   options.parallelism_degree = 20;
+  options.mapper = "ga";
   options.ga.population = 40;
   options.ga.generations = 40;
-  const CompileResult result = compiler.compile(options);
+  const CompileResult result = session.compile(options);
   std::cout << describe(result) << '\n';
 
   // 4. Simulate the compiled dataflow.
-  const SimReport sim = compiler.simulate(result);
+  const SimReport sim = session.simulate(result);
   std::cout << sim.to_string() << '\n';
   std::cout << "\nInference latency: " << to_us(sim.makespan) << " us\n";
   return 0;

@@ -9,7 +9,7 @@
 
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "core/compiler.hpp"
+#include "core/session.hpp"
 #include "graph/zoo/zoo.hpp"
 
 int main(int argc, char** argv) {
@@ -27,20 +27,24 @@ int main(int argc, char** argv) {
   std::cout << "using " << hw.core_count << " cores across "
             << hw.chip_count() << " chip(s)\n\n";
 
-  Compiler compiler(std::move(graph), hw);
-
-  Table table("HT throughput vs parallelism degree (vgg16)");
-  table.set_header({"parallelism", "throughput (inf/s)", "busiest core (us)",
-                    "dynamic energy (uJ)", "compile (s)"});
+  // The parallelism sweep is a session batch: the four scenarios share one
+  // node-partitioning pass through the session's workload cache.
+  CompilerSession session(std::move(graph), hw);
   for (int parallelism : {1, 20, 40, 200}) {
     CompileOptions options;
     options.mode = PipelineMode::kHighThroughput;
     options.parallelism_degree = parallelism;
     options.ga.population = 40;
     options.ga.generations = 40;
-    const CompileResult result = compiler.compile(options);
-    const SimReport sim = compiler.simulate(result);
-    table.add_row({std::to_string(parallelism),
+    session.enqueue(options, "P=" + std::to_string(parallelism));
+  }
+
+  Table table("HT throughput vs parallelism degree (vgg16)");
+  table.set_header({"parallelism", "throughput (inf/s)", "busiest core (us)",
+                    "dynamic energy (uJ)", "compile (s)"});
+  for (const CompileResult& result : session.compile_all()) {
+    const SimReport sim = session.simulate(result);
+    table.add_row({std::to_string(result.options.parallelism_degree),
                    format_double(sim.throughput_per_sec(), 1),
                    format_double(to_us(sim.makespan), 1),
                    format_double(to_uj(sim.dynamic_energy.total()), 1),

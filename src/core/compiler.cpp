@@ -1,13 +1,7 @@
 #include "core/compiler.hpp"
 
-#include <chrono>
-
 #include "common/error.hpp"
-#include "mapping/fitness.hpp"
-#include "mapping/greedy_mapper.hpp"
-#include "mapping/puma_mapper.hpp"
-#include "schedule/ht_scheduler.hpp"
-#include "schedule/ll_scheduler.hpp"
+#include "core/pipeline.hpp"
 
 namespace pimcomp {
 
@@ -20,15 +14,19 @@ std::string to_string(MapperKind kind) {
   return "unknown";
 }
 
-namespace {
-
-double seconds_since(
-    const std::chrono::steady_clock::time_point& start) {
-  const auto now = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(now - start).count();
+std::string registry_key(MapperKind kind) {
+  switch (kind) {
+    case MapperKind::kGenetic: return "ga";
+    case MapperKind::kPumaLike: return "puma";
+    case MapperKind::kGreedy: return "greedy";
+  }
+  throw ConfigError("unknown mapper kind");
 }
 
-}  // namespace
+std::string CompileOptions::scheduler_key() const {
+  if (!scheduler.empty()) return scheduler;
+  return mode == PipelineMode::kHighThroughput ? "ht" : "ll";
+}
 
 Compiler::Compiler(Graph graph, HardwareConfig hw)
     : graph_(std::move(graph)), hw_(hw) {
@@ -36,77 +34,13 @@ Compiler::Compiler(Graph graph, HardwareConfig hw)
   hw_.validate();
 }
 
-CompileResult Compiler::compile(const CompileOptions& options) const {
-  // Stage 1: node partitioning.
-  auto t0 = std::chrono::steady_clock::now();
-  auto workload = std::make_shared<const Workload>(graph_, hw_);
-  const double partition_time = seconds_since(t0);
-
-  // Stages 2+3: weight replicating + core mapping.
-  MapperOptions mapper_options;
-  mapper_options.mode = options.mode;
-  mapper_options.parallelism_degree = options.parallelism_degree;
-  mapper_options.max_nodes_per_core = options.max_nodes_per_core;
-  mapper_options.seed = options.seed;
-
-  t0 = std::chrono::steady_clock::now();
-  GaStats ga_stats;
-  std::string mapper_name;
-  MappingSolution solution = [&]() -> MappingSolution {
-    switch (options.mapper) {
-      case MapperKind::kGenetic: {
-        GeneticMapper mapper(options.ga);
-        MappingSolution s = mapper.map(*workload, mapper_options);
-        ga_stats = mapper.last_stats();
-        mapper_name = mapper.name();
-        return s;
-      }
-      case MapperKind::kPumaLike: {
-        PumaMapper mapper;
-        mapper_name = mapper.name();
-        return mapper.map(*workload, mapper_options);
-      }
-      case MapperKind::kGreedy: {
-        GreedyMapper mapper;
-        mapper_name = mapper.name();
-        return mapper.map(*workload, mapper_options);
-      }
-    }
-    throw ConfigError("unknown mapper kind");
-  }();
-  const double mapping_time = seconds_since(t0);
-
-  // Mapper objective value on the final solution (Fig 5 / Fig 6 estimates).
-  const FitnessParams params =
-      FitnessParams::from(hw_, options.parallelism_degree);
-  double fitness = 0.0;
-  if (options.mode == PipelineMode::kHighThroughput) {
-    fitness = ht_fitness(solution, params);
-  } else {
-    fitness = LLFitnessContext(*workload).evaluate(solution, params);
-  }
-
-  // Stage 4: dataflow scheduling.
-  t0 = std::chrono::steady_clock::now();
-  Schedule schedule;
-  if (options.mode == PipelineMode::kHighThroughput) {
-    HtScheduleOptions ht;
-    ht.memory_policy = options.memory_policy;
-    ht.flush_windows = options.ht_flush_windows;
-    schedule = schedule_ht(solution, ht);
-  } else {
-    LlScheduleOptions ll;
-    ll.memory_policy = options.memory_policy;
-    schedule = schedule_ll(solution, ll);
-  }
-  const double scheduling_time = seconds_since(t0);
-
-  CompileResult result{std::move(workload), std::move(solution),
-                       std::move(schedule), options,
-                       StageTimes{partition_time, mapping_time,
-                                  scheduling_time},
-                       fitness, std::move(mapper_name), std::move(ga_stats)};
-  return result;
+CompileResult Compiler::compile(const CompileOptions& options,
+                                PipelineObserver* observer) const {
+  PipelineContext ctx;
+  ctx.graph = &graph_;
+  ctx.hardware = &hw_;
+  ctx.options = &options;
+  return run_pipeline(std::move(ctx), observer);
 }
 
 SimReport Compiler::simulate(const CompileResult& result) const {
@@ -118,15 +52,16 @@ SimReport Compiler::simulate(const CompileResult& result) const {
 
 HardwareConfig fit_core_count(const Graph& graph, HardwareConfig hw,
                               double headroom) {
-  // One throwaway workload to measure the requirement; retry with the
-  // recommended count.
-  HardwareConfig probe = hw;
-  // Use a huge core count so the capacity check always passes.
-  probe.core_count = 1 << 20;
-  Graph copy = graph;
-  if (!copy.finalized()) copy.finalize();
-  const Workload workload(copy, probe);
-  hw.core_count = workload.recommended_core_count(headroom);
+  hw.validate();
+  std::int64_t min_xbars = 0;
+  if (graph.finalized()) {
+    min_xbars = Workload::min_xbars_for(graph, hw);
+  } else {
+    Graph copy = graph;
+    copy.finalize();
+    min_xbars = Workload::min_xbars_for(copy, hw);
+  }
+  hw.core_count = Workload::recommend_cores(min_xbars, hw, headroom);
   return hw;
 }
 

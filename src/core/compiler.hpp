@@ -16,7 +16,11 @@
 
 namespace pimcomp {
 
-/// Which stage-2+3 strategy to use.
+class PipelineObserver;  // core/pipeline.hpp
+
+/// Legacy names of the three built-in stage-2+3 strategies. New code selects
+/// strategies through the string keys of MapperRegistry (core/pipeline.hpp);
+/// the enum survives as a typed alias for the built-ins.
 enum class MapperKind {
   kGenetic,   ///< PIMCOMP's GA (the paper's contribution)
   kPumaLike,  ///< the paper's baseline: pipeline-balanced + greedy packing
@@ -25,20 +29,36 @@ enum class MapperKind {
 
 std::string to_string(MapperKind kind);
 
+/// MapperRegistry key of a built-in strategy ("ga", "puma", "greedy").
+std::string registry_key(MapperKind kind);
+
 /// Everything a user chooses for one compilation (paper Fig 3 left box +
 /// "Application Scenario").
 struct CompileOptions {
   PipelineMode mode = PipelineMode::kHighThroughput;
   int parallelism_degree = 20;
   MemoryPolicy memory_policy = MemoryPolicy::kAgReuse;
-  MapperKind mapper = MapperKind::kGenetic;
-  GaConfig ga;                 ///< GA hyperparameters (kGenetic only)
+
+  /// MapperRegistry key of the replicating+mapping strategy. Built-ins:
+  /// "ga", "puma", "greedy"; plugins may register more.
+  std::string mapper = "ga";
+
+  /// SchedulerRegistry key of the dataflow generator; empty derives it from
+  /// `mode` ("ht" / "ll").
+  std::string scheduler;
+
+  GaConfig ga;                 ///< GA hyperparameters (mapper == "ga" only)
   int max_nodes_per_core = 8;  ///< chromosome bound max_node_num_in_core
   int ht_flush_windows = 2;    ///< HT global-memory flush period
   std::uint64_t seed = 1;
+
+  /// Effective SchedulerRegistry key (explicit `scheduler`, else from mode).
+  std::string scheduler_key() const;
 };
 
-/// Wall-clock seconds per compilation stage (paper Table II rows).
+/// Wall-clock seconds per compilation stage (paper Table II rows), recorded
+/// by the pipeline's generic stage loop. A cached partitioning stage (see
+/// CompilerSession) does not run and leaves `partitioning` at zero.
 struct StageTimes {
   double partitioning = 0.0;
   double mapping = 0.0;  ///< replicating + core mapping
@@ -57,12 +77,15 @@ struct CompileResult {
   StageTimes stage_times;
   double estimated_fitness = 0.0;  ///< mapper objective (ps, lower = better)
   std::string mapper_name;
-  GaStats ga_stats;  ///< populated when mapper == kGenetic
+  GaStats ga_stats;  ///< populated when the mapper reports convergence
 };
 
 /// PIMCOMP's compiler driver: node partitioning -> weight replicating +
-/// core mapping -> dataflow scheduling (paper Fig 3). Construct once per
-/// (model, hardware) pair and call compile() per scenario.
+/// core mapping -> dataflow scheduling (paper Fig 3), each stage resolved
+/// through the registries in core/pipeline.hpp. Construct once per
+/// (model, hardware) pair and call compile() per scenario; for multi-
+/// scenario batches prefer CompilerSession (core/session.hpp), which reuses
+/// the partitioned workload across scenarios.
 class Compiler {
  public:
   /// Takes ownership of the graph; finalizes it if needed.
@@ -72,8 +95,10 @@ class Compiler {
   const HardwareConfig& hardware() const { return hw_; }
 
   /// Runs the full backend. Throws CapacityError when the model cannot fit
-  /// the configured core count.
-  CompileResult compile(const CompileOptions& options) const;
+  /// the configured core count and ConfigError for unknown registry keys.
+  /// `observer` (optional) receives per-stage begin/end callbacks.
+  CompileResult compile(const CompileOptions& options,
+                        PipelineObserver* observer = nullptr) const;
 
   /// Convenience: simulate a compiled result on the cycle-accurate
   /// simulator at its compiled parallelism degree.
@@ -86,6 +111,8 @@ class Compiler {
 
 /// Picks a core count that fits the model with `headroom` slack for
 /// replication, rounded to whole chips (helper for examples/benches).
+/// Finalized graphs are measured in place; only unfinalized inputs pay for
+/// a finalizing copy.
 HardwareConfig fit_core_count(const Graph& graph, HardwareConfig hw,
                               double headroom = 3.0);
 

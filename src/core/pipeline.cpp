@@ -1,0 +1,236 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start).count();
+}
+
+/// Shared registry plumbing: an ordered map behind a Meyers singleton, so
+/// registration from static initializers is order-independent and keys()
+/// comes out sorted.
+template <typename Factory>
+class RegistryStore {
+ public:
+  bool add(const std::string& kind, const std::string& key, Factory factory) {
+    if (!factories_.emplace(key, std::move(factory)).second) {
+      throw ConfigError(kind + " '" + key + "' is already registered");
+    }
+    return true;
+  }
+
+  const Factory& get(const std::string& kind, const std::string& key) const {
+    const auto it = factories_.find(key);
+    if (it == factories_.end()) {
+      std::ostringstream oss;
+      oss << "unknown " << kind << " '" << key << "'; registered: ";
+      bool first = true;
+      for (const auto& [k, factory] : factories_) {
+        oss << (first ? "" : ", ") << k;
+        first = false;
+      }
+      throw ConfigError(oss.str());
+    }
+    return it->second;
+  }
+
+  bool contains(const std::string& key) const {
+    return factories_.count(key) != 0;
+  }
+
+  std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [key, factory] : factories_) out.push_back(key);
+    return out;
+  }
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+RegistryStore<MapperRegistry::Factory>& mapper_store() {
+  static RegistryStore<MapperRegistry::Factory> store;
+  return store;
+}
+
+RegistryStore<SchedulerRegistry::Factory>& scheduler_store() {
+  static RegistryStore<SchedulerRegistry::Factory> store;
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in stages.
+// ---------------------------------------------------------------------------
+
+/// Stage 1: node partitioning (paper §IV-B).
+class PartitionStage : public Stage {
+ public:
+  std::string name() const override { return stage_names::kPartitioning; }
+
+  void run(PipelineContext& ctx) override {
+    PIMCOMP_CHECK(ctx.graph != nullptr && ctx.hardware != nullptr,
+                  "partitioning stage needs a graph and hardware config");
+    ctx.workload =
+        std::make_shared<const Workload>(*ctx.graph, *ctx.hardware);
+  }
+};
+
+/// Stages 2+3: weight replicating + core mapping through the registered
+/// strategy, plus the mode's objective estimate on the final solution.
+class MappingStage : public Stage {
+ public:
+  MappingStage(std::unique_ptr<Mapper> mapper,
+               std::shared_ptr<const Scheduler> scheduler)
+      : mapper_(std::move(mapper)), scheduler_(std::move(scheduler)) {}
+
+  std::string name() const override { return stage_names::kMapping; }
+
+  void run(PipelineContext& ctx) override {
+    PIMCOMP_CHECK(ctx.workload != nullptr,
+                  "mapping stage needs a partitioned workload");
+    const CompileOptions& options = *ctx.options;
+
+    MapperOptions mapper_options;
+    mapper_options.mode = options.mode;
+    mapper_options.parallelism_degree = options.parallelism_degree;
+    mapper_options.max_nodes_per_core = options.max_nodes_per_core;
+    mapper_options.seed = options.seed;
+
+    ctx.solution = mapper_->map(*ctx.workload, mapper_options);
+    ctx.mapper_name = mapper_->name();
+    if (const GaStats* stats = mapper_->convergence()) ctx.ga_stats = *stats;
+
+    const FitnessParams params = FitnessParams::from(
+        ctx.workload->hardware(), options.parallelism_degree);
+    ctx.fitness =
+        scheduler_->estimate_fitness(*ctx.workload, *ctx.solution, params);
+  }
+
+ private:
+  std::unique_ptr<Mapper> mapper_;
+  std::shared_ptr<const Scheduler> scheduler_;
+};
+
+/// Stage 4: dataflow scheduling through the registered generator.
+class ScheduleStage : public Stage {
+ public:
+  explicit ScheduleStage(std::shared_ptr<const Scheduler> scheduler)
+      : scheduler_(std::move(scheduler)) {}
+
+  std::string name() const override { return stage_names::kScheduling; }
+
+  void run(PipelineContext& ctx) override {
+    PIMCOMP_CHECK(ctx.solution.has_value(),
+                  "scheduling stage needs a mapping solution");
+    ctx.schedule = scheduler_->build(*ctx.solution, *ctx.options);
+  }
+
+ private:
+  std::shared_ptr<const Scheduler> scheduler_;
+};
+
+void record_stage_time(StageTimes& times, const std::string& stage,
+                       double seconds) {
+  if (stage == stage_names::kPartitioning) {
+    times.partitioning += seconds;
+  } else if (stage == stage_names::kMapping) {
+    times.mapping += seconds;
+  } else if (stage == stage_names::kScheduling) {
+    times.scheduling += seconds;
+  }
+}
+
+}  // namespace
+
+bool MapperRegistry::add(const std::string& key, Factory factory) {
+  return mapper_store().add("mapper", key, std::move(factory));
+}
+
+std::unique_ptr<Mapper> MapperRegistry::create(const std::string& key,
+                                               const CompileOptions& options) {
+  return mapper_store().get("mapper", key)(options);
+}
+
+bool MapperRegistry::contains(const std::string& key) {
+  return mapper_store().contains(key);
+}
+
+std::vector<std::string> MapperRegistry::keys() {
+  return mapper_store().keys();
+}
+
+bool SchedulerRegistry::add(const std::string& key, Factory factory) {
+  return scheduler_store().add("scheduler", key, std::move(factory));
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::create(const std::string& key) {
+  return scheduler_store().get("scheduler", key)();
+}
+
+bool SchedulerRegistry::contains(const std::string& key) {
+  return scheduler_store().contains(key);
+}
+
+std::vector<std::string> SchedulerRegistry::keys() {
+  return scheduler_store().keys();
+}
+
+std::vector<std::unique_ptr<Stage>> build_stages(const PipelineContext& ctx) {
+  PIMCOMP_CHECK(ctx.options != nullptr, "pipeline context needs options");
+
+  // Both registry keys are resolved up front so a bad key fails before any
+  // stage — in particular before paying for node partitioning. The
+  // scheduler is shared: the mapping stage uses its fitness estimator, the
+  // scheduling stage its dataflow generator.
+  std::unique_ptr<Mapper> mapper =
+      MapperRegistry::create(ctx.options->mapper, *ctx.options);
+  std::shared_ptr<const Scheduler> scheduler =
+      SchedulerRegistry::create(ctx.options->scheduler_key());
+
+  std::vector<std::unique_ptr<Stage>> stages;
+  if (!ctx.workload) stages.push_back(std::make_unique<PartitionStage>());
+  stages.push_back(
+      std::make_unique<MappingStage>(std::move(mapper), scheduler));
+  stages.push_back(std::make_unique<ScheduleStage>(scheduler));
+  return stages;
+}
+
+CompileResult run_pipeline(PipelineContext ctx, PipelineObserver* observer) {
+  const std::vector<std::unique_ptr<Stage>> stages = build_stages(ctx);
+  for (const std::unique_ptr<Stage>& stage : stages) {
+    StageInfo info{stage->name(), ctx.scenario_label, ctx.scenario_index, 0.0};
+    if (observer != nullptr) observer->on_stage_begin(info);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      stage->run(ctx);
+    } catch (...) {
+      // Keep begin/end callbacks paired even when a stage fails (capacity
+      // overflow in partitioning is a routine, caught error).
+      info.seconds = seconds_since(t0);
+      if (observer != nullptr) observer->on_stage_end(info);
+      throw;
+    }
+    info.seconds = seconds_since(t0);
+    record_stage_time(ctx.stage_times, info.stage, info.seconds);
+    if (observer != nullptr) observer->on_stage_end(info);
+  }
+
+  return CompileResult{std::move(ctx.workload), std::move(*ctx.solution),
+                       std::move(ctx.schedule), *ctx.options, ctx.stage_times,
+                       ctx.fitness, std::move(ctx.mapper_name),
+                       std::move(ctx.ga_stats)};
+}
+
+}  // namespace pimcomp

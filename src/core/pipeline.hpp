@@ -1,0 +1,162 @@
+#ifndef PIMCOMP_CORE_PIPELINE_HPP
+#define PIMCOMP_CORE_PIPELINE_HPP
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "mapping/fitness.hpp"
+#include "mapping/mapper.hpp"
+#include "schedule/operation.hpp"
+
+namespace pimcomp {
+
+/// Names of the built-in pipeline stages, in execution order. Observers key
+/// on these strings; StageTimes rows map to them one-to-one.
+namespace stage_names {
+inline constexpr const char kPartitioning[] = "partitioning";
+inline constexpr const char kMapping[] = "mapping";
+inline constexpr const char kScheduling[] = "scheduling";
+}  // namespace stage_names
+
+/// What an observer learns about one stage execution.
+struct StageInfo {
+  std::string stage;        ///< stage name (see stage_names)
+  std::string scenario;     ///< label of the scenario ("" when single-shot)
+  int scenario_index = -1;  ///< position in the session batch (-1 single-shot)
+  double seconds = 0.0;     ///< wall-clock duration (on_stage_end only)
+};
+
+/// Per-stage callbacks around the pipeline's stage loop. Default methods are
+/// no-ops so observers override only what they need. This subsumes the old
+/// ad-hoc StageTimes bookkeeping: timings are recorded by the same loop that
+/// fires these callbacks. Callbacks are always paired: a stage that throws
+/// still fires on_stage_end before the exception propagates.
+class PipelineObserver {
+ public:
+  virtual ~PipelineObserver() = default;
+  virtual void on_stage_begin(const StageInfo& info) { (void)info; }
+  virtual void on_stage_end(const StageInfo& info) { (void)info; }
+};
+
+/// Mutable state threaded through the stage loop. Stages read what earlier
+/// stages produced and fill in their own slot.
+struct PipelineContext {
+  const Graph* graph = nullptr;
+  const HardwareConfig* hardware = nullptr;
+  const CompileOptions* options = nullptr;
+
+  /// Scenario identity forwarded to observer callbacks.
+  std::string scenario_label;
+  int scenario_index = -1;
+
+  /// Stage 1 output. Pre-seeding this (CompilerSession's workload cache)
+  /// elides the partitioning stage entirely.
+  std::shared_ptr<const Workload> workload;
+
+  // Stage 2+3 outputs.
+  std::optional<MappingSolution> solution;
+  std::string mapper_name;
+  GaStats ga_stats;
+  double fitness = 0.0;
+
+  // Stage 4 output.
+  Schedule schedule;
+
+  StageTimes stage_times;
+};
+
+/// One pass of the compilation pipeline. Stages are composed by
+/// build_stages() and driven by run_pipeline()'s generic loop.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual std::string name() const = 0;
+  virtual void run(PipelineContext& ctx) = 0;
+};
+
+/// A mode's dataflow generator paired with its fitness estimator (the mapper
+/// objective of paper Figs 5/6 belongs to the same mode as the dataflow it
+/// predicts). Implementations self-register with SchedulerRegistry.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Strategy name for reports ("ht-dataflow", "ll-dataflow", ...).
+  virtual std::string name() const = 0;
+
+  /// Generates the per-core operation streams for a mapped solution.
+  virtual Schedule build(const MappingSolution& solution,
+                         const CompileOptions& options) const = 0;
+
+  /// Mode-specific mapper objective on a finished solution (picoseconds,
+  /// lower is better).
+  virtual double estimate_fitness(const Workload& workload,
+                                  const MappingSolution& solution,
+                                  const FitnessParams& params) const = 0;
+};
+
+/// String-keyed factory of replicating+mapping strategies. Implementations
+/// register from their own translation unit via PIMCOMP_REGISTER_MAPPER, so
+/// adding a mapper never touches src/core/.
+class MapperRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Mapper>(const CompileOptions&)>;
+
+  /// Registers a factory under `key`; returns true (static-init friendly).
+  /// Throws ConfigError when the key is already taken.
+  static bool add(const std::string& key, Factory factory);
+
+  /// Instantiates the mapper registered under `key`; throws ConfigError for
+  /// unknown keys, listing what is registered.
+  static std::unique_ptr<Mapper> create(const std::string& key,
+                                        const CompileOptions& options);
+
+  static bool contains(const std::string& key);
+
+  /// Registered keys, sorted (the CLI's --list-mappers).
+  static std::vector<std::string> keys();
+};
+
+/// String-keyed factory of dataflow schedulers ("ht", "ll", ...).
+class SchedulerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Scheduler>()>;
+
+  static bool add(const std::string& key, Factory factory);
+  static std::unique_ptr<Scheduler> create(const std::string& key);
+  static bool contains(const std::string& key);
+  static std::vector<std::string> keys();
+};
+
+#define PIMCOMP_PIPELINE_CONCAT_INNER(a, b) a##b
+#define PIMCOMP_PIPELINE_CONCAT(a, b) PIMCOMP_PIPELINE_CONCAT_INNER(a, b)
+
+/// Self-registration hooks: one invocation at namespace scope in the
+/// strategy's own .cpp registers it for the whole program.
+#define PIMCOMP_REGISTER_MAPPER(key, factory)                       \
+  [[maybe_unused]] static const bool PIMCOMP_PIPELINE_CONCAT(       \
+      pimcomp_mapper_registered_, __COUNTER__) =                    \
+      ::pimcomp::MapperRegistry::add(key, factory)
+
+#define PIMCOMP_REGISTER_SCHEDULER(key, factory)                    \
+  [[maybe_unused]] static const bool PIMCOMP_PIPELINE_CONCAT(       \
+      pimcomp_scheduler_registered_, __COUNTER__) =                 \
+      ::pimcomp::SchedulerRegistry::add(key, factory)
+
+/// Composes the stage list for `ctx`: partitioning (skipped when
+/// ctx.workload is pre-seeded), then mapping and scheduling resolved from
+/// the registries. Throws ConfigError for unknown registry keys.
+std::vector<std::unique_ptr<Stage>> build_stages(const PipelineContext& ctx);
+
+/// Drives the stage loop: per stage, fires observer begin/end callbacks,
+/// times the run, and accumulates StageTimes; then assembles the
+/// CompileResult. `observer` may be nullptr.
+CompileResult run_pipeline(PipelineContext ctx, PipelineObserver* observer);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_CORE_PIPELINE_HPP

@@ -1,0 +1,155 @@
+#include "core/session.hpp"
+
+#include <type_traits>
+#include <utility>
+
+#include "graph/serialize.hpp"
+#include "sim/simulator.hpp"
+
+namespace pimcomp {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_string(std::uint64_t hash, const std::string& s) {
+  return fnv1a(hash, s.data(), s.size());
+}
+
+template <typename T>
+std::uint64_t fnv1a_value(std::uint64_t hash, const T& value) {
+  static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                "hash scalar fields only");
+  return fnv1a(hash, &value, sizeof(value));
+}
+
+std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
+  return fnv1a_value(fnv1a_value(kFnvOffset, a), b);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const Graph& graph) {
+  // The JSON graph format carries exactly the information the backend
+  // consumes (topology + per-node attributes), so its dump is a faithful
+  // identity for partitioning purposes.
+  return fnv1a_string(kFnvOffset, graph_to_json(graph).dump(0));
+}
+
+std::uint64_t fingerprint(const HardwareConfig& hw) {
+  // Every field participates; a stale list would silently alias distinct
+  // configs to one cached workload. The size guard trips (on LP64) when a
+  // field is added to HardwareConfig without updating this function.
+  static_assert(sizeof(void*) != 8 || sizeof(HardwareConfig) == 128,
+                "HardwareConfig changed: update fingerprint() to hash the "
+                "new fields");
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_value(h, hw.xbar_rows);
+  h = fnv1a_value(h, hw.xbar_cols);
+  h = fnv1a_value(h, hw.cell_bits);
+  h = fnv1a_value(h, hw.weight_bits);
+  h = fnv1a_value(h, hw.activation_bits);
+  h = fnv1a_value(h, hw.xbars_per_core);
+  h = fnv1a_value(h, hw.core_count);
+  h = fnv1a_value(h, hw.cores_per_chip);
+  h = fnv1a_value(h, hw.connection);
+  h = fnv1a_value(h, hw.vfus_per_core);
+  h = fnv1a_value(h, hw.vfu_ops_per_ns);
+  h = fnv1a_value(h, hw.local_memory_bytes);
+  h = fnv1a_value(h, hw.local_memory_gbps);
+  h = fnv1a_value(h, hw.global_memory_bytes);
+  h = fnv1a_value(h, hw.global_memory_gbps);
+  h = fnv1a_value(h, hw.noc_flit_bytes);
+  h = fnv1a_value(h, hw.noc_link_gbps);
+  h = fnv1a_value(h, hw.noc_hop_latency);
+  h = fnv1a_value(h, hw.ht_link_gbps);
+  h = fnv1a_value(h, hw.ht_latency);
+  h = fnv1a_value(h, hw.mvm_latency);
+  return h;
+}
+
+CompilerSession::CompilerSession(Graph graph, HardwareConfig hw)
+    : graph_(std::move(graph)), hw_(hw) {
+  if (!graph_.finalized()) graph_.finalize();
+  hw_.validate();
+  graph_fingerprint_ = pimcomp::fingerprint(graph_);
+}
+
+std::uint64_t CompilerSession::fingerprint() const {
+  return combine(graph_fingerprint_, pimcomp::fingerprint(hw_));
+}
+
+int CompilerSession::enqueue(Scenario scenario) {
+  queue_.push_back(std::move(scenario));
+  return static_cast<int>(queue_.size()) - 1;
+}
+
+int CompilerSession::enqueue(CompileOptions options, std::string label) {
+  return enqueue(Scenario{std::move(label), std::move(options), std::nullopt});
+}
+
+std::vector<CompileResult> CompilerSession::compile_all() {
+  // The queue is moved out first so observer callbacks may enqueue follow-up
+  // scenarios for a later batch without invalidating this loop.
+  std::vector<Scenario> batch = std::move(queue_);
+  queue_.clear();
+  std::vector<CompileResult> results;
+  results.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results.push_back(compile(batch[i], static_cast<int>(i)));
+  }
+  return results;
+}
+
+CompileResult CompilerSession::compile(const CompileOptions& options) {
+  return compile(Scenario{std::string(), options, std::nullopt});
+}
+
+CompileResult CompilerSession::compile(const Scenario& scenario, int index) {
+  const HardwareConfig& hw =
+      scenario.hardware.has_value() ? *scenario.hardware : hw_;
+  if (scenario.hardware.has_value()) hw.validate();
+
+  const std::uint64_t key =
+      combine(graph_fingerprint_, pimcomp::fingerprint(hw));
+
+  PipelineContext ctx;
+  ctx.graph = &graph_;
+  ctx.hardware = &hw;
+  ctx.options = &scenario.options;
+  ctx.scenario_label = scenario.label;
+  ctx.scenario_index = index;
+  ctx.workload = find_cached(key);  // null on miss => partitioning stage runs
+
+  CompileResult result = run_pipeline(std::move(ctx), observer_);
+  workloads_.emplace(key, result.workload);
+  return result;
+}
+
+SimReport CompilerSession::simulate(const CompileResult& result) const {
+  SimOptions sim_options;
+  sim_options.parallelism_degree = result.options.parallelism_degree;
+  sim_options.mode = result.options.mode;
+  // Simulate at the hardware the scenario actually compiled for (which may
+  // be a per-scenario override, not the session default).
+  return Simulator(result.workload->hardware(), sim_options)
+      .run(result.schedule);
+}
+
+std::shared_ptr<const Workload> CompilerSession::find_cached(
+    std::uint64_t key) const {
+  const auto it = workloads_.find(key);
+  return it == workloads_.end() ? nullptr : it->second;
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,91 @@
+#ifndef PIMCOMP_CORE_SESSION_HPP
+#define PIMCOMP_CORE_SESSION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/pipeline.hpp"
+
+namespace pimcomp {
+
+/// Stable identity of a graph / hardware config, used to key the session's
+/// workload cache. Two equal fingerprints partition identically.
+std::uint64_t fingerprint(const Graph& graph);
+std::uint64_t fingerprint(const HardwareConfig& hw);
+
+/// One entry of a session batch: a label for reports/observers, the compile
+/// options, and an optional hardware override for design-space sweeps
+/// (std::nullopt = the session's default hardware).
+struct Scenario {
+  std::string label;
+  CompileOptions options;
+  std::optional<HardwareConfig> hardware;
+};
+
+/// Batch compilation front-end over the pluggable pipeline. A session owns
+/// one model and caches the partitioned Workload per distinct hardware
+/// fingerprint, so an N-scenario sweep over mappers, modes, parallelism
+/// degrees or memory policies runs node partitioning once instead of N
+/// times. Results are bit-identical to Compiler::compile() at equal seed;
+/// the session (like Compiler) must outlive the CompileResults it returns.
+class CompilerSession {
+ public:
+  /// Takes ownership of the graph (finalizing it if needed); `hw` is the
+  /// default hardware for scenarios without an override.
+  CompilerSession(Graph graph, HardwareConfig hw);
+
+  CompilerSession(const CompilerSession&) = delete;
+  CompilerSession& operator=(const CompilerSession&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  const HardwareConfig& hardware() const { return hw_; }
+
+  /// Identity of (graph, default hardware): the key scenarios without a
+  /// hardware override cache under.
+  std::uint64_t fingerprint() const;
+
+  /// Observer receiving per-stage callbacks for every compilation this
+  /// session runs (nullptr disables; not owned).
+  void set_observer(PipelineObserver* observer) { observer_ = observer; }
+
+  /// Queues a scenario; returns its index in the current batch.
+  int enqueue(Scenario scenario);
+  int enqueue(CompileOptions options, std::string label = {});
+  int pending() const { return static_cast<int>(queue_.size()); }
+
+  /// Compiles every queued scenario in order and clears the queue.
+  std::vector<CompileResult> compile_all();
+
+  /// Cache-aware single compilation against the session hardware.
+  CompileResult compile(const CompileOptions& options);
+
+  /// Cache-aware single compilation of one scenario. `index` is forwarded
+  /// to observer callbacks (batch position; -1 for ad-hoc runs).
+  CompileResult compile(const Scenario& scenario, int index = -1);
+
+  /// Simulates a result at the hardware it was compiled for.
+  SimReport simulate(const CompileResult& result) const;
+
+  /// Distinct partitioned workloads currently cached.
+  std::size_t cached_workloads() const { return workloads_.size(); }
+
+ private:
+  std::shared_ptr<const Workload> find_cached(std::uint64_t key) const;
+
+  Graph graph_;
+  HardwareConfig hw_;
+  std::uint64_t graph_fingerprint_ = 0;
+  PipelineObserver* observer_ = nullptr;
+  std::vector<Scenario> queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Workload>>
+      workloads_;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_CORE_SESSION_HPP

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/random.hpp"
+#include "core/pipeline.hpp"
 #include "mapping/fitness.hpp"
 #include "mapping/puma_mapper.hpp"
 
@@ -434,5 +435,9 @@ MappingSolution GeneticMapper::map(const Workload& workload,
   result.validate();
   return result;
 }
+
+PIMCOMP_REGISTER_MAPPER("ga", [](const CompileOptions& options) {
+  return std::make_unique<GeneticMapper>(options.ga);
+});
 
 }  // namespace pimcomp

@@ -57,6 +57,8 @@ class GeneticMapper : public Mapper {
   /// Convergence data of the most recent map() call.
   const GaStats& last_stats() const { return stats_; }
 
+  const GaStats* convergence() const override { return &stats_; }
+
   const GaConfig& config() const { return config_; }
 
  private:

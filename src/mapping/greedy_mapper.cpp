@@ -1,6 +1,8 @@
 #include "mapping/greedy_mapper.hpp"
 
+
 #include "common/error.hpp"
+#include "core/pipeline.hpp"
 
 namespace pimcomp {
 
@@ -30,5 +32,9 @@ MappingSolution GreedyMapper::map(const Workload& workload,
   solution.validate();
   return solution;
 }
+
+PIMCOMP_REGISTER_MAPPER("greedy", [](const CompileOptions&) {
+  return std::make_unique<GreedyMapper>();
+});
 
 }  // namespace pimcomp

@@ -30,7 +30,11 @@ struct MapperOptions {
   std::uint64_t seed = 1;
 };
 
+struct GaStats;
+
 /// Interface of stage 2+3 (weight replicating + core mapping) strategies.
+/// Implementations self-register with MapperRegistry (core/pipeline.hpp)
+/// under a string key; the compiler driver never names them directly.
 class Mapper {
  public:
   virtual ~Mapper() = default;
@@ -41,6 +45,10 @@ class Mapper {
   /// Produces a valid mapping for the workload.
   virtual MappingSolution map(const Workload& workload,
                               const MapperOptions& options) = 0;
+
+  /// Convergence record of the most recent map() call when the strategy is
+  /// iterative; nullptr for one-shot heuristics.
+  virtual const GaStats* convergence() const { return nullptr; }
 };
 
 }  // namespace pimcomp

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "core/pipeline.hpp"
 
 namespace pimcomp {
 
@@ -105,5 +106,9 @@ MappingSolution PumaMapper::map(const Workload& workload,
   solution.validate();
   return solution;
 }
+
+PIMCOMP_REGISTER_MAPPER("puma", [](const CompileOptions&) {
+  return std::make_unique<PumaMapper>();
+});
 
 }  // namespace pimcomp

@@ -51,13 +51,28 @@ int Workload::partition_index(NodeId node) const {
 }
 
 int Workload::recommended_core_count(double headroom) const {
+  return recommend_cores(min_xbars_, hw_, headroom);
+}
+
+std::int64_t Workload::min_xbars_for(const Graph& graph,
+                                     const HardwareConfig& hw) {
+  PIMCOMP_CHECK(graph.finalized(), "min_xbars_for requires a finalized graph");
+  std::int64_t min_xbars = 0;
+  for (const Node& node : graph.nodes()) {
+    if (!node.is_crossbar()) continue;
+    min_xbars += partition_node(graph, node.id, hw).xbars_per_replica();
+  }
+  return min_xbars;
+}
+
+int Workload::recommend_cores(std::int64_t min_xbars,
+                              const HardwareConfig& hw, double headroom) {
   PIMCOMP_CHECK(headroom >= 1.0, "headroom must be >= 1.0");
-  const auto needed = static_cast<std::int64_t>(
-      static_cast<double>(min_xbars_) * headroom);
-  const std::int64_t cores = ceil_div<std::int64_t>(needed, hw_.xbars_per_core);
-  const std::int64_t chips =
-      ceil_div<std::int64_t>(cores, hw_.cores_per_chip);
-  return checked_int(chips * hw_.cores_per_chip);
+  const auto needed =
+      static_cast<std::int64_t>(static_cast<double>(min_xbars) * headroom);
+  const std::int64_t cores = ceil_div<std::int64_t>(needed, hw.xbars_per_core);
+  const std::int64_t chips = ceil_div<std::int64_t>(cores, hw.cores_per_chip);
+  return checked_int(chips * hw.cores_per_chip);
 }
 
 int Workload::max_replication(NodeId node) const {

@@ -48,6 +48,16 @@ class Workload {
   /// every node fits with `headroom` spare capacity factor (>= 1.0).
   int recommended_core_count(double headroom = 2.0) const;
 
+  /// Crossbars for one replica of every node of a finalized graph, computed
+  /// without materializing a Workload (capacity sizing probes). The result
+  /// is independent of hw.core_count.
+  static std::int64_t min_xbars_for(const Graph& graph,
+                                    const HardwareConfig& hw);
+
+  /// recommended_core_count() on a bare crossbar requirement.
+  static int recommend_cores(std::int64_t min_xbars, const HardwareConfig& hw,
+                             double headroom);
+
   /// Upper bound on useful replication for a node: replicas beyond the
   /// window count can never be busy.
   int max_replication(NodeId node) const;

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "core/pipeline.hpp"
+#include "mapping/fitness.hpp"
 #include "schedule/ag_layout.hpp"
 #include "schedule/vec_placement.hpp"
 
@@ -395,5 +397,31 @@ Schedule schedule_ht(const MappingSolution& solution,
   }
   return schedule;
 }
+
+namespace {
+
+/// HT mode as a pluggable pipeline strategy: Algorithm 1 dataflow plus the
+/// F_HT objective (paper Fig 5).
+class HtScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "ht-dataflow"; }
+
+  Schedule build(const MappingSolution& solution,
+                 const CompileOptions& options) const override {
+    HtScheduleOptions ht;
+    ht.memory_policy = options.memory_policy;
+    ht.flush_windows = options.ht_flush_windows;
+    return schedule_ht(solution, ht);
+  }
+
+  double estimate_fitness(const Workload&, const MappingSolution& solution,
+                          const FitnessParams& params) const override {
+    return ht_fitness(solution, params);
+  }
+};
+
+}  // namespace
+
+PIMCOMP_REGISTER_SCHEDULER("ht", [] { return std::make_unique<HtScheduler>(); });
 
 }  // namespace pimcomp

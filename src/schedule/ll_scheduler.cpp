@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "core/pipeline.hpp"
+#include "mapping/fitness.hpp"
 #include "schedule/ag_layout.hpp"
 #include "schedule/receptive_field.hpp"
 #include "schedule/vec_placement.hpp"
@@ -468,5 +470,31 @@ Schedule schedule_ll(const MappingSolution& solution,
   }
   return schedule;
 }
+
+namespace {
+
+/// LL mode as a pluggable pipeline strategy: the fine-grained inter-layer
+/// pipeline dataflow plus the F_LL objective (paper Fig 6).
+class LlScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "ll-dataflow"; }
+
+  Schedule build(const MappingSolution& solution,
+                 const CompileOptions& options) const override {
+    LlScheduleOptions ll;
+    ll.memory_policy = options.memory_policy;
+    return schedule_ll(solution, ll);
+  }
+
+  double estimate_fitness(const Workload& workload,
+                          const MappingSolution& solution,
+                          const FitnessParams& params) const override {
+    return LLFitnessContext(workload).evaluate(solution, params);
+  }
+};
+
+}  // namespace
+
+PIMCOMP_REGISTER_SCHEDULER("ll", [] { return std::make_unique<LlScheduler>(); });
 
 }  // namespace pimcomp

@@ -72,13 +72,13 @@ TEST(Compiler, DeterministicBySeed) {
   EXPECT_NE(run(7).first, run(8).first);
 }
 
-TEST(Compiler, AllMapperKindsWork) {
+TEST(Compiler, AllBuiltinMappersWork) {
   for (MapperKind kind :
        {MapperKind::kGenetic, MapperKind::kPumaLike, MapperKind::kGreedy}) {
     Graph g = zoo::squeezenet(64);
     Compiler compiler(std::move(g), HardwareConfig::puma_default());
     CompileOptions opt;
-    opt.mapper = kind;
+    opt.mapper = registry_key(kind);
     opt.ga = tiny_ga();
     const CompileResult result = compiler.compile(opt);
     EXPECT_EQ(result.mapper_name, to_string(kind));
@@ -130,7 +130,7 @@ TEST(Compiler, HigherParallelismNeverSlower) {
   Graph g = zoo::squeezenet(64);
   Compiler compiler(std::move(g), HardwareConfig::puma_default());
   CompileOptions opt;
-  opt.mapper = MapperKind::kPumaLike;  // deterministic mapping across runs
+  opt.mapper = "puma";  // deterministic mapping across runs
   opt.parallelism_degree = 1;
   const SimReport slow = compiler.simulate(compiler.compile(opt));
   opt.parallelism_degree = 200;

@@ -16,7 +16,7 @@ class PrinterFixture : public ::testing::Test {
     compiler_ = std::make_unique<Compiler>(std::move(g),
                                            HardwareConfig::puma_default());
     CompileOptions opt;
-    opt.mapper = MapperKind::kPumaLike;
+    opt.mapper = "puma";
     result_ = std::make_unique<CompileResult>(compiler_->compile(opt));
   }
 
