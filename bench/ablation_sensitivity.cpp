@@ -3,6 +3,7 @@
 // parallelism degree (on-chip bandwidth).
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "common/string_util.hpp"
@@ -21,13 +22,15 @@ int main() {
     struct Geometry {
       int rows, cols, per_core;
     };
-    // One session, one model build; each geometry is a scenario with a
-    // hardware override (its workload is cached per hardware fingerprint).
+    const Geometry geometries[] = {
+        {64, 64, 128}, {128, 128, 64}, {256, 256, 16}};
+    // One session, one model build; each geometry contributes an LL and an
+    // HT scenario with a hardware override (its workload is cached per
+    // hardware fingerprint) and the whole sweep is one parallel batch.
     CompilerSession session(bench_model("resnet18", cfg),
                             HardwareConfig::puma_default());
-    for (const Geometry& g :
-         {Geometry{64, 64, 128}, Geometry{128, 128, 64},
-          Geometry{256, 256, 16}}) {
+    session.set_jobs(cfg.jobs);
+    for (const Geometry& g : geometries) {
       HardwareConfig hw = HardwareConfig::puma_default();
       hw.xbar_rows = g.rows;
       hw.xbar_cols = g.cols;
@@ -35,17 +38,30 @@ int main() {
       hw = fit_core_count(session.graph(), hw, 3.0);
       const std::string label =
           std::to_string(g.rows) + "x" + std::to_string(g.cols);
-      CompileResult ll = session.compile(Scenario{
+      session.enqueue(Scenario{
           label, bench_options(cfg, PipelineMode::kLowLatency, 20), hw});
-      const SimReport ll_sim = session.simulate(ll);
-      CompileResult ht = session.compile(Scenario{
+      session.enqueue(Scenario{
           label, bench_options(cfg, PipelineMode::kHighThroughput, 20), hw});
-      const SimReport ht_sim = session.simulate(ht);
+    }
+    const std::vector<ScenarioOutcome> outcomes = session.compile_all();
+    for (std::size_t i = 0; i + 1 < outcomes.size(); i += 2) {
+      const Geometry& g = geometries[i / 2];
+      const ScenarioOutcome& ll_outcome = outcomes[i];
+      const ScenarioOutcome& ht_outcome = outcomes[i + 1];
+      if (!ll_outcome.ok() || !ht_outcome.ok()) {
+        std::cerr << "geometry '" << ll_outcome.label << "' failed: "
+                  << (ll_outcome.ok() ? ht_outcome.error : ll_outcome.error)
+                  << '\n';
+        continue;
+      }
+      const CompileResult& ll = *ll_outcome.result;
+      const SimReport ll_sim = session.simulate(ll);
+      const SimReport ht_sim = session.simulate(*ht_outcome.result);
       const double util =
           static_cast<double>(ll.solution.total_xbars_used()) /
           static_cast<double>(ll.workload->total_xbars_available());
-      table.add_row({label,
-                     std::to_string(g.per_core), std::to_string(hw.core_count),
+      table.add_row({ll_outcome.label, std::to_string(g.per_core),
+                     std::to_string(ll.workload->hardware().core_count),
                      format_double(to_us(ll_sim.makespan), 1),
                      format_double(to_us(ht_sim.makespan), 1),
                      format_double(100 * util, 1) + "%"});

@@ -13,6 +13,8 @@
 //                          §3).
 //   PIMCOMP_BENCH_POP / PIMCOMP_BENCH_GENS   override the GA budget.
 //   PIMCOMP_BENCH_SEED                       override the RNG seed.
+//   PIMCOMP_BENCH_JOBS     worker threads per scenario batch (default: one
+//                          per hardware thread; 1 = sequential).
 
 #include <cstdlib>
 #include <string>
@@ -28,6 +30,7 @@ struct BenchConfig {
   int ga_population = 40;
   int ga_generations = 60;
   std::uint64_t seed = 1;
+  int jobs = 0;  ///< compile_all() fan-out; 0 = one per hardware thread
 
   static BenchConfig from_env() {
     BenchConfig cfg;
@@ -46,6 +49,9 @@ struct BenchConfig {
     }
     if (const char* seed = std::getenv("PIMCOMP_BENCH_SEED")) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(seed));
+    }
+    if (const char* jobs = std::getenv("PIMCOMP_BENCH_JOBS")) {
+      cfg.jobs = std::atoi(jobs);
     }
     return cfg;
   }
@@ -79,7 +85,9 @@ inline CompileOptions bench_options(const BenchConfig& cfg, PipelineMode mode,
 }
 
 /// Session over a bench model with auto-fitted hardware; every run through
-/// the same session reuses the cached node partitioning.
+/// the same session reuses the cached node partitioning. Sessions are
+/// pinned in place (mutex-guarded caches), so this returns a prvalue and
+/// callers opt into batch fan-out with `session.set_jobs(cfg.jobs)`.
 inline CompilerSession bench_session(const std::string& name,
                                      const BenchConfig& cfg) {
   Graph graph = bench_model(name, cfg);

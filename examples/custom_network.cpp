@@ -36,9 +36,11 @@ int main(int argc, char** argv) {
   std::cout << "saved and reloaded '" << reloaded.name() << "' ("
             << reloaded.node_count() << " nodes) via " << path << "\n\n";
 
-  // Both modes as one session batch: node partitioning runs once and the
-  // cached workload is shared by the two scenarios.
+  // Both modes as one session batch: node partitioning runs once, the
+  // cached workload is shared by the two scenarios, and the scenarios
+  // compile on separate workers.
   CompilerSession session(std::move(reloaded), HardwareConfig::puma_default());
+  session.set_jobs(0);  // one worker per hardware thread
   for (PipelineMode mode :
        {PipelineMode::kHighThroughput, PipelineMode::kLowLatency}) {
     CompileOptions options;
@@ -47,7 +49,13 @@ int main(int argc, char** argv) {
     options.ga.generations = 30;
     session.enqueue(options, to_string(mode));
   }
-  for (const CompileResult& result : session.compile_all()) {
+  for (const ScenarioOutcome& outcome : session.compile_all()) {
+    if (!outcome.ok()) {
+      std::cerr << "scenario '" << outcome.label << "' failed: "
+                << outcome.error << '\n';
+      continue;
+    }
+    const CompileResult& result = *outcome.result;
     const SimReport sim = session.simulate(result);
     std::cout << describe(result);
     std::cout << "  simulated " << to_string(result.options.mode) << ": "

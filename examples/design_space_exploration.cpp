@@ -34,6 +34,7 @@ int main() {
   };
 
   CompilerSession session(zoo::resnet18(64), HardwareConfig::puma_default());
+  session.set_jobs(0);  // fan the design points out, one worker per thread
   for (const DesignPoint& point : points) {
     HardwareConfig hw = HardwareConfig::puma_default();
     hw.xbar_rows = point.xbar_rows;
@@ -51,8 +52,15 @@ int main() {
   Table table("resnet18 @64 across crossbar design points (LL mode, P=20)");
   table.set_header({"design", "cores", "latency (us)", "chip area (mm2)",
                     "energy (uJ)", "xbar util"});
-  int index = 0;
-  for (const CompileResult& result : session.compile_all()) {
+  for (const ScenarioOutcome& outcome : session.compile_all()) {
+    // An infeasible geometry reports its error and leaves the rest of the
+    // sweep intact instead of aborting the whole exploration.
+    if (!outcome.ok()) {
+      std::cerr << "design point '" << outcome.label << "' failed: "
+                << outcome.error << '\n';
+      continue;
+    }
+    const CompileResult& result = *outcome.result;
     const HardwareConfig& hw = result.workload->hardware();
     const SimReport sim = session.simulate(result);
     const AreaReport area = compute_area(hw);
@@ -60,7 +68,7 @@ int main() {
     const double utilization =
         static_cast<double>(result.solution.total_xbars_used()) /
         static_cast<double>(result.workload->total_xbars_available());
-    table.add_row({points[index++].label, std::to_string(hw.core_count),
+    table.add_row({points[outcome.index].label, std::to_string(hw.core_count),
                    format_double(to_us(sim.makespan), 1),
                    format_double(area.total_mm2, 1),
                    format_double(to_uj(sim.total_energy()), 0),

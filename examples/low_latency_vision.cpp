@@ -22,9 +22,11 @@ int main(int argc, char** argv) {
       fit_core_count(graph, HardwareConfig::puma_default(), 3.0);
   std::cout << "resnet18 @ " << input_size << ", " << hw.core_count
             << " cores\n\n";
-  // Both mappers as one session batch over a shared partitioned workload;
-  // the strategies are registry keys, so a plugin mapper slots in by name.
+  // Both mappers as one session batch over a shared partitioned workload,
+  // compiled on parallel workers; the strategies are registry keys, so a
+  // plugin mapper slots in by name.
   CompilerSession session(std::move(graph), hw);
+  session.set_jobs(0);  // one worker per hardware thread
   for (const std::string& mapper : {std::string("ga"), std::string("puma")}) {
     CompileOptions options;
     options.mode = PipelineMode::kLowLatency;
@@ -39,7 +41,13 @@ int main(int argc, char** argv) {
   table.set_header({"mapper", "latency (us)", "messages", "comm (kB)",
                     "leakage (uJ)", "active cores"});
   double latency_ga = 0.0, latency_puma = 0.0;
-  for (const CompileResult& result : session.compile_all()) {
+  for (const ScenarioOutcome& outcome : session.compile_all()) {
+    if (!outcome.ok()) {
+      std::cerr << "scenario '" << outcome.label << "' failed: "
+                << outcome.error << '\n';
+      continue;
+    }
+    const CompileResult& result = *outcome.result;
     const SimReport sim = session.simulate(result);
     table.add_row({result.mapper_name, format_double(to_us(sim.makespan), 1),
                    std::to_string(sim.comm_messages),

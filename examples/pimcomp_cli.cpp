@@ -4,26 +4,34 @@
 //     <model>            zoo name (vgg16, resnet18, googlenet, inception-v3,
 //                        squeezenet) or a path to a PIMCOMP JSON graph
 //   --mode ht|ll         pipeline mode                   (default ll)
-//   --parallelism N      AGs computing per core          (default 20)
+//   --parallelism N[,N...]  AGs computing per core       (default 20);
+//                        a comma-separated list sweeps the values as one
+//                        session batch
+//   --jobs N             worker threads for the batch (0 = one per
+//                        hardware thread)                (default 1)
 //   --mapper KEY         a MapperRegistry key            (default ga)
 //   --policy naive|add|ag                                (default ag)
 //   --input N            zoo input resolution            (default 64/96)
 //   --cores N            core count (default: auto-fit with 3x headroom)
 //   --pop N --gens N     GA budget                       (default 40 x 60)
 //   --seed N             RNG seed                        (default 1)
-//   --dump-stream CORE   print a core's instruction stream
+//   --dump-stream CORE   print a core's instruction stream (single run only)
 //   --json               emit machine-readable JSON reports
 //   --list-mappers       print the registered mapper/scheduler keys
 //
-// Example:
+// Examples:
 //   ./build/examples/pimcomp_cli resnet18 --mode ll --parallelism 20
+//   ./build/examples/pimcomp_cli resnet18 --parallelism 1,20,200 --jobs 0
 
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <limits>
 #include <string>
+#include <vector>
 
+#include "common/string_util.hpp"
+#include "common/table.hpp"
 #include "core/compile_report.hpp"
 #include "core/pipeline.hpp"
 #include "core/session.hpp"
@@ -37,8 +45,8 @@ using namespace pimcomp;
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <model|graph.json> [--mode ht|ll] [--parallelism N]\n"
-               "       [--mapper KEY] [--policy naive|add|ag]\n"
+            << " <model|graph.json> [--mode ht|ll] [--parallelism N[,N...]]\n"
+               "       [--jobs N] [--mapper KEY] [--policy naive|add|ag]\n"
                "       [--input N] [--cores N] [--pop N] [--gens N]\n"
                "       [--seed N] [--dump-stream CORE] [--json]\n"
                "       [--list-mappers]\n";
@@ -123,6 +131,8 @@ int main(int argc, char** argv) {
   options.mode = PipelineMode::kLowLatency;
   options.ga.population = 40;
   options.ga.generations = 60;
+  std::vector<int> parallelism_sweep;  // >1 entries = a session batch
+  int jobs = 1;
   int input_size = 0;
   int cores = 0;
   int dump_core = -1;
@@ -140,8 +150,14 @@ int main(int argc, char** argv) {
       else if (v == "ll") options.mode = PipelineMode::kLowLatency;
       else usage(argv[0]);
     } else if (arg == "--parallelism") {
-      options.parallelism_degree =
-          parse_int(arg, next(), 1, kMaxParallelism);
+      parallelism_sweep.clear();
+      for (const std::string& token : split(next(), ',')) {
+        parallelism_sweep.push_back(
+            parse_int(arg, token, 1, kMaxParallelism));
+      }
+      options.parallelism_degree = parallelism_sweep.front();
+    } else if (arg == "--jobs") {
+      jobs = parse_int(arg, next(), 0, 1 << 10);
     } else if (arg == "--mapper") {
       const std::string v = next();
       if (!MapperRegistry::contains(v)) {
@@ -195,6 +211,66 @@ int main(int argc, char** argv) {
     }
 
     CompilerSession session(std::move(graph), hw);
+    session.set_jobs(jobs);
+
+    if (parallelism_sweep.size() > 1) {
+      // A parallelism sweep: one session batch fanned out over --jobs
+      // workers, with per-scenario outcomes (a failing point reports its
+      // error without killing the sweep).
+      if (dump_core >= 0) {
+        fail("--dump-stream needs a single --parallelism value");
+      }
+      for (int parallelism : parallelism_sweep) {
+        CompileOptions point = options;
+        point.parallelism_degree = parallelism;
+        session.enqueue(point, "P=" + std::to_string(parallelism));
+      }
+      const std::vector<ScenarioOutcome> outcomes = session.compile_all();
+
+      bool any_failed = false;
+      if (emit_json) {
+        Json out = Json::array();
+        for (const ScenarioOutcome& outcome : outcomes) {
+          Json entry = Json::object();
+          entry["scenario"] = outcome.label;
+          if (outcome.ok()) {
+            entry["compile"] = compile_result_to_json(*outcome.result);
+            entry["simulation"] =
+                sim_report_to_json(session.simulate(*outcome.result));
+          } else {
+            entry["error"] = outcome.error;
+            any_failed = true;
+          }
+          out.push_back(std::move(entry));
+        }
+        std::cout << out.dump(2) << '\n';
+      } else {
+        const bool ht = options.mode == PipelineMode::kHighThroughput;
+        Table table(model + " parallelism sweep (" +
+                    std::string(ht ? "HT" : "LL") + " mode, jobs=" +
+                    std::to_string(session.jobs()) + ")");
+        table.set_header({"scenario", "compile (s)",
+                          ht ? "throughput (inf/s)" : "latency (us)"});
+        for (const ScenarioOutcome& outcome : outcomes) {
+          if (!outcome.ok()) {
+            std::cerr << "pimcomp: scenario '" << outcome.label
+                      << "' failed: " << outcome.error << '\n';
+            any_failed = true;
+            continue;
+          }
+          const SimReport sim = session.simulate(*outcome.result);
+          table.add_row(
+              {outcome.label,
+               format_double(outcome.result->stage_times.total(), 2),
+               format_double(ht ? sim.throughput_per_sec()
+                                : to_us(sim.makespan),
+                             1)});
+        }
+        table.print();
+      }
+      return any_failed ? 1 : 0;
+    }
+
     const CompileResult result = session.compile(options);
     const SimReport sim = session.simulate(result);
 

@@ -28,8 +28,10 @@ int main(int argc, char** argv) {
             << hw.chip_count() << " chip(s)\n\n";
 
   // The parallelism sweep is a session batch: the four scenarios share one
-  // node-partitioning pass through the session's workload cache.
+  // node-partitioning pass through the session's workload cache and fan out
+  // across worker threads.
   CompilerSession session(std::move(graph), hw);
+  session.set_jobs(0);  // one worker per hardware thread
   for (int parallelism : {1, 20, 40, 200}) {
     CompileOptions options;
     options.mode = PipelineMode::kHighThroughput;
@@ -42,7 +44,13 @@ int main(int argc, char** argv) {
   Table table("HT throughput vs parallelism degree (vgg16)");
   table.set_header({"parallelism", "throughput (inf/s)", "busiest core (us)",
                     "dynamic energy (uJ)", "compile (s)"});
-  for (const CompileResult& result : session.compile_all()) {
+  for (const ScenarioOutcome& outcome : session.compile_all()) {
+    if (!outcome.ok()) {
+      std::cerr << "scenario '" << outcome.label << "' failed: "
+                << outcome.error << '\n';
+      continue;
+    }
+    const CompileResult& result = *outcome.result;
     const SimReport sim = session.simulate(result);
     table.add_row({std::to_string(result.options.parallelism_degree),
                    format_double(sim.throughput_per_sec(), 1),

@@ -1,0 +1,59 @@
+#ifndef PIMCOMP_COMMON_THREAD_POOL_HPP
+#define PIMCOMP_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pimcomp {
+
+/// A fixed-size worker pool over a FIFO task queue. Small by design: enough
+/// for CompilerSession to fan a scenario batch out across threads, nothing
+/// speculative (no futures, no work stealing).
+///
+/// Tasks must not let exceptions escape — a throwing task terminates the
+/// process (std::thread unwinding). Callers that can fail wrap their work in
+/// a try/catch and encode the failure in their own result slot, as
+/// CompilerSession::compile_all() does with ScenarioOutcome.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers. Pending tasks are still drained first: destruction
+  /// waits for the queue to empty, it does not cancel.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for the next free worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished and the queue is empty.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a sane floor (the standard
+  /// allows it to report 0).
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  int active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_COMMON_THREAD_POOL_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -12,25 +13,29 @@ namespace pimcomp {
 
 namespace {
 
-double seconds_since(const std::chrono::steady_clock::time_point& start) {
-  const auto now = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(now - start).count();
-}
-
 /// Shared registry plumbing: an ordered map behind a Meyers singleton, so
 /// registration from static initializers is order-independent and keys()
-/// comes out sorted.
+/// comes out sorted. Lookups are mutex-guarded: a parallel CompilerSession
+/// resolves strategies from worker threads.
 template <typename Factory>
 class RegistryStore {
  public:
   bool add(const std::string& kind, const std::string& key, Factory factory) {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (!factories_.emplace(key, std::move(factory)).second) {
-      throw ConfigError(kind + " '" + key + "' is already registered");
+      // add() runs from static initializers, where a throw terminates the
+      // process before main() with no usable message. Record the conflict
+      // instead; the first get()/keys() call reports it (first
+      // registration wins and stays in effect).
+      if (!conflicts_.empty()) conflicts_ += "; ";
+      conflicts_ += kind + " '" + key + "' is already registered";
     }
     return true;
   }
 
-  const Factory& get(const std::string& kind, const std::string& key) const {
+  const Factory& get(const std::string& kind, const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    report_conflicts();
     const auto it = factories_.find(key);
     if (it == factories_.end()) {
       std::ostringstream oss;
@@ -42,14 +47,19 @@ class RegistryStore {
       }
       throw ConfigError(oss.str());
     }
+    // References into the map stay valid after unlock: entries are never
+    // erased, and std::map never relocates nodes.
     return it->second;
   }
 
   bool contains(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return factories_.count(key) != 0;
   }
 
-  std::vector<std::string> keys() const {
+  std::vector<std::string> keys() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    report_conflicts();
     std::vector<std::string> out;
     out.reserve(factories_.size());
     for (const auto& [key, factory] : factories_) out.push_back(key);
@@ -57,7 +67,20 @@ class RegistryStore {
   }
 
  private:
+  /// Requires mutex_ held. Throws (once) if static initialization recorded
+  /// duplicate registrations; the store stays usable afterwards.
+  void report_conflicts() {
+    if (conflicts_.empty()) return;
+    const std::string message =
+        "duplicate registration at static initialization: " + conflicts_ +
+        " (first registration wins)";
+    conflicts_.clear();
+    throw ConfigError(message);
+  }
+
   std::map<std::string, Factory> factories_;
+  std::string conflicts_;
+  mutable std::mutex mutex_;
 };
 
 RegistryStore<MapperRegistry::Factory>& mapper_store() {
@@ -185,6 +208,13 @@ bool SchedulerRegistry::contains(const std::string& key) {
 
 std::vector<std::string> SchedulerRegistry::keys() {
   return scheduler_store().keys();
+}
+
+void validate_strategies(const CompileOptions& options) {
+  // Resolve both keys without invoking the factories: same error messages
+  // as build_stages(), none of the instantiation cost.
+  mapper_store().get("mapper", options.mapper);
+  scheduler_store().get("scheduler", options.scheduler_key());
 }
 
 std::vector<std::unique_ptr<Stage>> build_stages(const PipelineContext& ctx) {

@@ -1,6 +1,8 @@
 #ifndef PIMCOMP_CORE_PIPELINE_HPP
 #define PIMCOMP_CORE_PIPELINE_HPP
 
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -22,6 +24,14 @@ inline constexpr const char kMapping[] = "mapping";
 inline constexpr const char kScheduling[] = "scheduling";
 }  // namespace stage_names
 
+/// Wall-clock seconds elapsed since `start` — shared by every place that
+/// measures a stage (the pipeline's stage loop and the session's
+/// out-of-loop partitioning timing), so they can never diverge.
+inline double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 /// What an observer learns about one stage execution.
 struct StageInfo {
   std::string stage;        ///< stage name (see stage_names)
@@ -30,16 +40,38 @@ struct StageInfo {
   double seconds = 0.0;     ///< wall-clock duration (on_stage_end only)
 };
 
+/// Names of CompilerSession's two cache layers, as reported in CacheEvent.
+namespace cache_names {
+inline constexpr const char kWorkload[] = "workload";  ///< partitioned Workload
+inline constexpr const char kMapping[] = "mapping";    ///< full CompileResult
+}  // namespace cache_names
+
+/// One cache hit inside a CompilerSession: a scenario reused a partitioned
+/// workload or a whole mapping result instead of recomputing it.
+struct CacheEvent {
+  std::string cache;        ///< cache layer (see cache_names)
+  std::string scenario;     ///< label of the scenario ("" when single-shot)
+  int scenario_index = -1;  ///< position in the session batch (-1 single-shot)
+  std::uint64_t hits = 0;   ///< session-lifetime hit count of that cache
+};
+
 /// Per-stage callbacks around the pipeline's stage loop. Default methods are
 /// no-ops so observers override only what they need. This subsumes the old
 /// ad-hoc StageTimes bookkeeping: timings are recorded by the same loop that
 /// fires these callbacks. Callbacks are always paired: a stage that throws
 /// still fires on_stage_end before the exception propagates.
+///
+/// Thread safety: a parallel CompilerSession (set_jobs > 1) serializes every
+/// callback behind one mutex, so observer implementations never run
+/// concurrently with themselves — but callbacks from different scenarios
+/// interleave in nondeterministic order.
 class PipelineObserver {
  public:
   virtual ~PipelineObserver() = default;
   virtual void on_stage_begin(const StageInfo& info) { (void)info; }
   virtual void on_stage_end(const StageInfo& info) { (void)info; }
+  /// Fired by CompilerSession when one of its caches satisfies a scenario.
+  virtual void on_cache_hit(const CacheEvent& event) { (void)event; }
 };
 
 /// Mutable state threaded through the stage loop. Stages read what earlier
@@ -151,6 +183,12 @@ class SchedulerRegistry {
 /// ctx.workload is pre-seeded), then mapping and scheduling resolved from
 /// the registries. Throws ConfigError for unknown registry keys.
 std::vector<std::unique_ptr<Stage>> build_stages(const PipelineContext& ctx);
+
+/// Resolves both registry keys of `options` without instantiating anything:
+/// the fail-fast check build_stages() performs, callable before paying for
+/// node partitioning. Throws ConfigError for unknown keys (and reports any
+/// duplicate registrations recorded at static initialization).
+void validate_strategies(const CompileOptions& options);
 
 /// Drives the stage loop: per stage, fires observer begin/end callbacks,
 /// times the run, and accumulates StageTimes; then assembles the

@@ -1,8 +1,15 @@
 #include "core/session.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <thread>
 #include <type_traits>
 #include <utility>
 
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/serialize.hpp"
 #include "sim/simulator.hpp"
 
@@ -23,6 +30,10 @@ std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
 }
 
 std::uint64_t fnv1a_string(std::uint64_t hash, const std::string& s) {
+  // Length-prefixed so adjacent strings can't alias across their boundary
+  // (("gal","l") must not hash like ("ga","ll")).
+  const std::uint64_t size = s.size();
+  hash = fnv1a(hash, &size, sizeof(size));
   return fnv1a(hash, s.data(), s.size());
 }
 
@@ -36,6 +47,11 @@ std::uint64_t fnv1a_value(std::uint64_t hash, const T& value) {
 std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
   return fnv1a_value(fnv1a_value(kFnvOffset, a), b);
 }
+
+/// Mapping-cache bound: generous for sweep-sized batches (the benches top
+/// out at dozens of scenarios) while keeping a long-lived session's memory
+/// flat when every scenario is distinct and can never hit.
+constexpr std::size_t kMaxCachedMappings = 128;
 
 }  // namespace
 
@@ -78,18 +94,98 @@ std::uint64_t fingerprint(const HardwareConfig& hw) {
   return h;
 }
 
+std::uint64_t fingerprint(const CompileOptions& options) {
+  // Every field participates, scheduler via its *effective* key so an
+  // explicit "ht" and a mode-derived "ht" hash alike. Aliasing two distinct
+  // configurations here would hand one of them the other's cached result.
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_value(h, options.mode);
+  h = fnv1a_value(h, options.parallelism_degree);
+  h = fnv1a_value(h, options.memory_policy);
+  h = fnv1a_string(h, options.mapper);
+  h = fnv1a_string(h, options.scheduler_key());
+  h = fnv1a_value(h, options.ga.population);
+  h = fnv1a_value(h, options.ga.generations);
+  h = fnv1a_value(h, options.ga.elite);
+  h = fnv1a_value(h, options.ga.tournament_size);
+  h = fnv1a_value(h, options.ga.mutations_per_child);
+  h = fnv1a_value(h, options.ga.target_fill);
+  h = fnv1a_value(h, options.ga.enable_grow);
+  h = fnv1a_value(h, options.ga.enable_shrink);
+  h = fnv1a_value(h, options.ga.enable_spread);
+  h = fnv1a_value(h, options.ga.enable_merge);
+  h = fnv1a_value(h, options.ga.seed_baseline);
+  h = fnv1a_value(h, options.max_nodes_per_core);
+  h = fnv1a_value(h, options.ht_flush_windows);
+  h = fnv1a_value(h, options.seed);
+  return h;
+}
+
+/// State of one workload-cache slot. The first scenario to claim a
+/// fingerprint becomes the owner and partitions; concurrent peers block on
+/// `published` until the owner stores either the workload or the failure
+/// (CapacityError for an infeasible design point), which every peer then
+/// rethrows without re-partitioning.
+struct CompilerSession::WorkloadEntry {
+  std::mutex mutex;
+  std::condition_variable published;
+  bool done = false;
+  std::shared_ptr<const Workload> workload;
+  std::exception_ptr failure;
+  std::thread::id owner;  ///< claimant; set under workload_mutex_ at claim
+};
+
+/// Serializing forwarder placed between the pipeline and the user observer:
+/// worker threads call in concurrently, the user observer only ever runs
+/// under `session->observer_mutex_`.
+class CompilerSession::ObserverGate final : public PipelineObserver {
+ public:
+  explicit ObserverGate(CompilerSession* session) : session_(session) {}
+
+  void on_stage_begin(const StageInfo& info) override {
+    std::lock_guard<std::recursive_mutex> lock(session_->observer_mutex_);
+    if (session_->observer_ != nullptr) session_->observer_->on_stage_begin(info);
+  }
+
+  void on_stage_end(const StageInfo& info) override {
+    std::lock_guard<std::recursive_mutex> lock(session_->observer_mutex_);
+    if (session_->observer_ != nullptr) session_->observer_->on_stage_end(info);
+  }
+
+  void on_cache_hit(const CacheEvent& event) override {
+    std::lock_guard<std::recursive_mutex> lock(session_->observer_mutex_);
+    if (session_->observer_ != nullptr) session_->observer_->on_cache_hit(event);
+  }
+
+ private:
+  CompilerSession* session_;
+};
+
 CompilerSession::CompilerSession(Graph graph, HardwareConfig hw)
     : graph_(std::move(graph)), hw_(hw) {
   if (!graph_.finalized()) graph_.finalize();
   hw_.validate();
   graph_fingerprint_ = pimcomp::fingerprint(graph_);
+  gate_ = std::make_unique<ObserverGate>(this);
 }
+
+CompilerSession::~CompilerSession() = default;
 
 std::uint64_t CompilerSession::fingerprint() const {
   return combine(graph_fingerprint_, pimcomp::fingerprint(hw_));
 }
 
+void CompilerSession::set_observer(PipelineObserver* observer) {
+  std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
+  observer_ = observer;
+}
+
+void CompilerSession::set_jobs(int jobs) {
+  jobs_ = jobs <= 0 ? ThreadPool::hardware_threads() : jobs;
+}
+
 int CompilerSession::enqueue(Scenario scenario) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
   queue_.push_back(std::move(scenario));
   return static_cast<int>(queue_.size()) - 1;
 }
@@ -98,17 +194,49 @@ int CompilerSession::enqueue(CompileOptions options, std::string label) {
   return enqueue(Scenario{std::move(label), std::move(options), std::nullopt});
 }
 
-std::vector<CompileResult> CompilerSession::compile_all() {
+int CompilerSession::pending() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+std::vector<ScenarioOutcome> CompilerSession::compile_all() {
   // The queue is moved out first so observer callbacks may enqueue follow-up
   // scenarios for a later batch without invalidating this loop.
-  std::vector<Scenario> batch = std::move(queue_);
-  queue_.clear();
-  std::vector<CompileResult> results;
-  results.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    results.push_back(compile(batch[i], static_cast<int>(i)));
+  std::vector<Scenario> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    batch = std::move(queue_);
+    queue_.clear();
   }
-  return results;
+
+  std::vector<ScenarioOutcome> outcomes(batch.size());
+  const auto run_one = [&](std::size_t i) {
+    ScenarioOutcome& outcome = outcomes[i];
+    outcome.label = batch[i].label;
+    outcome.index = static_cast<int>(i);
+    try {
+      outcome.result = compile(batch[i], static_cast<int>(i));
+    } catch (const std::exception& e) {
+      // An infeasible design point (CapacityError) or bad configuration
+      // (ConfigError) fails this scenario only; the batch carries on.
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.error = "unknown error";
+    }
+  };
+
+  const int jobs =
+      std::min(jobs_, static_cast<int>(std::max<std::size_t>(batch.size(), 1)));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < batch.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      pool.submit([&run_one, i] { run_one(i); });
+    }
+    pool.wait_idle();
+  }
+  return outcomes;
 }
 
 CompileResult CompilerSession::compile(const CompileOptions& options) {
@@ -120,8 +248,27 @@ CompileResult CompilerSession::compile(const Scenario& scenario, int index) {
       scenario.hardware.has_value() ? *scenario.hardware : hw_;
   if (scenario.hardware.has_value()) hw.validate();
 
-  const std::uint64_t key =
+  // Fail fast on unknown strategy keys: before partitioning is paid for and
+  // before a cache slot is claimed.
+  validate_strategies(scenario.options);
+
+  const std::uint64_t workload_key =
       combine(graph_fingerprint_, pimcomp::fingerprint(hw));
+  const std::uint64_t mapping_key =
+      combine(workload_key, pimcomp::fingerprint(scenario.options));
+
+  if (std::optional<CompileResult> cached = find_mapping(mapping_key)) {
+    notify_cache_hit(cache_names::kMapping, scenario.label, index,
+                     mapping_hits_);
+    // No stage ran for this scenario; a zeroed StageTimes says so (same
+    // convention as a cached partitioning stage).
+    cached->stage_times = StageTimes{};
+    return std::move(*cached);
+  }
+
+  double partition_seconds = 0.0;
+  std::shared_ptr<const Workload> workload = resolve_workload(
+      workload_key, hw, scenario.label, index, &partition_seconds);
 
   PipelineContext ctx;
   ctx.graph = &graph_;
@@ -129,10 +276,11 @@ CompileResult CompilerSession::compile(const Scenario& scenario, int index) {
   ctx.options = &scenario.options;
   ctx.scenario_label = scenario.label;
   ctx.scenario_index = index;
-  ctx.workload = find_cached(key);  // null on miss => partitioning stage runs
+  ctx.workload = std::move(workload);  // pre-seeded => partitioning skipped
+  ctx.stage_times.partitioning = partition_seconds;
 
-  CompileResult result = run_pipeline(std::move(ctx), observer_);
-  workloads_.emplace(key, result.workload);
+  CompileResult result = run_pipeline(std::move(ctx), gate_.get());
+  store_mapping(mapping_key, result);
   return result;
 }
 
@@ -146,10 +294,162 @@ SimReport CompilerSession::simulate(const CompileResult& result) const {
       .run(result.schedule);
 }
 
-std::shared_ptr<const Workload> CompilerSession::find_cached(
+std::size_t CompilerSession::cached_workloads() const {
+  std::lock_guard<std::mutex> lock(workload_mutex_);
+  std::size_t count = 0;
+  for (const auto& [key, entry] : workloads_) {
+    std::lock_guard<std::mutex> entry_lock(entry->mutex);
+    if (entry->done && entry->workload != nullptr) ++count;
+  }
+  return count;
+}
+
+std::size_t CompilerSession::cached_mappings() const {
+  std::lock_guard<std::mutex> lock(mapping_mutex_);
+  return mappings_.size();
+}
+
+std::shared_ptr<const Workload> CompilerSession::resolve_workload(
+    std::uint64_t key, const HardwareConfig& hw, const std::string& label,
+    int index, double* partition_seconds) {
+  std::shared_ptr<WorkloadEntry> entry;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(workload_mutex_);
+    std::shared_ptr<WorkloadEntry>& slot = workloads_[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<WorkloadEntry>();
+      slot->owner = std::this_thread::get_id();
+      owner = true;
+    }
+    entry = slot;
+  }
+
+  if (owner) {
+    // The partitioning stage runs here, outside the pipeline's stage loop,
+    // so its once-per-fingerprint semantics hold under concurrency — but
+    // with the same observer events and timing the loop would produce.
+    StageInfo info{stage_names::kPartitioning, label, index, 0.0};
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      // The begin callback runs inside the try: an observer that throws
+      // must take the failure path below, or the claimed entry would stay
+      // unpublished forever and strand every waiter on this fingerprint.
+      gate_->on_stage_begin(info);
+      auto workload = std::make_shared<const Workload>(graph_, hw);
+      *partition_seconds = seconds_since(t0);
+      info.seconds = *partition_seconds;
+      {
+        std::lock_guard<std::mutex> entry_lock(entry->mutex);
+        entry->workload = workload;
+        entry->done = true;
+      }
+      entry->published.notify_all();
+      gate_->on_stage_end(info);
+      return workload;
+    } catch (...) {
+      // Publish the failure so waiting peers rethrow it instead of
+      // re-partitioning, keeping the observer's begin/end pairing.
+      // Deterministic failures of the input itself (CapacityError: the
+      // model cannot fit; ConfigError: the graph/config is unusable) stay
+      // cached — every retry would fail identically. Anything else (e.g. a
+      // transient bad_alloc under memory pressure) retires the slot so a
+      // later compile retries partitioning instead of rethrowing a stale
+      // error for the session's lifetime.
+      info.seconds = seconds_since(t0);
+      const std::exception_ptr failure = std::current_exception();
+      bool deterministic = false;
+      try {
+        std::rethrow_exception(failure);
+      } catch (const CapacityError&) {
+        deterministic = true;
+      } catch (const ConfigError&) {
+        deterministic = true;
+      } catch (...) {
+      }
+      {
+        std::lock_guard<std::mutex> entry_lock(entry->mutex);
+        entry->failure = failure;
+        entry->done = true;
+      }
+      entry->published.notify_all();
+      if (!deterministic) {
+        std::lock_guard<std::mutex> lock(workload_mutex_);
+        const auto it = workloads_.find(key);
+        if (it != workloads_.end() && it->second == entry) {
+          workloads_.erase(it);
+        }
+      }
+      gate_->on_stage_end(info);
+      throw;
+    }
+  }
+
+  std::shared_ptr<const Workload> workload;
+  {
+    std::unique_lock<std::mutex> entry_lock(entry->mutex);
+    if (!entry->done && entry->owner == std::this_thread::get_id()) {
+      // Re-entrant compile of the same fingerprint from inside this
+      // thread's own partitioning observer callback: waiting would be
+      // waiting on ourselves. Build a private workload instead (the
+      // pre-cache behavior); the outer frame publishes the shared one.
+      entry_lock.unlock();
+      const auto t0 = std::chrono::steady_clock::now();
+      auto private_workload = std::make_shared<const Workload>(graph_, hw);
+      *partition_seconds = seconds_since(t0);
+      return private_workload;
+    }
+    entry->published.wait(entry_lock, [&entry] { return entry->done; });
+    if (entry->failure != nullptr) std::rethrow_exception(entry->failure);
+    workload = entry->workload;
+  }
+  notify_cache_hit(cache_names::kWorkload, label, index, workload_hits_);
+  return workload;
+}
+
+std::optional<CompileResult> CompilerSession::find_mapping(
     std::uint64_t key) const {
-  const auto it = workloads_.find(key);
-  return it == workloads_.end() ? nullptr : it->second;
+  // Only the pointer lookup happens under the lock; the (potentially large:
+  // per-core op streams, GA history) CompileResult copy is taken outside it
+  // so concurrent workers don't serialize behind each other's hits.
+  std::shared_ptr<const CompileResult> found;
+  {
+    std::lock_guard<std::mutex> lock(mapping_mutex_);
+    const auto it = mappings_.find(key);
+    if (it == mappings_.end()) return std::nullopt;
+    found = it->second;
+  }
+  return *found;
+}
+
+void CompilerSession::store_mapping(std::uint64_t key,
+                                    const CompileResult& result) {
+  // The copy is made before taking the lock (see find_mapping).
+  auto stored = std::make_shared<const CompileResult>(result);
+  std::lock_guard<std::mutex> lock(mapping_mutex_);
+  // emplace, not overwrite: when two identical scenarios raced (both missed
+  // the cache), their results are bit-identical anyway — keep the first.
+  if (!mappings_.emplace(key, std::move(stored)).second) return;
+  mapping_order_.push_back(key);
+  // FIFO eviction: outstanding shared_ptr copies handed to callers keep
+  // their results alive; only the cache's reference is dropped.
+  while (mapping_order_.size() > kMaxCachedMappings) {
+    mappings_.erase(mapping_order_.front());
+    mapping_order_.pop_front();
+  }
+}
+
+void CompilerSession::notify_cache_hit(const char* cache,
+                                       const std::string& label, int index,
+                                       std::atomic<std::uint64_t>& counter) {
+  // Increment under the observer serialization mutex so the cumulative
+  // `hits` values reach the observer in monotonic order even when parallel
+  // workers hit the caches simultaneously.
+  std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
+  const std::uint64_t hits = counter.fetch_add(1) + 1;
+  if (observer_ != nullptr) {
+    observer_->on_cache_hit(CacheEvent{cache, label, index, hits});
+  }
 }
 
 }  // namespace pimcomp

@@ -1,8 +1,11 @@
 #ifndef PIMCOMP_CORE_SESSION_HPP
 #define PIMCOMP_CORE_SESSION_HPP
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -18,6 +21,12 @@ namespace pimcomp {
 std::uint64_t fingerprint(const Graph& graph);
 std::uint64_t fingerprint(const HardwareConfig& hw);
 
+/// Identity of one compilation request modulo its label: every
+/// CompileOptions field participates (mode, strategy keys, GA
+/// hyperparameters, seed, ...). Keys the session's mapping-result cache
+/// together with the workload fingerprint.
+std::uint64_t fingerprint(const CompileOptions& options);
+
 /// One entry of a session batch: a label for reports/observers, the compile
 /// options, and an optional hardware override for design-space sweeps
 /// (std::nullopt = the session's default hardware).
@@ -27,17 +36,42 @@ struct Scenario {
   std::optional<HardwareConfig> hardware;
 };
 
+/// Per-scenario result of a batch compile. Exactly one of `result` / `error`
+/// is meaningful: a feasible scenario carries its CompileResult, an
+/// infeasible or misconfigured one carries the failure's what() message
+/// (CapacityError, ConfigError, ...) so one bad design point no longer
+/// aborts a whole sweep.
+struct ScenarioOutcome {
+  std::string label;
+  int index = -1;  ///< position in the batch (results keep enqueue order)
+  std::optional<CompileResult> result;
+  std::string error;
+
+  bool ok() const { return result.has_value(); }
+};
+
 /// Batch compilation front-end over the pluggable pipeline. A session owns
-/// one model and caches the partitioned Workload per distinct hardware
-/// fingerprint, so an N-scenario sweep over mappers, modes, parallelism
-/// degrees or memory policies runs node partitioning once instead of N
-/// times. Results are bit-identical to Compiler::compile() at equal seed;
-/// the session (like Compiler) must outlive the CompileResults it returns.
+/// one model and caches two layers:
+///
+///  1. the partitioned Workload per distinct hardware fingerprint, so an
+///     N-scenario sweep runs node partitioning once instead of N times;
+///  2. whole mapping results keyed by (workload fingerprint, options
+///     fingerprint), so a sweep revisiting an identical configuration skips
+///     the GA (and scheduling) entirely.
+///
+/// Batches fan out across a worker pool (set_jobs); scenarios are
+/// independent (each compile owns its mapper and RNG), the caches are
+/// mutex-guarded with once-per-fingerprint partitioning (the first scenario
+/// of a fingerprint partitions, peers block until it publishes), and
+/// observer callbacks are serialized. Results are bit-identical to the
+/// sequential path — and to Compiler::compile() — at equal seed; the
+/// session (like Compiler) must outlive the CompileResults it returns.
 class CompilerSession {
  public:
   /// Takes ownership of the graph (finalizing it if needed); `hw` is the
   /// default hardware for scenarios without an override.
   CompilerSession(Graph graph, HardwareConfig hw);
+  ~CompilerSession();  // out of line: ObserverGate is incomplete here
 
   CompilerSession(const CompilerSession&) = delete;
   CompilerSession& operator=(const CompilerSession&) = delete;
@@ -49,41 +83,104 @@ class CompilerSession {
   /// hardware override cache under.
   std::uint64_t fingerprint() const;
 
-  /// Observer receiving per-stage callbacks for every compilation this
-  /// session runs (nullptr disables; not owned).
-  void set_observer(PipelineObserver* observer) { observer_ = observer; }
+  /// Observer receiving per-stage and cache-hit callbacks for every
+  /// compilation this session runs (nullptr disables; not owned). Callbacks
+  /// are serialized even when the batch runs parallel.
+  void set_observer(PipelineObserver* observer);
 
-  /// Queues a scenario; returns its index in the current batch.
+  /// Worker threads compile_all() fans a batch out over. 1 (the default)
+  /// compiles inline on the calling thread; 0 means one per hardware
+  /// thread. Parallel batches return outcomes in enqueue order,
+  /// bit-identical to the sequential ones at equal seeds.
+  void set_jobs(int jobs);
+  int jobs() const { return jobs_; }
+
+  /// Queues a scenario; returns its index in the current batch. Safe to
+  /// call from observer callbacks (follow-up scenarios join a later batch).
   int enqueue(Scenario scenario);
   int enqueue(CompileOptions options, std::string label = {});
-  int pending() const { return static_cast<int>(queue_.size()); }
+  int pending() const;
 
-  /// Compiles every queued scenario in order and clears the queue.
-  std::vector<CompileResult> compile_all();
+  /// Compiles every queued scenario and clears the queue. Never throws for
+  /// a scenario failure: each infeasible/misconfigured scenario yields an
+  /// error outcome and the rest of the batch completes.
+  std::vector<ScenarioOutcome> compile_all();
 
-  /// Cache-aware single compilation against the session hardware.
+  /// Cache-aware single compilation against the session hardware. Unlike
+  /// compile_all(), the single-scenario forms throw on failure.
   CompileResult compile(const CompileOptions& options);
 
   /// Cache-aware single compilation of one scenario. `index` is forwarded
-  /// to observer callbacks (batch position; -1 for ad-hoc runs).
+  /// to observer callbacks (batch position; -1 for ad-hoc runs). Safe to
+  /// call concurrently from several threads.
   CompileResult compile(const Scenario& scenario, int index = -1);
 
   /// Simulates a result at the hardware it was compiled for.
   SimReport simulate(const CompileResult& result) const;
 
-  /// Distinct partitioned workloads currently cached.
-  std::size_t cached_workloads() const { return workloads_.size(); }
+  /// Distinct partitioned workloads currently cached (successful entries).
+  std::size_t cached_workloads() const;
+  /// Distinct mapping results currently cached.
+  std::size_t cached_mappings() const;
+
+  /// Session-lifetime cache hit counts (also surfaced per-hit through
+  /// PipelineObserver::on_cache_hit).
+  std::uint64_t workload_cache_hits() const { return workload_hits_; }
+  std::uint64_t mapping_cache_hits() const { return mapping_hits_; }
 
  private:
-  std::shared_ptr<const Workload> find_cached(std::uint64_t key) const;
+  struct WorkloadEntry;
+  class ObserverGate;
+
+  /// Returns the cached workload for `key`, partitioning it (and publishing
+  /// it for concurrently waiting peers) on first use. On the partitioning
+  /// path `*partition_seconds` receives the stage duration; cache hits
+  /// leave it at zero.
+  std::shared_ptr<const Workload> resolve_workload(std::uint64_t key,
+                                                   const HardwareConfig& hw,
+                                                   const std::string& label,
+                                                   int index,
+                                                   double* partition_seconds);
+
+  std::optional<CompileResult> find_mapping(std::uint64_t key) const;
+  void store_mapping(std::uint64_t key, const CompileResult& result);
+  void notify_cache_hit(const char* cache, const std::string& label,
+                        int index, std::atomic<std::uint64_t>& counter);
 
   Graph graph_;
   HardwareConfig hw_;
   std::uint64_t graph_fingerprint_ = 0;
-  PipelineObserver* observer_ = nullptr;
-  std::vector<Scenario> queue_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const Workload>>
-      workloads_;
+  int jobs_ = 1;
+
+  // recursive_mutex: an observer callback may legally re-enter
+  // session.compile() or a sequential compile_all() on its own thread (the
+  // pre-parallel observer path permitted it); cross-thread serialization
+  // still holds. Two limits, both because the callback's thread holds this
+  // mutex while other workers may need it: nested compiles from a callback
+  // are unsupported while a parallel batch is in flight (the nested call
+  // could wait on a WorkloadEntry whose owner is blocked on this mutex),
+  // and a *parallel* compile_all() from a callback is never supported.
+  // enqueue() is always safe.
+  PipelineObserver* observer_ = nullptr;      // guarded by observer_mutex_
+  std::unique_ptr<ObserverGate> gate_;        // serializing forwarder
+  mutable std::recursive_mutex observer_mutex_;
+
+  std::vector<Scenario> queue_;               // guarded by queue_mutex_
+  mutable std::mutex queue_mutex_;
+
+  std::unordered_map<std::uint64_t, std::shared_ptr<WorkloadEntry>>
+      workloads_;                             // guarded by workload_mutex_
+  mutable std::mutex workload_mutex_;
+
+  // Bounded FIFO cache (kMaxCachedMappings): a long-lived session sweeping
+  // many distinct configurations must not retain every result forever.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CompileResult>>
+      mappings_;                              // guarded by mapping_mutex_
+  std::deque<std::uint64_t> mapping_order_;   // insertion order, same guard
+  mutable std::mutex mapping_mutex_;
+
+  std::atomic<std::uint64_t> workload_hits_{0};
+  std::atomic<std::uint64_t> mapping_hits_{0};
 };
 
 }  // namespace pimcomp

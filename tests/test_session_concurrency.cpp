@@ -1,0 +1,301 @@
+// Concurrency and batch-robustness tests for CompilerSession: per-scenario
+// outcomes under mixed feasible/infeasible batches, parallel batches being
+// bit-identical to sequential ones, once-per-fingerprint partitioning under
+// contention, and mapping-cache hits surfacing through the observer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/session.hpp"
+#include "graph/builder.hpp"
+
+namespace pimcomp {
+namespace {
+
+Graph small_cnn(const std::string& name = "concurrency-cnn") {
+  GraphBuilder b(name, {3, 16, 16});
+  NodeId x = b.input();
+  x = b.conv_relu(x, 8, 3, /*stride=*/1, /*padding=*/1, "conv1");
+  x = b.max_pool(x, 2, 2, 0, "pool1");
+  x = b.conv_relu(x, 16, 3, 1, 1, "conv2");
+  x = b.fc(b.flatten(x, "flatten"), 10, "classifier");
+  b.softmax(x, "prob");
+  return b.build();
+}
+
+CompileOptions tiny_options(PipelineMode mode = PipelineMode::kHighThroughput,
+                            std::uint64_t seed = 1) {
+  CompileOptions options;
+  options.mode = mode;
+  options.ga.population = 8;
+  options.ga.generations = 4;
+  options.ga.seed_baseline = false;  // exercise the stochastic path
+  options.seed = seed;
+  return options;
+}
+
+/// A hardware config no model fits: partitioning throws CapacityError.
+HardwareConfig one_xbar_hardware() {
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.core_count = 1;
+  hw.cores_per_chip = 1;
+  hw.xbars_per_core = 1;
+  return hw;
+}
+
+/// Counts stage and cache callbacks (the session serializes them, so plain
+/// members are safe even under parallel batches).
+class RecordingObserver : public PipelineObserver {
+ public:
+  void on_stage_begin(const StageInfo& info) override {
+    if (info.stage == stage_names::kPartitioning) ++partition_begins;
+  }
+  void on_cache_hit(const CacheEvent& event) override {
+    cache_events.push_back(event);
+  }
+
+  int hits(const std::string& cache) const {
+    int count = 0;
+    for (const CacheEvent& event : cache_events) {
+      if (event.cache == cache) ++count;
+    }
+    return count;
+  }
+
+  int partition_begins = 0;
+  std::vector<CacheEvent> cache_events;
+};
+
+/// A mixed DSE-style batch: feasible, infeasible, feasible, misconfigured,
+/// feasible — exercising both error types in the middle of a sweep.
+void enqueue_mixed_batch(CompilerSession& session) {
+  session.enqueue(Scenario{"ht", tiny_options(PipelineMode::kHighThroughput),
+                           std::nullopt});
+  session.enqueue(Scenario{"too-small", tiny_options(), one_xbar_hardware()});
+  session.enqueue(Scenario{"ll", tiny_options(PipelineMode::kLowLatency),
+                           std::nullopt});
+  CompileOptions bad_mapper = tiny_options();
+  bad_mapper.mapper = "not-a-mapper";
+  session.enqueue(Scenario{"bad-mapper", bad_mapper, std::nullopt});
+  CompileOptions other_seed = tiny_options(PipelineMode::kHighThroughput, 7);
+  session.enqueue(Scenario{"ht-seed7", other_seed, std::nullopt});
+}
+
+TEST(CompilerSessionBatch, InfeasibleScenarioDoesNotAbortTheBatch) {
+  for (int jobs : {1, 4}) {
+    CompilerSession session(small_cnn(), HardwareConfig::puma_default());
+    session.set_jobs(jobs);
+    enqueue_mixed_batch(session);
+
+    const std::vector<ScenarioOutcome> outcomes = session.compile_all();
+    ASSERT_EQ(outcomes.size(), 5u) << "jobs=" << jobs;
+    EXPECT_EQ(session.pending(), 0);
+
+    // Outcomes keep enqueue order and labels.
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      EXPECT_EQ(outcomes[i].index, static_cast<int>(i));
+    }
+    EXPECT_EQ(outcomes[1].label, "too-small");
+
+    // Every feasible scenario succeeded despite the failures between them.
+    for (std::size_t i : {0u, 2u, 4u}) {
+      EXPECT_TRUE(outcomes[i].ok()) << "jobs=" << jobs << ": "
+                                    << outcomes[i].error;
+    }
+
+    // The infeasible point carries the CapacityError message.
+    ASSERT_FALSE(outcomes[1].ok());
+    EXPECT_NE(outcomes[1].error.find("crossbars"), std::string::npos);
+
+    // The misconfigured point carries the ConfigError message.
+    ASSERT_FALSE(outcomes[3].ok());
+    EXPECT_NE(outcomes[3].error.find("not-a-mapper"), std::string::npos);
+  }
+}
+
+TEST(CompilerSessionBatch, SingleCompileStillThrows) {
+  CompilerSession session(small_cnn(), HardwareConfig::puma_default());
+  EXPECT_THROW(
+      session.compile(Scenario{"bad", tiny_options(), one_xbar_hardware()}),
+      CapacityError);
+}
+
+TEST(CompilerSessionBatch, InfeasibleFingerprintFailsOncePartitionsOnce) {
+  CompilerSession session(small_cnn(), HardwareConfig::puma_default());
+  session.set_jobs(4);
+  RecordingObserver observer;
+  session.set_observer(&observer);
+
+  for (int i = 0; i < 4; ++i) {
+    session.enqueue(Scenario{"bad-" + std::to_string(i),
+                             tiny_options(PipelineMode::kHighThroughput,
+                                          static_cast<std::uint64_t>(i + 1)),
+                             one_xbar_hardware()});
+  }
+  const std::vector<ScenarioOutcome> outcomes = session.compile_all();
+  for (const ScenarioOutcome& outcome : outcomes) {
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_NE(outcome.error.find("crossbars"), std::string::npos);
+  }
+  // One owner partitioned (and failed); peers rethrew the published failure
+  // instead of re-running partitioning.
+  EXPECT_EQ(observer.partition_begins, 1);
+  EXPECT_EQ(session.cached_workloads(), 0u);  // failures are not workloads
+
+  // Deterministic infeasibility stays cached: a later compile of the same
+  // fingerprint rethrows without another partitioning pass.
+  EXPECT_THROW(
+      session.compile(Scenario{"again", tiny_options(), one_xbar_hardware()}),
+      CapacityError);
+  EXPECT_EQ(observer.partition_begins, 1);
+}
+
+TEST(CompilerSessionParallel, BitIdenticalToSequential) {
+  HardwareConfig wide = HardwareConfig::puma_default();
+  wide.core_count = 2 * wide.cores_per_chip;
+
+  const auto enqueue_batch = [&wide](CompilerSession& session) {
+    session.enqueue(tiny_options(PipelineMode::kHighThroughput), "ht");
+    session.enqueue(tiny_options(PipelineMode::kLowLatency), "ll");
+    CompileOptions p200 = tiny_options();
+    p200.parallelism_degree = 200;
+    session.enqueue(p200, "p200");
+    session.enqueue(Scenario{"wide", tiny_options(), wide});
+    session.enqueue(tiny_options(PipelineMode::kHighThroughput, 42), "seed42");
+  };
+
+  CompilerSession sequential(small_cnn(), HardwareConfig::puma_default());
+  sequential.set_jobs(1);
+  enqueue_batch(sequential);
+  const std::vector<ScenarioOutcome> base = sequential.compile_all();
+
+  CompilerSession parallel(small_cnn(), HardwareConfig::puma_default());
+  parallel.set_jobs(4);
+  enqueue_batch(parallel);
+  const std::vector<ScenarioOutcome> fanned = parallel.compile_all();
+
+  ASSERT_EQ(base.size(), fanned.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    ASSERT_TRUE(base[i].ok()) << base[i].error;
+    ASSERT_TRUE(fanned[i].ok()) << fanned[i].error;
+    EXPECT_EQ(fanned[i].label, base[i].label);
+    EXPECT_EQ(fanned[i].result->solution.encode(),
+              base[i].result->solution.encode());
+    EXPECT_EQ(fanned[i].result->schedule.total_ops,
+              base[i].result->schedule.total_ops);
+    EXPECT_EQ(fanned[i].result->estimated_fitness,
+              base[i].result->estimated_fitness);
+  }
+}
+
+TEST(CompilerSessionParallel, WorkloadPartitionedOnceUnderContention) {
+  CompilerSession session(small_cnn(), HardwareConfig::puma_default());
+  session.set_jobs(4);
+  RecordingObserver observer;
+  session.set_observer(&observer);
+
+  // Eight scenarios, one hardware fingerprint, distinct seeds (so the
+  // mapping cache cannot short-circuit the contention being tested).
+  for (int i = 0; i < 8; ++i) {
+    session.enqueue(tiny_options(PipelineMode::kHighThroughput,
+                                 static_cast<std::uint64_t>(i + 1)),
+                    "seed-" + std::to_string(i + 1));
+  }
+  const std::vector<ScenarioOutcome> outcomes = session.compile_all();
+  for (const ScenarioOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok()) << outcome.error;
+  }
+
+  EXPECT_EQ(observer.partition_begins, 1);
+  EXPECT_EQ(session.cached_workloads(), 1u);
+  EXPECT_EQ(session.workload_cache_hits(), 7u);
+  EXPECT_EQ(observer.hits(cache_names::kWorkload), 7);
+
+  // All eight scenarios share the one partitioned workload object.
+  for (const ScenarioOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.result->workload.get(),
+              outcomes.front().result->workload.get());
+  }
+}
+
+TEST(CompilerSessionCache, MappingCacheHitsAreObserved) {
+  CompilerSession session(small_cnn(), HardwareConfig::puma_default());
+  RecordingObserver observer;
+  session.set_observer(&observer);
+
+  // Three identical scenarios + one distinct: two mapping hits expected.
+  for (int i = 0; i < 3; ++i) {
+    session.enqueue(tiny_options(), "same-" + std::to_string(i));
+  }
+  session.enqueue(tiny_options(PipelineMode::kLowLatency), "other");
+
+  const std::vector<ScenarioOutcome> outcomes = session.compile_all();
+  for (const ScenarioOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok()) << outcome.error;
+  }
+
+  EXPECT_EQ(session.cached_mappings(), 2u);
+  EXPECT_EQ(session.mapping_cache_hits(), 2u);
+  EXPECT_EQ(observer.hits(cache_names::kMapping), 2);
+
+  // The per-event cumulative hit counter counts up.
+  std::vector<std::uint64_t> counts;
+  for (const CacheEvent& event : observer.cache_events) {
+    if (event.cache == cache_names::kMapping) counts.push_back(event.hits);
+  }
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+
+  // A cache hit returns the identical compilation, with zeroed stage times
+  // (nothing ran for it).
+  EXPECT_EQ(outcomes[1].result->solution.encode(),
+            outcomes[0].result->solution.encode());
+  EXPECT_EQ(outcomes[1].result->stage_times.total(), 0.0);
+
+  // A fresh session at the same seed produces the same result the cache
+  // returned (the cache is a shortcut, not a fork).
+  CompilerSession fresh(small_cnn(), HardwareConfig::puma_default());
+  EXPECT_EQ(fresh.compile(tiny_options()).solution.encode(),
+            outcomes[2].result->solution.encode());
+}
+
+TEST(CompilerSessionCache, MappingKeySeparatesOptions) {
+  const CompileOptions base = tiny_options();
+  EXPECT_EQ(fingerprint(base), fingerprint(tiny_options()));
+
+  CompileOptions changed = base;
+  changed.seed = 1234;
+  EXPECT_NE(fingerprint(base), fingerprint(changed));
+
+  changed = base;
+  changed.parallelism_degree += 1;
+  EXPECT_NE(fingerprint(base), fingerprint(changed));
+
+  changed = base;
+  changed.mapper = "puma";
+  EXPECT_NE(fingerprint(base), fingerprint(changed));
+
+  // The scheduler hashes by its *effective* key: explicit "ht" in HT mode
+  // is the same configuration as the mode-derived default.
+  changed = base;
+  changed.scheduler = "ht";
+  EXPECT_EQ(fingerprint(base), fingerprint(changed));
+  changed.scheduler = "ll";
+  EXPECT_NE(fingerprint(base), fingerprint(changed));
+}
+
+TEST(CompilerSessionParallel, JobsZeroMeansHardwareThreads) {
+  CompilerSession session(small_cnn(), HardwareConfig::puma_default());
+  EXPECT_EQ(session.jobs(), 1);  // sequential by default
+  session.set_jobs(0);
+  EXPECT_GE(session.jobs(), 1);
+  session.set_jobs(3);
+  EXPECT_EQ(session.jobs(), 3);
+}
+
+}  // namespace
+}  // namespace pimcomp

@@ -1,0 +1,75 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace pimcomp {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int wave = 1; wave <= 3; ++wave) {
+    for (int i = 0; i < 10; ++i) pool.submit([&done] { done.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), wave * 10);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool waits for the queue, it does not cancel
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, ThreadCountIsClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, TasksActuallyFanOutAcrossThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  std::atomic<int> rendezvous{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] {
+      rendezvous.fetch_add(1);
+      // Hold every worker until all four tasks are in flight, proving the
+      // tasks run on four distinct threads rather than one worker looping.
+      while (rendezvous.load() < 4) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pimcomp
