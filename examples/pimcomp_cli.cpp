@@ -1,5 +1,10 @@
 // Command-line driver: the end-to-end toolchain in one binary.
 //
+//   pimcomp_cli <model> [options]          compile locally (default)
+//   pimcomp_cli serve ...                  run the compile-server daemon
+//   pimcomp_cli submit --server E ...      submit a batch to a daemon
+//
+// Local compilation:
 //   pimcomp_cli <model> [options]
 //     <model>            zoo name (vgg16, resnet18, googlenet, inception-v3,
 //                        squeezenet) or a path to a PIMCOMP JSON graph
@@ -7,7 +12,7 @@
 //   --parallelism N[,N...]  AGs computing per core       (default 20);
 //                        a comma-separated list sweeps the values as one
 //                        session batch
-//   --jobs N             worker threads for the batch (0 = one per
+//   --jobs N|auto        worker threads for the batch ('auto' = one per
 //                        hardware thread)                (default 1)
 //   --mapper KEY         a MapperRegistry key            (default ga)
 //   --policy naive|add|ag                                (default ag)
@@ -16,12 +21,25 @@
 //   --pop N --gens N     GA budget                       (default 40 x 60)
 //   --seed N             RNG seed                        (default 1)
 //   --dump-stream CORE   print a core's instruction stream (single run only)
+//   --trace FILE         write the per-stage event timeline as JSON
 //   --json               emit machine-readable JSON reports
 //   --list-mappers       print the registered mapper/scheduler keys
 //
+// Serving (see docs/serving.md for the wire protocol):
+//   pimcomp_cli serve (--unix PATH | --port N [--host ADDR])
+//                     [--jobs N|auto] [--max-sessions N]
+//   pimcomp_cli submit --server (unix:PATH | HOST:PORT) <model|graph.json>
+//                     [compile options: --mode --parallelism --mapper
+//                      --policy --input --cores --pop --gens --seed]
+//                     [--scenarios FILE] [--no-simulate] [--trace FILE]
+//                     [--json]
+//
 // Examples:
 //   ./build/examples/pimcomp_cli resnet18 --mode ll --parallelism 20
-//   ./build/examples/pimcomp_cli resnet18 --parallelism 1,20,200 --jobs 0
+//   ./build/examples/pimcomp_cli resnet18 --parallelism 1,20,200 --jobs auto
+//   ./build/examples/pimcomp_cli serve --unix /tmp/pimcompd.sock
+//   ./build/examples/pimcomp_cli submit --server unix:/tmp/pimcompd.sock \
+//       squeezenet --input 64 --parallelism 1,20
 
 #include <cstdlib>
 #include <cstring>
@@ -36,20 +54,31 @@
 #include "core/pipeline.hpp"
 #include "core/session.hpp"
 #include "core/stream_printer.hpp"
+#include "core/trace.hpp"
 #include "graph/serialize.hpp"
 #include "graph/zoo/zoo.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
 using namespace pimcomp;
 
 [[noreturn]] void usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " <model|graph.json> [--mode ht|ll] [--parallelism N[,N...]]\n"
-               "       [--jobs N] [--mapper KEY] [--policy naive|add|ag]\n"
-               "       [--input N] [--cores N] [--pop N] [--gens N]\n"
-               "       [--seed N] [--dump-stream CORE] [--json]\n"
-               "       [--list-mappers]\n";
+  std::cerr
+      << "usage: " << argv0
+      << " <model|graph.json> [--mode ht|ll] [--parallelism N[,N...]]\n"
+         "       [--jobs N|auto] [--mapper KEY] [--policy naive|add|ag]\n"
+         "       [--input N] [--cores N] [--pop N] [--gens N]\n"
+         "       [--seed N] [--dump-stream CORE] [--trace FILE] [--json]\n"
+         "       [--list-mappers]\n"
+         "   or: " << argv0
+      << " serve (--unix PATH | --port N [--host ADDR])\n"
+         "       [--jobs N|auto] [--max-sessions N]\n"
+         "   or: " << argv0
+      << " submit --server (unix:PATH | HOST:PORT) <model|graph.json>\n"
+         "       [compile options] [--scenarios FILE] [--no-simulate]\n"
+         "       [--trace FILE] [--json]\n";
   std::exit(2);
 }
 
@@ -62,22 +91,15 @@ using namespace pimcomp;
 /// Rejects the silent-zero behavior of atoi ("--pop abc" compiled with 0).
 long long parse_integer(const std::string& flag, const std::string& token,
                         long long min_value) {
-  if (token.empty()) fail(flag + " needs a number, got ''");
-  std::size_t consumed = 0;
-  long long value = 0;
-  try {
-    value = std::stoll(token, &consumed, 10);
-  } catch (const std::exception&) {
+  const std::optional<long long> value = parse_decimal(token);
+  if (!value.has_value()) {
     fail(flag + " needs a number, got '" + token + "'");
   }
-  if (consumed != token.size()) {
-    fail(flag + " needs a number, got '" + token + "'");
-  }
-  if (value < min_value) {
+  if (*value < min_value) {
     fail(flag + " must be >= " + std::to_string(min_value) + ", got '" +
          token + "'");
   }
-  return value;
+  return *value;
 }
 
 int parse_int(const std::string& flag, const std::string& token,
@@ -91,11 +113,39 @@ int parse_int(const std::string& flag, const std::string& token,
   return static_cast<int>(value);
 }
 
+/// Worker-thread count: a positive integer or the literal 'auto' (one
+/// worker per hardware thread). '0' used to mean auto and now errors, so a
+/// script relying on the old magic number fails loudly instead of silently
+/// changing meaning if we ever repurpose it. The rule itself lives in
+/// serve::parse_jobs_flag so pimcompd and this binary cannot drift.
+int parse_jobs(const std::string& flag, const std::string& token) {
+  (void)flag;
+  try {
+    return serve::parse_jobs_flag(token);
+  } catch (const serve::ServeError& e) {
+    fail(e.what());
+  }
+}
+
+/// Comma-separated positive parallelism degrees; rejects empty lists and
+/// empty/garbage entries ("1,,2", "1,2,").
+std::vector<int> parse_parallelism_list(const std::string& flag,
+                                        const std::string& token) {
+  constexpr long long kMaxParallelism = 1 << 20;
+  std::vector<int> values;
+  for (const std::string& piece : split(token, ',')) {
+    values.push_back(parse_int(flag, piece, 1, kMaxParallelism));
+  }
+  if (values.empty()) {
+    fail(flag + " needs a non-empty comma-separated list of degrees");
+  }
+  return values;
+}
+
 // Sanity ceilings: values past these make the backend allocate per-core /
 // per-individual state until the machine keels over, long before any
 // meaningful compile.
 constexpr long long kMaxCores = 1 << 20;
-constexpr long long kMaxParallelism = 1 << 20;
 constexpr long long kMaxGaBudget = 1'000'000;
 
 bool is_zoo_model(const std::string& name) {
@@ -103,6 +153,22 @@ bool is_zoo_model(const std::string& name) {
     if (m == name) return true;
   }
   return false;
+}
+
+/// The CLI's zoo resolution when --input is omitted — one definition for
+/// local and submit mode (the header's "default 64/96").
+int default_zoo_input(const std::string& model) {
+  return model == "inception-v3" ? 96 : 64;
+}
+
+/// The CLI's compile defaults (LL mode, 40x60 GA) — one definition for
+/// local and submit mode, layered under every flag and scenario file.
+CompileOptions default_cli_options() {
+  CompileOptions options;
+  options.mode = PipelineMode::kLowLatency;
+  options.ga.population = 40;
+  options.ga.generations = 60;
+  return options;
 }
 
 void list_registries() {
@@ -117,80 +183,276 @@ void list_registries() {
   std::cout << '\n';
 }
 
-}  // namespace
+/// The compile-options flag surface shared verbatim by local compilation
+/// and `submit` (one copy, so the two modes cannot drift): --mode,
+/// --parallelism, --mapper, --policy, --input, --cores, --pop, --gens,
+/// --seed. Returns true when `arg` was consumed. Mapper keys are validated
+/// against the local registry in both modes (the daemon ships the same
+/// strategy set).
+bool parse_compile_flag(const std::string& arg,
+                        const std::function<std::string()>& next,
+                        const char* argv0, CompileOptions& options,
+                        std::vector<int>& parallelism_sweep, int& input_size,
+                        int& cores) {
+  if (arg == "--mode") {
+    const std::string v = next();
+    if (v == "ht") options.mode = PipelineMode::kHighThroughput;
+    else if (v == "ll") options.mode = PipelineMode::kLowLatency;
+    else usage(argv0);
+  } else if (arg == "--parallelism") {
+    parallelism_sweep = parse_parallelism_list(arg, next());
+    options.parallelism_degree = parallelism_sweep.front();
+  } else if (arg == "--mapper") {
+    const std::string v = next();
+    if (!MapperRegistry::contains(v)) {
+      std::cerr << "pimcomp: unknown mapper '" << v << "'\n";
+      list_registries();
+      std::exit(2);
+    }
+    options.mapper = v;
+  } else if (arg == "--policy") {
+    const std::string v = next();
+    if (v == "naive") options.memory_policy = MemoryPolicy::kNaive;
+    else if (v == "add") options.memory_policy = MemoryPolicy::kAddReuse;
+    else if (v == "ag") options.memory_policy = MemoryPolicy::kAgReuse;
+    else usage(argv0);
+  } else if (arg == "--input") {
+    input_size = parse_int(arg, next(), 1);
+  } else if (arg == "--cores") {
+    cores = parse_int(arg, next(), 1, kMaxCores);
+  } else if (arg == "--pop") {
+    options.ga.population = parse_int(arg, next(), 1, kMaxGaBudget);
+  } else if (arg == "--gens") {
+    options.ga.generations = parse_int(arg, next(), 0, kMaxGaBudget);
+  } else if (arg == "--seed") {
+    options.seed = static_cast<std::uint64_t>(parse_integer(arg, next(), 0));
+  } else {
+    return false;
+  }
+  return true;
+}
 
-int main(int argc, char** argv) {
+void write_trace(const TraceRecorder& recorder, const std::string& path) {
+  try {
+    json_to_file(recorder.to_json(), path);
+    std::cerr << "pimcomp: wrote " << recorder.size() << " trace event(s) to "
+              << path << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "pimcomp: failed to write trace file: " << e.what() << '\n';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// `pimcomp_cli serve`
+// ---------------------------------------------------------------------------
+
+int run_serve(int argc, char** argv, const char* argv0) {
+  (void)argv0;
+  // One daemon frontend for both binaries: flag grammar, lifecycle, and
+  // diagnostics live in serve::run_daemon (pimcompd delegates identically).
+  return serve::run_daemon(argc, argv, "pimcomp serve");
+}
+
+// ---------------------------------------------------------------------------
+// `pimcomp_cli submit`
+// ---------------------------------------------------------------------------
+
+void print_event(const PipelineEvent& event) {
+  const std::string who =
+      event.scenario.empty() ? std::string("-") : event.scenario;
+  switch (event.kind) {
+    case PipelineEvent::Kind::kStageBegin:
+      std::cerr << ".. [" << who << "] " << event.name << " started\n";
+      break;
+    case PipelineEvent::Kind::kStageEnd:
+      std::cerr << ".. [" << who << "] " << event.name << " done ("
+                << format_double(event.seconds, 3) << "s)\n";
+      break;
+    case PipelineEvent::Kind::kCacheHit:
+      std::cerr << ".. [" << who << "] " << event.name << " cache hit (#"
+                << event.hits << ")\n";
+      break;
+  }
+}
+
+int run_submit(int argc, char** argv, const char* argv0) {
+  std::string server_endpoint;
+  std::string model;
+  std::string scenarios_path;
+  std::string trace_path;
+  CompileOptions options = default_cli_options();
+  std::vector<int> parallelism_sweep;
+  int input_size = 0;
+  int cores = 0;
+  bool simulate = true;
+  bool emit_json = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv0);
+      return argv[++i];
+    };
+    if (parse_compile_flag(arg, next, argv0, options, parallelism_sweep,
+                           input_size, cores)) {
+      continue;
+    }
+    if (arg == "--server") {
+      server_endpoint = next();
+    } else if (arg == "--scenarios") {
+      scenarios_path = next();
+    } else if (arg == "--no-simulate") {
+      simulate = false;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else if (!arg.empty() && arg[0] != '-' && model.empty()) {
+      model = arg;
+    } else {
+      usage(argv0);
+    }
+  }
+  if (server_endpoint.empty()) fail("submit needs --server (unix:PATH|HOST:PORT)");
+  if (model.empty()) fail("submit needs a model name or graph.json path");
+
+  try {
+    serve::CompileRequest request;
+    if (is_zoo_model(model)) {
+      request.model = model;
+      // Same default as local mode: sending 0 would let the server resolve
+      // the canonical 224-class resolution — a vastly bigger compile than
+      // `pimcomp_cli <model>` runs.
+      request.input_size =
+          input_size != 0 ? input_size : default_zoo_input(model);
+    } else {
+      request.graph = json_from_file(model);
+    }
+    request.cores = cores;
+    request.simulate = simulate;
+
+    if (!scenarios_path.empty()) {
+      if (!parallelism_sweep.empty()) {
+        fail("--scenarios and --parallelism are mutually exclusive");
+      }
+      const Json entries = json_from_file(scenarios_path);
+      if (!entries.is_array() || entries.size() == 0) {
+        fail("--scenarios file must hold a non-empty JSON array");
+      }
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        // The CLI's flag-built options are the base: an entry that sets
+        // only {"parallelism": 40} inherits --mode/--pop/--gens/--seed
+        // instead of silently reverting to GaConfig's 100x200 defaults.
+        request.scenarios.push_back(
+            serve::scenario_spec_from_json(entries.at(i), i, options));
+      }
+    } else {
+      if (parallelism_sweep.empty()) {
+        parallelism_sweep.push_back(options.parallelism_degree);
+      }
+      for (int parallelism : parallelism_sweep) {
+        serve::ScenarioSpec spec;
+        spec.label = "P=" + std::to_string(parallelism);
+        spec.options = options;
+        spec.options.parallelism_degree = parallelism;
+        request.scenarios.push_back(std::move(spec));
+      }
+    }
+
+    serve::CompileClient client = serve::CompileClient::connect(server_endpoint);
+    TraceRecorder recorder;
+    const serve::CompileReply reply =
+        client.submit(request, [&](const PipelineEvent& event) {
+          recorder.record(event);
+          if (!emit_json) print_event(event);
+        });
+
+    if (!trace_path.empty()) write_trace(recorder, trace_path);
+
+    bool any_failed = false;
+    if (emit_json) {
+      Json out = Json::array();
+      for (const serve::OutcomeMessage& outcome : reply.outcomes) {
+        out.push_back(serve::to_json(outcome));
+        if (!outcome.ok) any_failed = true;
+      }
+      std::cout << out.dump(2) << '\n';
+    } else {
+      Table table(model + " via " + server_endpoint);
+      table.set_header({"scenario", "compile (s)", "latency (us)",
+                        "throughput (inf/s)"});
+      for (const serve::OutcomeMessage& outcome : reply.outcomes) {
+        if (!outcome.ok) {
+          std::cerr << "pimcomp: scenario '" << outcome.label
+                    << "' failed: " << outcome.error << '\n';
+          any_failed = true;
+          continue;
+        }
+        const bool has_sim = outcome.simulation.is_object();
+        table.add_row(
+            {outcome.label,
+             format_double(serve::stage_seconds_from_json(outcome.compile), 2),
+             has_sim ? format_double(
+                           outcome.simulation.get("makespan_us", 0.0), 1)
+                     : "-",
+             has_sim ? format_double(
+                           outcome.simulation.get("throughput_per_s", 0.0), 1)
+                     : "-"});
+      }
+      table.print();
+    }
+    return any_failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pimcomp: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Local compilation (the original mode).
+// ---------------------------------------------------------------------------
+
+int run_local(int argc, char** argv) {
+  const char* argv0 = argv[0];
   if (argc == 2 && std::string(argv[1]) == "--list-mappers") {
     list_registries();
     return 0;
   }
-  if (argc < 2) usage(argv[0]);
+  if (argc < 2) usage(argv0);
   const std::string model = argv[1];
 
-  CompileOptions options;
-  options.mode = PipelineMode::kLowLatency;
-  options.ga.population = 40;
-  options.ga.generations = 60;
+  CompileOptions options = default_cli_options();
   std::vector<int> parallelism_sweep;  // >1 entries = a session batch
   int jobs = 1;
   int input_size = 0;
   int cores = 0;
   int dump_core = -1;
   bool emit_json = false;
+  std::string trace_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) usage(argv0);
       return argv[++i];
     };
-    if (arg == "--mode") {
-      const std::string v = next();
-      if (v == "ht") options.mode = PipelineMode::kHighThroughput;
-      else if (v == "ll") options.mode = PipelineMode::kLowLatency;
-      else usage(argv[0]);
-    } else if (arg == "--parallelism") {
-      parallelism_sweep.clear();
-      for (const std::string& token : split(next(), ',')) {
-        parallelism_sweep.push_back(
-            parse_int(arg, token, 1, kMaxParallelism));
-      }
-      options.parallelism_degree = parallelism_sweep.front();
-    } else if (arg == "--jobs") {
-      jobs = parse_int(arg, next(), 0, 1 << 10);
-    } else if (arg == "--mapper") {
-      const std::string v = next();
-      if (!MapperRegistry::contains(v)) {
-        std::cerr << "pimcomp: unknown mapper '" << v << "'\n";
-        list_registries();
-        return 2;
-      }
-      options.mapper = v;
-    } else if (arg == "--policy") {
-      const std::string v = next();
-      if (v == "naive") options.memory_policy = MemoryPolicy::kNaive;
-      else if (v == "add") options.memory_policy = MemoryPolicy::kAddReuse;
-      else if (v == "ag") options.memory_policy = MemoryPolicy::kAgReuse;
-      else usage(argv[0]);
-    } else if (arg == "--input") {
-      input_size = parse_int(arg, next(), 1);
-    } else if (arg == "--cores") {
-      cores = parse_int(arg, next(), 1, kMaxCores);
-    } else if (arg == "--pop") {
-      options.ga.population = parse_int(arg, next(), 1, kMaxGaBudget);
-    } else if (arg == "--gens") {
-      options.ga.generations = parse_int(arg, next(), 0, kMaxGaBudget);
-    } else if (arg == "--seed") {
-      options.seed = static_cast<std::uint64_t>(parse_integer(arg, next(), 0));
+    if (parse_compile_flag(arg, next, argv0, options, parallelism_sweep,
+                           input_size, cores)) {
+      continue;
+    }
+    if (arg == "--jobs") {
+      jobs = parse_jobs(arg, next());
     } else if (arg == "--dump-stream") {
       dump_core = parse_int(arg, next(), 0);
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else if (arg == "--json") {
       emit_json = true;
     } else if (arg == "--list-mappers") {
       list_registries();
       return 0;
     } else {
-      usage(argv[0]);
+      usage(argv0);
     }
   }
 
@@ -198,9 +460,7 @@ int main(int argc, char** argv) {
     Graph graph = is_zoo_model(model)
                       ? zoo::build(model, input_size != 0
                                               ? input_size
-                                              : (model == "inception-v3"
-                                                     ? 96
-                                                     : 64))
+                                              : default_zoo_input(model))
                       : load_graph(model);
 
     HardwareConfig hw = HardwareConfig::puma_default();
@@ -212,6 +472,9 @@ int main(int argc, char** argv) {
 
     CompilerSession session(std::move(graph), hw);
     session.set_jobs(jobs);
+
+    TraceRecorder recorder;
+    if (!trace_path.empty()) session.set_observer(&recorder);
 
     if (parallelism_sweep.size() > 1) {
       // A parallelism sweep: one session batch fanned out over --jobs
@@ -226,6 +489,7 @@ int main(int argc, char** argv) {
         session.enqueue(point, "P=" + std::to_string(parallelism));
       }
       const std::vector<ScenarioOutcome> outcomes = session.compile_all();
+      if (!trace_path.empty()) write_trace(recorder, trace_path);
 
       bool any_failed = false;
       if (emit_json) {
@@ -235,8 +499,15 @@ int main(int argc, char** argv) {
           entry["scenario"] = outcome.label;
           if (outcome.ok()) {
             entry["compile"] = compile_result_to_json(*outcome.result);
-            entry["simulation"] =
-                sim_report_to_json(session.simulate(*outcome.result));
+            // A simulation failure stays scoped to its scenario, matching
+            // the batch's per-scenario error isolation (and the server).
+            try {
+              entry["simulation"] =
+                  sim_report_to_json(session.simulate(*outcome.result));
+            } catch (const std::exception& e) {
+              entry["error"] = std::string("simulation failed: ") + e.what();
+              any_failed = true;
+            }
           } else {
             entry["error"] = outcome.error;
             any_failed = true;
@@ -258,13 +529,19 @@ int main(int argc, char** argv) {
             any_failed = true;
             continue;
           }
-          const SimReport sim = session.simulate(*outcome.result);
-          table.add_row(
-              {outcome.label,
-               format_double(outcome.result->stage_times.total(), 2),
-               format_double(ht ? sim.throughput_per_sec()
-                                : to_us(sim.makespan),
-                             1)});
+          try {
+            const SimReport sim = session.simulate(*outcome.result);
+            table.add_row(
+                {outcome.label,
+                 format_double(outcome.result->stage_times.total(), 2),
+                 format_double(ht ? sim.throughput_per_sec()
+                                  : to_us(sim.makespan),
+                               1)});
+          } catch (const std::exception& e) {
+            std::cerr << "pimcomp: scenario '" << outcome.label
+                      << "' simulation failed: " << e.what() << '\n';
+            any_failed = true;
+          }
         }
         table.print();
       }
@@ -273,6 +550,7 @@ int main(int argc, char** argv) {
 
     const CompileResult result = session.compile(options);
     const SimReport sim = session.simulate(result);
+    if (!trace_path.empty()) write_trace(recorder, trace_path);
 
     if (emit_json) {
       Json out = Json::object();
@@ -300,4 +578,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string subcommand = argv[1];
+    if (subcommand == "serve") {
+      return run_serve(argc - 2, argv + 2, argv[0]);
+    }
+    if (subcommand == "submit") {
+      return run_submit(argc - 2, argv + 2, argv[0]);
+    }
+  }
+  return run_local(argc, argv);
 }

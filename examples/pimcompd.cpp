@@ -1,0 +1,29 @@
+// pimcompd — the PIMCOMP compile-server daemon.
+//
+// Listens on a Unix-domain or TCP socket for newline-delimited JSON compile
+// requests (see docs/serving.md for the message reference), serves them
+// through shared long-lived CompilerSessions (one per distinct
+// (graph, hardware) identity, so clients reuse each other's partitioned
+// workloads and mapping results), and streams per-stage progress events
+// followed by per-scenario outcomes. SIGTERM/SIGINT shut down gracefully:
+// in-flight batches finish, then the socket is closed and removed.
+//
+//   pimcompd --unix /run/pimcompd.sock [--jobs N|auto] [--max-sessions N]
+//   pimcompd --port 7878 [--host 127.0.0.1] [--jobs N|auto]
+//
+// Submit with `pimcomp_cli submit --server unix:/run/pimcompd.sock ...`,
+// the C++ client (src/serve/client.hpp), or by hand:
+//
+//   printf '%s\n' '{"type":"compile","model":"squeezenet","input_size":64,
+//     "scenarios":[{"label":"p20","options":{"mode":"ll"}}]}' \
+//     | nc -U /run/pimcompd.sock
+//
+// `pimcomp_cli serve` is the same frontend (serve::run_daemon) under the
+// toolchain binary; this standalone entry point exists so deployments ship
+// one small daemon executable.
+
+#include "serve/server.hpp"
+
+int main(int argc, char** argv) {
+  return pimcomp::serve::run_daemon(argc - 1, argv + 1, "pimcompd");
+}

@@ -2,62 +2,103 @@
 // inference-granularity pipeline) and sweep the parallelism degree to find
 // the throughput/bandwidth sweet spot.
 //
+// Since PR 3 this example exercises the real serving stack end to end: it
+// boots a pimcompd CompileServer in-process on a private Unix socket,
+// submits the sweep through the CompileClient, and renders the table from
+// the wire outcomes — the same newline-delimited JSON protocol a remote
+// client would speak, progress events included.
+//
 //   ./build/examples/throughput_server [input_size]
+
+#include <unistd.h>
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "common/string_util.hpp"
 #include "common/table.hpp"
-#include "core/session.hpp"
-#include "graph/zoo/zoo.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 int main(int argc, char** argv) {
   using namespace pimcomp;
 
   const int input_size = argc > 1 ? std::atoi(argv[1]) : 64;
-  Graph graph = zoo::vgg16(input_size);
-  std::cout << "vgg16 @ " << input_size << "x" << input_size << ": "
-            << graph.total_weight_params() / 1000000.0 << "M weights, "
-            << graph.total_macs() / 1.0e9 << " GMACs/inference\n";
 
-  // Size the machine so every layer fits with 3x replication headroom.
-  const HardwareConfig hw =
-      fit_core_count(graph, HardwareConfig::puma_default(), 3.0);
-  std::cout << "using " << hw.core_count << " cores across "
-            << hw.chip_count() << " chip(s)\n\n";
+  // One daemon, one client, one request. The socket lives in /tmp so the
+  // example needs no privileges; the server removes it on stop().
+  serve::ServerOptions server_options;
+  server_options.unix_path =
+      "/tmp/pimcomp-throughput-" + std::to_string(::getpid()) + ".sock";
+  server_options.jobs = 0;  // one batch worker per hardware thread
 
-  // The parallelism sweep is a session batch: the four scenarios share one
-  // node-partitioning pass through the session's workload cache and fan out
-  // across worker threads.
-  CompilerSession session(std::move(graph), hw);
-  session.set_jobs(0);  // one worker per hardware thread
-  for (int parallelism : {1, 20, 40, 200}) {
-    CompileOptions options;
-    options.mode = PipelineMode::kHighThroughput;
-    options.parallelism_degree = parallelism;
-    options.ga.population = 40;
-    options.ga.generations = 40;
-    session.enqueue(options, "P=" + std::to_string(parallelism));
-  }
+  try {
+    serve::CompileServer server(std::move(server_options));
+    server.start();
+    std::cout << "compile server on " << server.endpoint() << "\n\n";
 
-  Table table("HT throughput vs parallelism degree (vgg16)");
-  table.set_header({"parallelism", "throughput (inf/s)", "busiest core (us)",
-                    "dynamic energy (uJ)", "compile (s)"});
-  for (const ScenarioOutcome& outcome : session.compile_all()) {
-    if (!outcome.ok()) {
-      std::cerr << "scenario '" << outcome.label << "' failed: "
-                << outcome.error << '\n';
-      continue;
+    serve::CompileRequest request;
+    request.model = "vgg16";
+    request.input_size = input_size;
+    // cores stay 0: the server auto-fits the machine with 3x replication
+    // headroom, as the in-process version of this example did.
+    for (int parallelism : {1, 20, 40, 200}) {
+      serve::ScenarioSpec spec;
+      spec.label = "P=" + std::to_string(parallelism);
+      spec.options.mode = PipelineMode::kHighThroughput;
+      spec.options.parallelism_degree = parallelism;
+      spec.options.ga.population = 40;
+      spec.options.ga.generations = 40;
+      request.scenarios.push_back(std::move(spec));
     }
-    const CompileResult& result = *outcome.result;
-    const SimReport sim = session.simulate(result);
-    table.add_row({std::to_string(result.options.parallelism_degree),
-                   format_double(sim.throughput_per_sec(), 1),
-                   format_double(to_us(sim.makespan), 1),
-                   format_double(to_uj(sim.dynamic_energy.total()), 1),
-                   format_double(result.stage_times.total(), 2)});
+
+    serve::CompileClient client =
+        serve::CompileClient::connect(server.endpoint());
+    int stage_events = 0;
+    int cache_hits = 0;
+    const serve::CompileReply reply =
+        client.submit(request, [&](const PipelineEvent& event) {
+          if (event.kind == PipelineEvent::Kind::kCacheHit) {
+            ++cache_hits;
+          } else if (event.kind == PipelineEvent::Kind::kStageEnd) {
+            ++stage_events;
+            std::cout << "  [" << event.scenario << "] " << event.name
+                      << " " << format_double(event.seconds, 2) << "s\n";
+          }
+        });
+
+    std::cout << '\n'
+              << stage_events << " stage event(s), " << cache_hits
+              << " cache hit(s) streamed during compilation\n\n";
+
+    Table table("HT throughput vs parallelism degree (vgg16, via pimcompd)");
+    table.set_header({"parallelism", "throughput (inf/s)",
+                      "busiest core (us)", "dynamic energy (uJ)",
+                      "compile (s)"});
+    for (const serve::OutcomeMessage& outcome : reply.outcomes) {
+      if (!outcome.ok) {
+        std::cerr << "scenario '" << outcome.label
+                  << "' failed: " << outcome.error << '\n';
+        continue;
+      }
+      const Json& compile = outcome.compile;
+      const Json& sim = outcome.simulation;
+      const double compile_seconds =
+          serve::stage_seconds_from_json(compile);
+      table.add_row(
+          {std::to_string(compile.get("parallelism", 0)),
+           format_double(sim.get("throughput_per_s", 0.0), 1),
+           format_double(sim.get("makespan_us", 0.0), 1),
+           format_double(sim.at("energy").get("dynamic_uj", 0.0), 1),
+           format_double(compile_seconds, 2)});
+    }
+    table.print();
+
+    server.stop();
+    return reply.all_ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "throughput_server: " << e.what() << '\n';
+    return 1;
   }
-  table.print();
-  return 0;
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke test of the serving stack with the real binaries: boots pimcompd on
+# a Unix socket, submits a two-scenario batch — one feasible, one
+# deliberately infeasible (a 1-core / 1-crossbar machine) — through
+# `pimcomp_cli submit`, and asserts exactly one success and one structured
+# per-scenario error. Run from the repo root after a build:
+#
+#   scripts/serve_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+SOCK=/tmp/pimcompd-smoke-$$.sock
+SCENARIOS=$(mktemp /tmp/pimcompd-smoke-scenarios-XXXXXX.json)
+OUTCOMES=$(mktemp /tmp/pimcompd-smoke-outcomes-XXXXXX.json)
+SERVER_PID=
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -f "$SOCK" "$SCENARIOS" "$OUTCOMES"
+}
+trap cleanup EXIT
+
+cat > "$SCENARIOS" <<'EOF'
+[
+  {"label": "feasible",
+   "options": {"mode": "ll", "parallelism": 8,
+               "ga": {"population": 6, "generations": 3}}},
+  {"label": "infeasible",
+   "options": {"mode": "ll", "parallelism": 8,
+               "ga": {"population": 6, "generations": 3}},
+   "hardware": {"core_count": 1, "xbars_per_core": 1}}
+]
+EOF
+
+"$BUILD"/examples/pimcompd --unix "$SOCK" --jobs 2 &
+SERVER_PID=$!
+
+for _ in $(seq 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "pimcompd never bound $SOCK" >&2; exit 1; }
+
+# Exit 1 is expected: submit reports per-scenario failures through its exit
+# code, and this batch deliberately contains one.
+SUBMIT_EXIT=0
+"$BUILD"/examples/pimcomp_cli submit --server "unix:$SOCK" \
+  squeezenet --input 64 --scenarios "$SCENARIOS" --json > "$OUTCOMES" \
+  || SUBMIT_EXIT=$?
+[ "$SUBMIT_EXIT" -eq 1 ] || {
+  echo "submit exit $SUBMIT_EXIT, want 1 (one failing scenario)" >&2
+  exit 1
+}
+
+python3 - "$OUTCOMES" <<'EOF'
+import json, sys
+
+outcomes = json.load(open(sys.argv[1]))
+assert len(outcomes) == 2, f"want 2 outcomes, got {len(outcomes)}"
+ok = [o for o in outcomes if o.get("ok")]
+bad = [o for o in outcomes if not o.get("ok")]
+assert len(ok) == 1, f"want exactly 1 success: {outcomes}"
+assert len(bad) == 1, f"want exactly 1 failure: {outcomes}"
+assert ok[0]["scenario"] == "feasible", ok[0]
+assert "compile" in ok[0] and "simulation" in ok[0], ok[0]
+assert bad[0]["scenario"] == "infeasible", bad[0]
+assert bad[0].get("error"), f"failure must carry a structured error: {bad[0]}"
+print("serve smoke OK:",
+      f"'{ok[0]['scenario']}' compiled,",
+      f"'{bad[0]['scenario']}' rejected with: {bad[0]['error'][:90]}")
+EOF
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=
+echo "pimcompd shut down cleanly"

@@ -55,4 +55,17 @@ std::string join(const std::vector<std::string>& parts,
   return oss.str();
 }
 
+std::optional<long long> parse_decimal(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(token, &consumed, 10);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed != token.size()) return std::nullopt;
+  return value;
+}
+
 }  // namespace pimcomp

@@ -1,6 +1,7 @@
 #ifndef PIMCOMP_COMMON_STRING_UTIL_HPP
 #define PIMCOMP_COMMON_STRING_UTIL_HPP
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,12 @@ bool starts_with(const std::string& s, const std::string& prefix);
 /// Joins strings with a separator.
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep);
+
+/// Strict base-10 integer parse: the whole token must be numeric (no
+/// trailing characters, no empty string), else nullopt. The single home of
+/// the stoll+fully-consumed idiom every flag/endpoint parser shares —
+/// range checks and error wording stay with the callers.
+std::optional<long long> parse_decimal(const std::string& token);
 
 }  // namespace pimcomp
 

@@ -55,6 +55,10 @@ constexpr std::size_t kMaxCachedMappings = 128;
 
 }  // namespace
 
+std::uint64_t combine_fingerprints(std::uint64_t a, std::uint64_t b) {
+  return combine(a, b);
+}
+
 std::uint64_t fingerprint(const Graph& graph) {
   // The JSON graph format carries exactly the information the backend
   // consumes (topology + per-node attributes), so its dump is a faithful

@@ -27,6 +27,12 @@ std::uint64_t fingerprint(const HardwareConfig& hw);
 /// together with the workload fingerprint.
 std::uint64_t fingerprint(const CompileOptions& options);
 
+/// Order-dependent mix of two fingerprints — the combinator behind every
+/// session cache key and CompilerSession::fingerprint(). Exposed so other
+/// layers keying on a (graph, hardware) identity (the compile server's
+/// session registry) can never disagree with the session's own.
+std::uint64_t combine_fingerprints(std::uint64_t a, std::uint64_t b);
+
 /// One entry of a session batch: a label for reports/observers, the compile
 /// options, and an optional hardware override for design-space sweeps
 /// (std::nullopt = the session's default hardware).

@@ -1,0 +1,127 @@
+#include "core/trace.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+PipelineEvent PipelineEvent::stage_begin(const StageInfo& info) {
+  PipelineEvent event;
+  event.kind = Kind::kStageBegin;
+  event.name = info.stage;
+  event.scenario = info.scenario;
+  event.scenario_index = info.scenario_index;
+  return event;
+}
+
+PipelineEvent PipelineEvent::stage_end(const StageInfo& info) {
+  PipelineEvent event;
+  event.kind = Kind::kStageEnd;
+  event.name = info.stage;
+  event.scenario = info.scenario;
+  event.scenario_index = info.scenario_index;
+  event.seconds = info.seconds;
+  return event;
+}
+
+PipelineEvent PipelineEvent::cache_hit(const CacheEvent& cache_event) {
+  PipelineEvent event;
+  event.kind = Kind::kCacheHit;
+  event.name = cache_event.cache;
+  event.scenario = cache_event.scenario;
+  event.scenario_index = cache_event.scenario_index;
+  event.hits = cache_event.hits;
+  return event;
+}
+
+std::string to_string(PipelineEvent::Kind kind) {
+  switch (kind) {
+    case PipelineEvent::Kind::kStageBegin: return "stage_begin";
+    case PipelineEvent::Kind::kStageEnd: return "stage_end";
+    case PipelineEvent::Kind::kCacheHit: return "cache_hit";
+  }
+  return "unknown";
+}
+
+PipelineEvent::Kind event_kind_from_string(const std::string& s) {
+  if (s == "stage_begin") return PipelineEvent::Kind::kStageBegin;
+  if (s == "stage_end") return PipelineEvent::Kind::kStageEnd;
+  if (s == "cache_hit") return PipelineEvent::Kind::kCacheHit;
+  throw ConfigError("unknown pipeline event kind '" + s + "'");
+}
+
+Json event_to_json(const PipelineEvent& event) {
+  Json json = Json::object();
+  json["event"] = to_string(event.kind);
+  json[event.kind == PipelineEvent::Kind::kCacheHit ? "cache" : "stage"] =
+      event.name;
+  json["scenario"] = event.scenario;
+  json["index"] = event.scenario_index;
+  if (event.kind == PipelineEvent::Kind::kStageEnd) {
+    json["seconds"] = event.seconds;
+  }
+  if (event.kind == PipelineEvent::Kind::kCacheHit) {
+    json["hits"] = static_cast<std::int64_t>(event.hits);
+  }
+  return json;
+}
+
+PipelineEvent event_from_json(const Json& json) {
+  PipelineEvent event;
+  event.kind = event_kind_from_string(json.at("event").as_string());
+  event.name = json.get(
+      event.kind == PipelineEvent::Kind::kCacheHit ? "cache" : "stage",
+      std::string());
+  event.scenario = json.get("scenario", std::string());
+  event.scenario_index = json.get("index", -1);
+  event.seconds = json.get("seconds", 0.0);
+  event.hits = static_cast<std::uint64_t>(
+      json.get("hits", static_cast<std::int64_t>(0)));
+  return event;
+}
+
+void EventBridge::on_stage_begin(const StageInfo& info) {
+  if (sink_) sink_(PipelineEvent::stage_begin(info));
+}
+
+void EventBridge::on_stage_end(const StageInfo& info) {
+  if (sink_) sink_(PipelineEvent::stage_end(info));
+}
+
+void EventBridge::on_cache_hit(const CacheEvent& event) {
+  if (sink_) sink_(PipelineEvent::cache_hit(event));
+}
+
+TraceRecorder::TraceRecorder() : start_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::on_stage_begin(const StageInfo& info) {
+  record(PipelineEvent::stage_begin(info));
+}
+
+void TraceRecorder::on_stage_end(const StageInfo& info) {
+  record(PipelineEvent::stage_end(info));
+}
+
+void TraceRecorder::on_cache_hit(const CacheEvent& event) {
+  record(PipelineEvent::cache_hit(event));
+}
+
+void TraceRecorder::record(const PipelineEvent& event) {
+  events_.push_back(event);
+  at_seconds_.push_back(seconds_since(start_));
+}
+
+Json TraceRecorder::to_json() const {
+  Json events = Json::array();
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    Json row = event_to_json(events_[i]);
+    row["at_s"] = at_seconds_[i];
+    events.push_back(std::move(row));
+  }
+  Json root = Json::object();
+  root["events"] = std::move(events);
+  return root;
+}
+
+}  // namespace pimcomp

@@ -1,0 +1,94 @@
+#ifndef PIMCOMP_CORE_TRACE_HPP
+#define PIMCOMP_CORE_TRACE_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/pipeline.hpp"
+
+namespace pimcomp {
+
+/// One PipelineObserver callback reified as data. This is the shared event
+/// currency of every observer consumer: the compile server streams these to
+/// clients (src/serve/protocol.hpp wraps them with a request id) and the
+/// CLI's --trace flag writes them as a JSON timeline — both with the same
+/// JSON shape, so a trace file and a server event stream are diffable.
+struct PipelineEvent {
+  enum class Kind { kStageBegin, kStageEnd, kCacheHit };
+
+  Kind kind = Kind::kStageBegin;
+  std::string name;          ///< stage name (stage events) or cache name
+  std::string scenario;      ///< scenario label ("" when single-shot)
+  int scenario_index = -1;   ///< position in the session batch
+  double seconds = 0.0;      ///< stage duration (kStageEnd only)
+  std::uint64_t hits = 0;    ///< session-lifetime hit count (kCacheHit only)
+
+  static PipelineEvent stage_begin(const StageInfo& info);
+  static PipelineEvent stage_end(const StageInfo& info);
+  static PipelineEvent cache_hit(const CacheEvent& event);
+};
+
+/// Wire names of the three kinds ("stage_begin", "stage_end", "cache_hit").
+std::string to_string(PipelineEvent::Kind kind);
+PipelineEvent::Kind event_kind_from_string(const std::string& s);
+
+/// JSON shape (the serving protocol's "event" payload and one --trace row):
+///   {"event": "stage_end", "stage": "mapping", "scenario": "P=20",
+///    "index": 1, "seconds": 0.42}
+/// Cache hits carry "cache" instead of "stage" plus a "hits" count.
+Json event_to_json(const PipelineEvent& event);
+PipelineEvent event_from_json(const Json& json);
+
+/// Bridges PipelineObserver callbacks into a single event sink, so consumers
+/// (socket writers, trace files, progress bars) handle one callback instead
+/// of three. The sink runs on the pipeline's thread under the session's
+/// observer serialization, exactly like a raw observer.
+class EventBridge : public PipelineObserver {
+ public:
+  using Sink = std::function<void(const PipelineEvent&)>;
+
+  explicit EventBridge(Sink sink) : sink_(std::move(sink)) {}
+
+  void on_stage_begin(const StageInfo& info) override;
+  void on_stage_end(const StageInfo& info) override;
+  void on_cache_hit(const CacheEvent& event) override;
+
+ private:
+  Sink sink_;
+};
+
+/// Collects a timeline of events with wall-clock offsets from construction.
+/// Install as a session/compiler observer (local runs) or feed received
+/// server events through record() (remote runs); to_json() is the --trace
+/// file format:
+///   {"events": [{"at_s": 0.0012, "event": "stage_begin", ...}, ...]}
+class TraceRecorder : public PipelineObserver {
+ public:
+  TraceRecorder();
+
+  void on_stage_begin(const StageInfo& info) override;
+  void on_stage_end(const StageInfo& info) override;
+  void on_cache_hit(const CacheEvent& event) override;
+
+  /// Appends an already-reified event (e.g. one streamed from a compile
+  /// server), stamped at the current wall-clock offset.
+  void record(const PipelineEvent& event);
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<PipelineEvent>& events() const { return events_; }
+
+  Json to_json() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::vector<PipelineEvent> events_;
+  std::vector<double> at_seconds_;  ///< parallel to events_
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_CORE_TRACE_HPP

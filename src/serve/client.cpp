@@ -1,0 +1,120 @@
+#include "serve/client.hpp"
+
+#include <utility>
+
+#include "common/string_util.hpp"
+
+namespace pimcomp::serve {
+
+namespace {
+
+/// Splits "host:port"; throws ServeError when the port is not a number.
+std::pair<std::string, int> parse_host_port(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    throw ServeError("endpoint must be 'unix:PATH' or 'HOST:PORT', got '" +
+                     endpoint + "'");
+  }
+  const std::string host =
+      colon == 0 ? std::string("127.0.0.1") : endpoint.substr(0, colon);
+  const std::optional<long long> port =
+      parse_decimal(endpoint.substr(colon + 1));
+  if (!port.has_value() || *port <= 0 || *port > 65535) {
+    throw ServeError("bad port in endpoint '" + endpoint + "'");
+  }
+  return {host, static_cast<int>(*port)};
+}
+
+}  // namespace
+
+CompileClient CompileClient::connect(const std::string& endpoint) {
+  constexpr const char kUnixPrefix[] = "unix:";
+  if (endpoint.rfind(kUnixPrefix, 0) == 0) {
+    return connect_unix(endpoint.substr(sizeof(kUnixPrefix) - 1));
+  }
+  const auto [host, port] = parse_host_port(endpoint);
+  return connect_tcp(host, port);
+}
+
+CompileClient CompileClient::connect_unix(const std::string& path) {
+  return CompileClient(serve::connect_unix(path));
+}
+
+CompileClient CompileClient::connect_tcp(const std::string& host, int port) {
+  return CompileClient(serve::connect_tcp(host, port));
+}
+
+CompileReply CompileClient::submit(const CompileRequest& request,
+                                   const EventCallback& on_event) {
+  CompileRequest sent = request;
+  if (sent.id == 0) sent.id = next_id_++;
+
+  channel_.write_line(to_json(sent).dump(-1));
+
+  CompileReply reply;
+  reply.id = sent.id;
+  for (;;) {
+    std::optional<std::string> line = channel_.read_line();
+    if (!line.has_value()) {
+      throw ServeError("server closed the connection mid-request");
+    }
+    if (line->empty()) continue;
+
+    ServerMessage message = server_message_from_json(Json::parse(*line));
+
+    if (auto* event = std::get_if<EventMessage>(&message)) {
+      if (event->id != sent.id) continue;  // stale frame from a prior request
+      reply.frame_order.push_back("event");
+      reply.events.push_back(event->event);
+      if (on_event) on_event(event->event);
+      continue;
+    }
+    if (auto* outcome = std::get_if<OutcomeMessage>(&message)) {
+      if (outcome->id != sent.id) continue;
+      reply.frame_order.push_back("outcome");
+      reply.outcomes.push_back(std::move(*outcome));
+      continue;
+    }
+    if (auto* done = std::get_if<DoneMessage>(&message)) {
+      if (done->id != sent.id) continue;
+      reply.frame_order.push_back("done");
+      reply.ok_count = done->ok_count;
+      reply.error_count = done->error_count;
+      return reply;
+    }
+    if (auto* error = std::get_if<ErrorMessage>(&message)) {
+      // id 0 means the server could not attribute the failure to a request
+      // (it couldn't parse the line); on this synchronous connection that
+      // can only be ours. Any other foreign id is a stale frame from an
+      // abandoned earlier request — skip it like stale events/outcomes.
+      if (error->id != sent.id && error->id != 0) continue;
+      // Request-level failure: the server already dropped the request, so
+      // surfacing it as an exception keeps ok()/error outcomes meaningful.
+      throw ServeError("server rejected request " + std::to_string(sent.id) +
+                       ": " + error->error);
+    }
+    // Pong frames mid-request would be a server bug; ignore them.
+  }
+}
+
+bool CompileClient::ping() {
+  PingRequest request{next_id_++};
+  channel_.write_line(to_json(request).dump(-1));
+  for (;;) {
+    std::optional<std::string> line = channel_.read_line();
+    if (!line.has_value()) {
+      throw ServeError("server closed the connection during ping");
+    }
+    if (line->empty()) continue;
+    ServerMessage message = server_message_from_json(Json::parse(*line));
+    if (auto* pong = std::get_if<PongMessage>(&message)) {
+      return pong->id == request.id &&
+             pong->protocol_version == kProtocolVersion;
+    }
+    // Leftover frames from an abandoned request (e.g. an event callback
+    // that threw mid-submit) are skipped, same as submit() does — a
+    // healthy server must not read as "answered garbage".
+  }
+}
+
+}  // namespace pimcomp::serve

@@ -1,0 +1,67 @@
+#ifndef PIMCOMP_SERVE_CLIENT_HPP
+#define PIMCOMP_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace pimcomp::serve {
+
+/// Everything one submit() call brought back, in wire order.
+struct CompileReply {
+  std::int64_t id = 0;
+  std::vector<OutcomeMessage> outcomes;  ///< one per scenario, index order
+  std::vector<PipelineEvent> events;     ///< progress stream, arrival order
+  int ok_count = 0;
+  int error_count = 0;
+
+  /// Frame kinds in arrival order (events, then outcomes, then done) — lets
+  /// callers assert streaming behavior without instrumenting callbacks.
+  std::vector<std::string> frame_order;
+
+  bool all_ok() const { return error_count == 0; }
+};
+
+/// Blocking client for a `pimcompd` compile server. One instance owns one
+/// connection and is not thread-safe; open one client per thread. Requests
+/// are answered in submission order on the connection, so a client can
+/// submit any number of batches back-to-back.
+class CompileClient {
+ public:
+  /// "unix:/path/to.sock" or "host:port". Throws ServeError on refused
+  /// connections or unparseable endpoints.
+  static CompileClient connect(const std::string& endpoint);
+  static CompileClient connect_unix(const std::string& path);
+  static CompileClient connect_tcp(const std::string& host, int port);
+
+  /// Invoked for every progress event, on the calling thread, in wire order,
+  /// before submit() returns.
+  using EventCallback = std::function<void(const PipelineEvent&)>;
+
+  /// Sends `request` and blocks until its terminal message. Per-scenario
+  /// failures (infeasible design points) come back as outcomes with
+  /// `ok == false`; a request-level failure (unknown model, malformed
+  /// hardware) or a dropped connection throws ServeError.
+  CompileReply submit(const CompileRequest& request,
+                      const EventCallback& on_event = {});
+
+  /// Round-trips a ping; false when the server answered garbage, throws
+  /// ServeError when the connection is gone.
+  bool ping();
+
+  void close() { channel_.shutdown_both(); }
+
+ private:
+  explicit CompileClient(Socket socket) : channel_(std::move(socket)) {}
+
+  LineChannel channel_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace pimcomp::serve
+
+#endif  // PIMCOMP_SERVE_CLIENT_HPP

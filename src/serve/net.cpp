@@ -1,0 +1,251 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pimcomp::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ServeError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw ServeError("unix socket path must be 1.." +
+                     std::to_string(sizeof(addr.sun_path) - 1) +
+                     " bytes, got '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_address(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (port < 0 || port > 65535) {
+    throw ServeError("tcp port out of range: " + std::to_string(port));
+  }
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw ServeError("bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_send_timeout(int seconds) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Socket listen_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Socket socket(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!socket.valid()) throw_errno("socket(AF_UNIX)");
+  struct stat st {};
+  if (::lstat(path.c_str(), &st) == 0) {
+    // Something already exists at the path. Only a socket is ours to
+    // reclaim — a mistyped --unix pointing at a regular file must not cost
+    // the user that file.
+    if (!S_ISSOCK(st.st_mode)) {
+      throw ServeError("'" + path +
+                       "' exists and is not a socket; refusing to replace it");
+    }
+    // Only remove the socket if nothing answers a connect probe (a daemon
+    // that died uncleanly): unlinking a *live* daemon's endpoint would
+    // silently steal its address.
+    bool live = false;
+    try {
+      Socket probe = connect_unix(path);
+      live = true;
+    } catch (const ServeError&) {
+    }
+    if (live) {
+      throw ServeError("'" + path +
+                       "' already has a listening daemon; stop it first or "
+                       "pick another socket path");
+    }
+    ::unlink(path.c_str());
+  }
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind('" + path + "')");
+  }
+  if (::listen(socket.fd(), SOMAXCONN) != 0) throw_errno("listen");
+  return socket;
+}
+
+Socket listen_tcp(const std::string& host, int port, int* bound_port) {
+  sockaddr_in addr = tcp_address(host, port);
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(socket.fd(), SOMAXCONN) != 0) throw_errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&actual),
+                      &len) != 0) {
+      throw_errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return socket;
+}
+
+Socket connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Socket socket(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!socket.valid()) throw_errno("socket(AF_UNIX)");
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect('" + path + "')");
+  }
+  return socket;
+}
+
+Socket connect_tcp(const std::string& host, int port) {
+  const sockaddr_in addr = tcp_address(host, port);
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) throw_errno("socket(AF_INET)");
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return socket;
+}
+
+std::optional<Socket> accept_connection(const Socket& listener,
+                                        const std::atomic<bool>* stop) {
+  while (stop == nullptr || !stop->load()) {
+    pollfd pfd{listener.fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll(listener)");
+    }
+    if (ready == 0) continue;  // timeout: re-check the stop flag
+    if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+      return std::nullopt;  // listener shut down underneath us
+    }
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EINVAL || errno == EBADF) return std::nullopt;  // shut down
+    throw_errno("accept");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> LineChannel::read_line() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      throw ServeError("frame exceeds " + std::to_string(kMaxLineBytes) +
+                       " bytes without a newline");
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // Clean EOF. A partial trailing line without '\n' is dropped: the
+      // peer died mid-frame and the fragment is unparseable anyway.
+      return std::nullopt;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+void LineChannel::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  write_locked(line);
+}
+
+bool LineChannel::try_write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  pollfd pfd{socket_.fd(), POLLOUT, 0};
+  const int ready = ::poll(&pfd, 1, /*timeout_ms=*/0);
+  if (ready < 0) throw_errno("poll(POLLOUT)");
+  if (ready == 0 || (pfd.revents & POLLOUT) == 0) return false;
+  write_locked(line);
+  return true;
+}
+
+void LineChannel::write_locked(const std::string& line) {
+  std::string frame = line;
+  frame.push_back('\n');
+  const char* data = frame.data();
+  std::size_t remaining = frame.size();
+  while (remaining > 0) {
+    // MSG_NOSIGNAL: a disconnected peer yields EPIPE instead of killing the
+    // process with SIGPIPE.
+    const ssize_t n = ::send(socket_.fd(), data, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer has stopped reading.
+        throw ServeError("send timed out: peer is not reading");
+      }
+      throw_errno("send");
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace pimcomp::serve

@@ -1,0 +1,111 @@
+#ifndef PIMCOMP_SERVE_NET_HPP
+#define PIMCOMP_SERVE_NET_HPP
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pimcomp::serve {
+
+/// Raised on socket / framing failures in the serving subsystem (bind,
+/// connect, broken pipe, oversized frame, protocol violations).
+class ServeError : public Error {
+ public:
+  explicit ServeError(const std::string& message) : Error(message) {}
+};
+
+/// RAII file descriptor. Move-only; closing is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  void close();
+
+  /// shutdown(SHUT_RDWR): unblocks a peer thread sitting in recv()/accept()
+  /// on this descriptor without racing its eventual close().
+  void shutdown_both();
+
+  /// SO_SNDTIMEO: bounds every send() so a peer that stops reading turns
+  /// into a ServeError after `seconds` instead of blocking a writer forever.
+  void set_send_timeout(int seconds);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listener factories. `listen_unix` removes a stale socket file at `path`
+/// first (a previous daemon that died without cleanup); `listen_tcp` binds
+/// `host:port` and reports the actually-bound port (ephemeral port 0
+/// resolution) through `bound_port` when non-null. Both throw ServeError.
+Socket listen_unix(const std::string& path);
+Socket listen_tcp(const std::string& host, int port, int* bound_port = nullptr);
+
+/// Client-side connection factories; throw ServeError when nothing listens.
+Socket connect_unix(const std::string& path);
+Socket connect_tcp(const std::string& host, int port);
+
+/// Blocking accept with periodic wakeups: returns the next connection, or
+/// std::nullopt when `*stop` became true (polled every ~100ms) or the
+/// listener was shut down. Throws ServeError on unexpected accept failures.
+std::optional<Socket> accept_connection(const Socket& listener,
+                                        const std::atomic<bool>* stop);
+
+/// Newline-delimited message framing over a connected socket: one complete
+/// JSON document per line, which is what makes the protocol scriptable with
+/// nc/socat. Reads are buffered and single-threaded (the connection's
+/// handler thread); writes are mutex-serialized so a compile worker
+/// streaming events and the handler writing outcomes never interleave
+/// partial lines.
+class LineChannel {
+ public:
+  explicit LineChannel(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Next complete line without its trailing '\n'; std::nullopt on clean
+  /// EOF. Throws ServeError on read errors or lines above kMaxLineBytes
+  /// (a malformed peer must not make the server buffer unboundedly).
+  std::optional<std::string> read_line();
+
+  /// Writes `line` plus a trailing '\n' atomically with respect to other
+  /// write_line() callers. Throws ServeError when the peer is gone (or,
+  /// with a send timeout set, has stopped reading).
+  void write_line(const std::string& line);
+
+  /// Best-effort variant for advisory frames (progress events): returns
+  /// false without writing anything when the socket's send buffer has no
+  /// room right now (slow or stalled reader), so a compile pipeline never
+  /// blocks on a client that isn't keeping up. Hard errors still throw.
+  bool try_write_line(const std::string& line);
+
+  /// Unblocks a read_line() in progress on another thread.
+  void shutdown_both() { socket_.shutdown_both(); }
+
+  int fd() const { return socket_.fd(); }
+
+  /// 64 MiB: far above any real request (graphs are ~100 KB) yet small
+  /// enough to bound a hostile peer's memory cost.
+  static constexpr std::size_t kMaxLineBytes = 64u << 20;
+
+ private:
+  void write_locked(const std::string& line);  // write_mutex_ held
+
+  Socket socket_;
+  std::string buffer_;
+  std::mutex write_mutex_;
+};
+
+}  // namespace pimcomp::serve
+
+#endif  // PIMCOMP_SERVE_NET_HPP

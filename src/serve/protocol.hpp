@@ -1,0 +1,157 @@
+#ifndef PIMCOMP_SERVE_PROTOCOL_HPP
+#define PIMCOMP_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "arch/hardware_config.hpp"
+#include "common/json.hpp"
+#include "core/compiler.hpp"
+#include "core/trace.hpp"
+
+namespace pimcomp::serve {
+
+/// Bumped when a message shape changes incompatibly. The server rejects
+/// requests declaring a newer version than it speaks.
+inline constexpr int kProtocolVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Field (de)serialization shared by requests and tooling.
+// ---------------------------------------------------------------------------
+
+/// CompileOptions <-> JSON. Serialization covers every field that
+/// participates in fingerprint(CompileOptions) so two options objects that
+/// round-trip compare fingerprint-equal; deserialization starts from `base`
+/// (default: a default-constructed CompileOptions — the protocol's
+/// documented meaning of an absent key) and applies the keys present, so
+/// requests stay terse ({"mode": "ll", "parallelism": 20}). Callers with
+/// their own defaults (the CLI's flag-built options under --scenarios)
+/// pass them as `base`.
+Json options_to_json(const CompileOptions& options);
+CompileOptions options_from_json(const Json& json,
+                                 const CompileOptions& base = {});
+
+/// HardwareConfig <-> JSON, same contract: every fingerprinted field is
+/// emitted, absent keys keep the values of `base` (default: the paper's
+/// PUMA instantiation), so requests override only what they change.
+Json hardware_to_json(const HardwareConfig& hw);
+HardwareConfig hardware_from_json(const Json& json,
+                                  const HardwareConfig& base =
+                                      HardwareConfig::puma_default());
+
+// ---------------------------------------------------------------------------
+// Client -> server.
+// ---------------------------------------------------------------------------
+
+/// One scenario of a request batch. The per-scenario hardware override (if
+/// any) is kept as raw JSON: it is applied on top of the *request's*
+/// resolved hardware — which may itself involve server-side core-count
+/// auto-fit — so it cannot be resolved to a HardwareConfig at parse time.
+struct ScenarioSpec {
+  std::string label;
+  CompileOptions options;
+  std::optional<Json> hardware;
+};
+
+/// A compile request: one model, one (possibly overridden) hardware config,
+/// and a batch of scenarios compiled through the server's shared
+/// CompilerSession for that (graph, hardware) identity.
+struct CompileRequest {
+  std::int64_t id = 0;            ///< echoed on every response (0: client picks)
+  std::string model;              ///< zoo model name; exclusive with `graph`
+  std::optional<Json> graph;      ///< inline PIMCOMP graph JSON
+  int input_size = 0;             ///< zoo resolution (0 = canonical)
+  int cores = 0;                  ///< core count (0 = auto-fit, 3x headroom)
+  std::optional<Json> hardware;   ///< overrides on HardwareConfig::puma_default
+  bool simulate = true;           ///< attach a SimReport to each ok outcome
+  std::vector<ScenarioSpec> scenarios;
+};
+
+/// Parses one scenario entry ({"label": ..., "options": {...},
+/// "hardware": {...}}); `index` names unlabeled scenarios "scenario-N" and
+/// `base_options` seeds fields the entry leaves unset. Shared by request
+/// parsing and `pimcomp_cli submit --scenarios FILE`.
+ScenarioSpec scenario_spec_from_json(const Json& json, std::size_t index,
+                                     const CompileOptions& base_options = {});
+
+Json to_json(const CompileRequest& request);
+/// Throws ServeError on structural problems (no model and no graph, empty
+/// scenario list, unsupported protocol version).
+CompileRequest request_from_json(const Json& json);
+
+/// Connection liveness probe; the server echoes a pong with the same id.
+struct PingRequest {
+  std::int64_t id = 0;
+};
+
+Json to_json(const PingRequest& request);
+
+// ---------------------------------------------------------------------------
+// Server -> client.
+// ---------------------------------------------------------------------------
+
+/// Progress: one PipelineObserver callback bridged from the session running
+/// the request, streamed while the batch compiles. The payload shape is
+/// exactly core/trace.hpp's event_to_json, plus the request id.
+struct EventMessage {
+  std::int64_t id = 0;
+  PipelineEvent event;
+};
+
+/// Terminal record of one scenario. `ok == false` carries the structured
+/// error (CapacityError / ConfigError message) of an infeasible or
+/// misconfigured design point; the connection and the rest of the batch are
+/// unaffected — the wire form of ScenarioOutcome.
+struct OutcomeMessage {
+  std::int64_t id = 0;
+  std::string label;
+  int index = -1;
+  bool ok = false;
+  std::string error;  ///< !ok only
+  Json compile;       ///< ok only: core/compile_report.hpp JSON
+  Json simulation;    ///< ok && request.simulate only
+};
+
+/// End of a request: every scenario has reported its outcome.
+struct DoneMessage {
+  std::int64_t id = 0;
+  int ok_count = 0;
+  int error_count = 0;
+};
+
+/// Request-level failure (malformed JSON, unknown model, bad hardware):
+/// terminal for the request, not for the connection.
+struct ErrorMessage {
+  std::int64_t id = 0;
+  std::string error;
+};
+
+struct PongMessage {
+  std::int64_t id = 0;
+  int protocol_version = kProtocolVersion;
+};
+
+Json to_json(const EventMessage& message);
+Json to_json(const OutcomeMessage& message);
+Json to_json(const DoneMessage& message);
+Json to_json(const ErrorMessage& message);
+Json to_json(const PongMessage& message);
+
+/// Any server-to-client message, for client-side dispatch.
+using ServerMessage = std::variant<EventMessage, OutcomeMessage, DoneMessage,
+                                   ErrorMessage, PongMessage>;
+
+/// Parses one server line; throws ServeError on unknown/missing "type".
+ServerMessage server_message_from_json(const Json& json);
+
+/// Total compile seconds of a wire `compile` document (the sum of its
+/// "stage_times" rows); 0.0 when the document carries none. Shared by every
+/// client rendering compile times from outcomes.
+double stage_seconds_from_json(const Json& compile);
+
+}  // namespace pimcomp::serve
+
+#endif  // PIMCOMP_SERVE_PROTOCOL_HPP

@@ -1,0 +1,510 @@
+#include "serve/server.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/string_util.hpp"
+#include "core/compile_report.hpp"
+#include "core/compiler.hpp"
+#include "graph/serialize.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp::serve {
+
+namespace {
+
+std::string compact(const Json& json) { return json.dump(-1); }
+
+/// Upper bound on any single blocking send to a client. A peer that stops
+/// reading for this long is declared gone (its connection drops); progress
+/// events never block at all (see the try_write_line sink below).
+constexpr int kSendTimeoutSeconds = 30;
+
+std::int64_t message_id(const Json& json) {
+  return json.get("id", static_cast<std::int64_t>(0));
+}
+
+/// Clears the session observer even when the batch throws, so the next
+/// request routed to this session can never stream into our connection.
+struct ObserverGuard {
+  explicit ObserverGuard(CompilerSession& session) : session(session) {}
+  ~ObserverGuard() { session.set_observer(nullptr); }
+  CompilerSession& session;
+};
+
+}  // namespace
+
+CompileServer::SessionEntry::Turn::Turn(SessionEntry& entry) : entry(entry) {
+  std::unique_lock<std::mutex> lock(entry.mutex);
+  const std::uint64_t ticket = entry.next_ticket++;
+  entry.turn.wait(lock, [&] { return entry.serving == ticket; });
+}
+
+CompileServer::SessionEntry::Turn::~Turn() {
+  {
+    std::lock_guard<std::mutex> lock(entry.mutex);
+    ++entry.serving;
+  }
+  entry.turn.notify_all();
+}
+
+CompileServer::CompileServer(ServerOptions options)
+    : options_(std::move(options)) {
+  options_.max_sessions = std::max<std::size_t>(options_.max_sessions, 1);
+}
+
+CompileServer::~CompileServer() { stop(); }
+
+void CompileServer::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (running_) throw ServeError("compile server is already running");
+  if (!options_.unix_path.empty()) {
+    listener_ = listen_unix(options_.unix_path);
+    bound_port_ = 0;
+  } else {
+    listener_ = listen_tcp(options_.host, options_.port, &bound_port_);
+  }
+  accept_stop_ = false;
+  stop_requested_ = false;
+  running_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void CompileServer::stop() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    if (!running_) return;
+    if (stop_requested_) {
+      // Another thread is tearing down; wait for it to finish.
+      stopped_.wait(lock, [this] { return !running_; });
+      return;
+    }
+    stop_requested_ = true;
+  }
+
+  accept_stop_ = true;
+  listener_.shutdown_both();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+
+  // Unblock handler threads sitting in read_line(); their in-flight
+  // compilations finish, their final writes fail fast, and they exit.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const std::weak_ptr<LineChannel>& weak : live_channels_) {
+      if (std::shared_ptr<LineChannel> channel = weak.lock()) {
+        channel->shutdown_both();
+      }
+    }
+    threads.swap(connection_threads_);
+    live_channels_.clear();
+    finished_ids_.clear();
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  {
+    // The threads just joined pushed their ids into finished_ids_ on exit
+    // (after the clear above). Drop them: a stale id surviving into a
+    // restarted server could alias a reused thread id and make
+    // reap_finished_locked() join a live connection.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    finished_ids_.clear();
+  }
+
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    running_ = false;
+  }
+  stopped_.notify_all();
+}
+
+void CompileServer::wait() {
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  stopped_.wait(lock, [this] { return !running_; });
+}
+
+std::string CompileServer::endpoint() const {
+  if (!options_.unix_path.empty()) return "unix:" + options_.unix_path;
+  return options_.host + ":" + std::to_string(bound_port_);
+}
+
+std::size_t CompileServer::session_count() const {
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  return sessions_.size();
+}
+
+void CompileServer::accept_loop() {
+  for (;;) {
+    std::optional<Socket> socket;
+    try {
+      socket = accept_connection(listener_, &accept_stop_);
+    } catch (const ServeError&) {
+      break;  // listener torn down underneath us
+    }
+    if (!socket.has_value()) break;
+    ++connections_accepted_;
+
+    socket->set_send_timeout(kSendTimeoutSeconds);
+    auto channel = std::make_shared<LineChannel>(std::move(*socket));
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    reap_finished_locked();
+    live_channels_.push_back(channel);
+    connection_threads_.emplace_back([this, channel] {
+      handle_connection(channel);
+      std::lock_guard<std::mutex> done_lock(conn_mutex_);
+      finished_ids_.push_back(std::this_thread::get_id());
+    });
+  }
+}
+
+void CompileServer::reap_finished_locked() {
+  for (const std::thread::id id : finished_ids_) {
+    const auto it = std::find_if(
+        connection_threads_.begin(), connection_threads_.end(),
+        [id](const std::thread& thread) { return thread.get_id() == id; });
+    if (it != connection_threads_.end()) {
+      it->join();
+      connection_threads_.erase(it);
+    }
+  }
+  finished_ids_.clear();
+  live_channels_.erase(
+      std::remove_if(live_channels_.begin(), live_channels_.end(),
+                     [](const std::weak_ptr<LineChannel>& weak) {
+                       return weak.expired();
+                     }),
+      live_channels_.end());
+}
+
+void CompileServer::handle_connection(std::shared_ptr<LineChannel> channel) {
+  for (;;) {
+    std::optional<std::string> line;
+    try {
+      line = channel->read_line();
+    } catch (const ServeError&) {
+      return;  // read error or oversized frame: drop the connection
+    }
+    if (!line.has_value()) return;  // clean EOF
+    if (line->empty()) continue;
+
+    Json json;
+    try {
+      json = Json::parse(*line);
+    } catch (const JsonError& e) {
+      // Line framing keeps the stream synchronized, so a malformed document
+      // is a request-level error, not a connection killer.
+      try {
+        channel->write_line(
+            compact(to_json(ErrorMessage{0, std::string("bad json: ") +
+                                                e.what()})));
+      } catch (const ServeError&) {
+        return;
+      }
+      continue;
+    }
+
+    const std::string type = json.get("type", std::string("compile"));
+    try {
+      if (type == "ping") {
+        channel->write_line(compact(to_json(PongMessage{message_id(json)})));
+      } else if (type == "compile") {
+        handle_compile(*channel, json);
+      } else {
+        channel->write_line(compact(to_json(
+            ErrorMessage{message_id(json),
+                         "unknown request type '" + type + "'"})));
+      }
+    } catch (const ServeError&) {
+      return;  // write failed: the peer is gone
+    } catch (const std::exception& e) {
+      // Nothing a request does may take the daemon down: an exception that
+      // slipped through handle_compile's own handlers becomes a
+      // request-level error, and only a failing write drops the connection.
+      try {
+        channel->write_line(
+            compact(to_json(ErrorMessage{message_id(json), e.what()})));
+      } catch (const ServeError&) {
+        return;
+      }
+    }
+  }
+}
+
+void CompileServer::handle_compile(LineChannel& channel, const Json& json) {
+  std::int64_t id = message_id(json);
+
+  // Phase 1 — resolve the request to a session and a scenario batch. Every
+  // failure here (malformed request, unknown model, bad hardware) is a
+  // request-level error: reported, and the connection lives on.
+  struct Prepared {
+    std::shared_ptr<SessionEntry> entry;
+    std::vector<Scenario> batch;
+    bool simulate = true;
+  };
+  Prepared prepared;
+  try {
+    const CompileRequest request = request_from_json(json);
+    id = request.id;
+
+    Graph graph = request.graph.has_value()
+                      ? graph_from_json(*request.graph)
+                      : zoo::build(request.model, request.input_size);
+
+    HardwareConfig hw = request.hardware.has_value()
+                            ? hardware_from_json(*request.hardware)
+                            : HardwareConfig::puma_default();
+    if (request.cores > 0) {
+      hw.core_count = request.cores;
+    } else if (!request.hardware.has_value() ||
+               !request.hardware->contains("core_count")) {
+      // Auto-fit only when the client pinned the core count nowhere — a
+      // request-level hardware override of core_count is as explicit as
+      // `cores` and must not be silently re-fitted away.
+      hw = fit_core_count(graph, hw, 3.0);
+    }
+    hw.validate();
+
+    for (const ScenarioSpec& spec : request.scenarios) {
+      Scenario scenario{spec.label, spec.options, std::nullopt};
+      if (spec.hardware.has_value()) {
+        scenario.hardware = hardware_from_json(*spec.hardware, hw);
+        scenario.hardware->validate();
+      }
+      prepared.batch.push_back(std::move(scenario));
+    }
+    prepared.simulate = request.simulate;
+    prepared.entry = resolve_session(std::move(graph), hw);
+  } catch (const std::exception& e) {
+    channel.write_line(compact(to_json(ErrorMessage{id, e.what()})));
+    return;
+  }
+
+  // Phase 2 — run the batch through the shared session, streaming observer
+  // callbacks to the client as they happen. Two isolation rules keep one
+  // client from hurting the others: a client that disconnects mid-stream
+  // must not fail the compilation (another request may be queued behind it
+  // on the same caches), so write failures flip `broken` and the batch runs
+  // to completion silently; and a client that merely reads slowly must not
+  // stall the pipeline (these callbacks run while the session turn is
+  // held), so events are best-effort — try_write_line drops an event
+  // instead of blocking when the peer's buffer is full.
+  std::atomic<bool> broken{false};
+  EventBridge bridge([&](const PipelineEvent& event) {
+    if (broken.load(std::memory_order_relaxed)) return;
+    try {
+      channel.try_write_line(compact(to_json(EventMessage{id, event})));
+    } catch (const ServeError&) {
+      broken.store(true, std::memory_order_relaxed);
+    }
+  });
+
+  CompilerSession& session = prepared.entry->session;
+  std::vector<ScenarioOutcome> outcomes;
+  try {
+    SessionEntry::Turn turn(*prepared.entry);
+    ObserverGuard guard(session);
+    session.set_observer(&bridge);
+    for (Scenario& scenario : prepared.batch) {
+      session.enqueue(std::move(scenario));
+    }
+    outcomes = session.compile_all();
+  } catch (const std::exception& e) {
+    // compile_all() never throws for a scenario failure; reaching this is a
+    // batch-level breakdown (e.g. allocation failure).
+    channel.write_line(compact(to_json(ErrorMessage{id, e.what()})));
+    return;
+  }
+
+  if (broken.load()) {
+    // The event stream already failed: the peer is gone or stopped reading,
+    // and a timed-out send may have cut a frame mid-line, so the byte
+    // stream is no longer trustworthy. Drop the connection now — the
+    // client gets EOF and a clean "connection closed" error instead of
+    // waiting forever for outcome frames — and skip the per-scenario
+    // simulations nobody will receive.
+    channel.shutdown_both();
+    return;
+  }
+
+  // Phase 3 — per-scenario outcomes, then the terminal done record. The
+  // turn is already released: serializing JSON and simulating happen off
+  // the session's request queue.
+  int ok_count = 0;
+  int error_count = 0;
+  std::vector<OutcomeMessage> messages;
+  for (const ScenarioOutcome& outcome : outcomes) {
+    OutcomeMessage message;
+    message.id = id;
+    message.label = outcome.label;
+    message.index = outcome.index;
+    if (outcome.ok()) {
+      message.ok = true;
+      message.compile = compile_result_to_json(*outcome.result);
+      if (prepared.simulate) {
+        try {
+          message.simulation =
+              sim_report_to_json(session.simulate(*outcome.result));
+        } catch (const std::exception& e) {
+          message.ok = false;
+          message.compile = Json();
+          message.error = std::string("simulation failed: ") + e.what();
+        }
+      }
+    } else {
+      message.error = outcome.error;
+    }
+    (message.ok ? ok_count : error_count) += 1;
+    messages.push_back(std::move(message));
+  }
+
+  for (const OutcomeMessage& message : messages) {
+    channel.write_line(compact(to_json(message)));
+  }
+  channel.write_line(compact(to_json(DoneMessage{id, ok_count, error_count})));
+  ++requests_served_;
+}
+
+std::shared_ptr<CompileServer::SessionEntry> CompileServer::resolve_session(
+    Graph&& graph, const HardwareConfig& hw) {
+  if (!graph.finalized()) graph.finalize();
+  const std::uint64_t key =
+      combine_fingerprints(fingerprint(graph), fingerprint(hw));
+
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  const auto it = sessions_.find(key);
+  if (it != sessions_.end()) return it->second;
+
+  auto entry = std::make_shared<SessionEntry>(std::move(graph), hw);
+  entry->session.set_jobs(options_.jobs);
+  sessions_.emplace(key, entry);
+  session_order_.push_back(key);
+  // FIFO eviction keeps a daemon sweeping many models bounded; entries held
+  // by in-flight requests stay alive through their shared_ptr.
+  while (sessions_.size() > options_.max_sessions) {
+    sessions_.erase(session_order_.front());
+    session_order_.pop_front();
+  }
+  return entry;
+}
+
+void block_shutdown_signals() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+int wait_for_shutdown_signal() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  int signal = 0;
+  while (sigwait(&set, &signal) != 0) {
+  }
+  return signal;
+}
+
+int run_daemon(int argc, char** argv, const std::string& program) {
+  const auto usage = [&program]() -> int {
+    std::cerr << "usage: " << program
+              << " (--unix PATH | --port N [--host ADDR])\n"
+                 "       [--jobs N|auto] [--max-sessions N]\n";
+    return 2;
+  };
+  const auto parse_int_flag = [&program](const std::string& flag,
+                                         const std::string& token, long long min,
+                                         long long max) -> std::optional<int> {
+    const std::optional<long long> value = parse_decimal(token);
+    if (!value.has_value() || *value < min || *value > max) {
+      std::cerr << program << ": " << flag << " wants an integer in [" << min
+                << ", " << max << "], got '" << token << "'\n";
+      return std::nullopt;
+    }
+    return static_cast<int>(*value);
+  };
+
+  ServerOptions options;
+  bool endpoint_given = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (arg == "--unix" && has_next) {
+      options.unix_path = argv[++i];
+      endpoint_given = true;
+    } else if (arg == "--port" && has_next) {
+      const std::optional<int> port = parse_int_flag(arg, argv[++i], 0, 65535);
+      if (!port.has_value()) return 2;
+      options.port = *port;
+      endpoint_given = true;
+    } else if (arg == "--host" && has_next) {
+      options.host = argv[++i];
+    } else if (arg == "--jobs" && has_next) {
+      try {
+        options.jobs = parse_jobs_flag(argv[++i]);
+      } catch (const ServeError& e) {
+        std::cerr << program << ": " << e.what() << '\n';
+        return 2;
+      }
+    } else if (arg == "--max-sessions" && has_next) {
+      const std::optional<int> max =
+          parse_int_flag(arg, argv[++i], 1, 1 << 16);
+      if (!max.has_value()) return 2;
+      options.max_sessions = static_cast<std::size_t>(*max);
+    } else {
+      return usage();
+    }
+  }
+  if (!endpoint_given) return usage();
+
+  try {
+    // Mask before start() so every server thread inherits it and the
+    // signal is only ever consumed by the sigwait below.
+    block_shutdown_signals();
+
+    CompileServer server(std::move(options));
+    server.start();
+    std::cout << program << " listening on " << server.endpoint()
+              << std::endl;
+
+    const int signal = wait_for_shutdown_signal();
+    std::cout << program << ": caught signal " << signal << ", shutting down"
+              << std::endl;
+    server.stop();
+    std::cout << program << ": served " << server.requests_served()
+              << " request(s) over " << server.connections_accepted()
+              << " connection(s)" << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << program << ": " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int parse_jobs_flag(const std::string& value) {
+  if (value == "auto") return 0;  // CompilerSession::set_jobs: 0 = hw threads
+  if (value == "0") {
+    throw ServeError(
+        "--jobs must be >= 1; use '--jobs auto' for one worker per "
+        "hardware thread");
+  }
+  const std::optional<long long> parsed = parse_decimal(value);
+  if (!parsed.has_value() || *parsed < 1 || *parsed > (1 << 10)) {
+    throw ServeError("--jobs wants 1.." + std::to_string(1 << 10) +
+                     " or 'auto', got '" + value + "'");
+  }
+  return static_cast<int>(*parsed);
+}
+
+}  // namespace pimcomp::serve

@@ -1,0 +1,184 @@
+#ifndef PIMCOMP_SERVE_SERVER_HPP
+#define PIMCOMP_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace pimcomp::serve {
+
+/// Where and how `pimcompd` listens. Exactly one transport is active: a
+/// non-empty `unix_path` selects a Unix-domain socket, otherwise `host:port`
+/// TCP (port 0 picks an ephemeral port, readable back via
+/// CompileServer::port()).
+struct ServerOptions {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  /// Worker threads each CompilerSession fans a scenario batch over
+  /// (CompilerSession::set_jobs: 0 = one per hardware thread).
+  int jobs = 1;
+
+  /// Bound on concurrently cached sessions (distinct (graph, hardware)
+  /// identities). Oldest-created sessions are evicted first; in-flight
+  /// requests keep evicted sessions alive until they finish.
+  std::size_t max_sessions = 8;
+};
+
+/// The compile-server daemon core: accepts connections, reads
+/// newline-delimited JSON requests, and serves each through a shared
+/// long-lived CompilerSession keyed by (graph fingerprint, hardware
+/// fingerprint) — so two clients compiling the same model reuse one
+/// another's partitioned workloads and mapping results, observed as
+/// `cache_hit` events on the wire.
+///
+/// Concurrency model: one handler thread per connection; requests that
+/// resolve to the same session are served in arrival order (a per-session
+/// FIFO queue), which is what makes observer events attributable to exactly
+/// one request; requests for different sessions run fully in parallel, and
+/// a single request's scenario batch additionally fans out over
+/// `options.jobs` workers inside its session.
+class CompileServer {
+ public:
+  explicit CompileServer(ServerOptions options);
+
+  /// stop()s if still running.
+  ~CompileServer();
+
+  CompileServer(const CompileServer&) = delete;
+  CompileServer& operator=(const CompileServer&) = delete;
+
+  /// Binds the socket and spawns the accept thread. Throws ServeError when
+  /// the endpoint cannot be bound.
+  void start();
+
+  /// Graceful shutdown: stops accepting, unblocks every connection (their
+  /// in-flight compilations finish and their final messages are attempted),
+  /// joins all threads, and removes the Unix socket file. Idempotent.
+  void stop();
+
+  /// Blocks until stop() is called from another thread (or a signal
+  /// handler's thread via the helpers below).
+  void wait();
+
+  bool running() const { return running_; }
+
+  /// Actually bound TCP port (resolves port 0), 0 for Unix transport.
+  int port() const { return bound_port_; }
+
+  /// Human-readable endpoint ("unix:/run/pimcompd.sock", "127.0.0.1:7878"),
+  /// in the form CompileClient::connect() accepts.
+  std::string endpoint() const;
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t connections_accepted() const { return connections_accepted_; }
+  std::size_t session_count() const;
+
+ private:
+  /// One shared CompilerSession plus the FIFO ticket lock serializing the
+  /// requests routed to it (std::mutex makes no fairness promise; tickets
+  /// do, and the order requests join the queue is the order clients see
+  /// their batches served).
+  struct SessionEntry {
+    SessionEntry(Graph graph, HardwareConfig hw)
+        : session(std::move(graph), hw) {}
+
+    CompilerSession session;
+    std::mutex mutex;
+    std::condition_variable turn;
+    std::uint64_t next_ticket = 0;
+    std::uint64_t serving = 0;
+
+    struct Turn {
+      explicit Turn(SessionEntry& entry);
+      ~Turn();
+      SessionEntry& entry;
+    };
+  };
+
+  void accept_loop();
+  void handle_connection(std::shared_ptr<LineChannel> channel);
+  void handle_compile(LineChannel& channel, const Json& json);
+
+  /// Joins handler threads that announced completion (conn_mutex_ held).
+  void reap_finished_locked();
+
+  /// Returns the shared session for (graph, hw), creating (and possibly
+  /// evicting) under the registry lock. `graph` is consumed on the create
+  /// path only.
+  std::shared_ptr<SessionEntry> resolve_session(Graph&& graph,
+                                                const HardwareConfig& hw);
+
+  ServerOptions options_;
+  Socket listener_;
+  int bound_port_ = 0;
+  std::thread accept_thread_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> accept_stop_{false};
+  bool stop_requested_ = false;  // guarded by lifecycle_mutex_
+  mutable std::mutex lifecycle_mutex_;
+  std::condition_variable stopped_;
+
+  // Connection bookkeeping so stop() can unblock handler threads stuck in
+  // read_line() and join them, and so a long-lived daemon reaps finished
+  // handler threads instead of accumulating them.
+  std::vector<std::thread> connection_threads_;   // guarded by conn_mutex_
+  std::vector<std::thread::id> finished_ids_;     // same guard
+  std::vector<std::weak_ptr<LineChannel>> live_channels_;  // same guard
+  std::mutex conn_mutex_;
+
+  // Session registry: fingerprint -> shared session, plus creation order
+  // for FIFO eviction.
+  std::unordered_map<std::uint64_t, std::shared_ptr<SessionEntry>> sessions_;
+  std::deque<std::uint64_t> session_order_;
+  mutable std::mutex session_mutex_;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+};
+
+/// Signal plumbing for daemon mains (pimcompd, `pimcomp_cli serve`): call
+/// block_shutdown_signals() *before* CompileServer::start() (threads inherit
+/// the mask, so SIGINT/SIGTERM can only be consumed by
+/// wait_for_shutdown_signal()), then wait and stop():
+///
+///   block_shutdown_signals();
+///   server.start();
+///   int sig = wait_for_shutdown_signal();  // blocks in sigwait
+///   server.stop();
+void block_shutdown_signals();
+int wait_for_shutdown_signal();
+
+/// The one definition of the `--jobs` flag rule every frontend (pimcompd,
+/// `pimcomp_cli serve`/`submit`, local batches) shares: a positive worker
+/// count or the literal "auto" (returned as 0 = one per hardware thread).
+/// Throws ServeError for 0 — with a pointer at "auto" — negatives, and
+/// garbage, so the two daemon binaries can never drift apart on spelling.
+int parse_jobs_flag(const std::string& value);
+
+/// The complete daemon frontend shared by `pimcompd` and
+/// `pimcomp_cli serve` — one flag grammar, one lifecycle, two binaries that
+/// cannot drift. Parses `--unix PATH | --port N [--host ADDR]`,
+/// `[--jobs N|auto] [--max-sessions N]` from argv (NOT including the
+/// program/subcommand name), masks SIGINT/SIGTERM, starts a CompileServer,
+/// prints "<program> listening on <endpoint>" on stdout, blocks until a
+/// shutdown signal, and stops gracefully. Returns the process exit code
+/// (2 = bad usage; errors print to stderr prefixed with `program`).
+int run_daemon(int argc, char** argv, const std::string& program);
+
+}  // namespace pimcomp::serve
+
+#endif  // PIMCOMP_SERVE_SERVER_HPP

@@ -1,0 +1,71 @@
+// Graph JSON serialize -> deserialize round-trips for every zoo model. The
+// serving protocol ships graphs as inline JSON (src/serve/protocol.hpp), so
+// a lossy round-trip would make a daemon compile a different network than
+// the client asked for. Fingerprint equality is the same identity the
+// CompilerSession caches key on.
+
+#include "graph/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/session.hpp"
+#include "graph/zoo/zoo.hpp"
+
+namespace pimcomp {
+namespace {
+
+/// Small-but-valid input resolutions (each model documents its own
+/// divisibility floor; inception-v3 needs >= 96) so the whole zoo builds in
+/// milliseconds.
+int test_input_size(const std::string& model) {
+  return model == "inception-v3" ? 96 : 32;
+}
+
+TEST(GraphRoundTrip, EveryZooModelSurvivesJsonSerialization) {
+  for (const std::string& name : zoo::model_names()) {
+    SCOPED_TRACE(name);
+    Graph original = zoo::build(name, test_input_size(name));
+    if (!original.finalized()) original.finalize();
+
+    const Json json = graph_to_json(original);
+    // Through the actual wire representation: dumped text, reparsed.
+    const Json rewired = Json::parse(json.dump(-1));
+    Graph rebuilt = graph_from_json(rewired);
+
+    EXPECT_EQ(rebuilt.name(), original.name());
+    EXPECT_EQ(rebuilt.node_count(), original.node_count());
+    EXPECT_EQ(rebuilt.total_weight_params(), original.total_weight_params());
+    EXPECT_EQ(rebuilt.total_macs(), original.total_macs());
+
+    // The caching identity: equal fingerprints partition identically.
+    EXPECT_EQ(fingerprint(rebuilt), fingerprint(original));
+
+    // And a second serialization is byte-stable (diffable wire format).
+    EXPECT_EQ(graph_to_json(rebuilt).dump(2), json.dump(2));
+  }
+}
+
+TEST(GraphRoundTrip, DistinctModelsGetDistinctFingerprints) {
+  std::map<std::uint64_t, std::string> seen;
+  for (const std::string& name : zoo::model_names()) {
+    Graph graph = zoo::build(name, test_input_size(name));
+    if (!graph.finalized()) graph.finalize();
+    const std::uint64_t fp = fingerprint(graph);
+    const auto [it, inserted] = seen.emplace(fp, name);
+    EXPECT_TRUE(inserted) << name << " collides with " << it->second;
+  }
+}
+
+TEST(GraphRoundTrip, SameModelAtDifferentResolutionDiffers) {
+  Graph a = zoo::build("resnet18", 32);
+  Graph b = zoo::build("resnet18", 64);
+  a.finalize();
+  b.finalize();
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+}  // namespace
+}  // namespace pimcomp

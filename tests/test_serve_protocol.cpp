@@ -1,0 +1,358 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/session.hpp"
+#include "serve/net.hpp"
+
+namespace pimcomp {
+namespace {
+
+using serve::CompileRequest;
+using serve::DoneMessage;
+using serve::ErrorMessage;
+using serve::EventMessage;
+using serve::OutcomeMessage;
+using serve::PongMessage;
+using serve::ServeError;
+using serve::ServerMessage;
+
+/// Wire round-trip: what every frame goes through (dump compact, one line,
+/// reparse).
+Json wire(const Json& json) {
+  const std::string line = json.dump(-1);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  return Json::parse(line);
+}
+
+// ---------------------------------------------------------------------------
+// CompileOptions JSON.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, OptionsRoundTripPreservesFingerprint) {
+  CompileOptions options;
+  options.mode = PipelineMode::kLowLatency;
+  options.parallelism_degree = 7;
+  options.memory_policy = MemoryPolicy::kNaive;
+  options.mapper = "puma";
+  options.scheduler = "ht";  // explicitly diverge from the mode-derived key
+  options.ga.population = 13;
+  options.ga.generations = 17;
+  options.ga.elite = 4;
+  options.ga.tournament_size = 5;
+  options.ga.mutations_per_child = 3;
+  options.ga.target_fill = 0.75;
+  options.ga.enable_grow = false;
+  options.ga.enable_merge = false;
+  options.ga.seed_baseline = false;
+  options.max_nodes_per_core = 11;
+  options.ht_flush_windows = 5;
+  options.seed = 424242;
+
+  const CompileOptions parsed =
+      serve::options_from_json(wire(serve::options_to_json(options)));
+  EXPECT_EQ(fingerprint(parsed), fingerprint(options));
+  EXPECT_EQ(parsed.mapper, "puma");
+  EXPECT_EQ(parsed.scheduler_key(), "ht");
+}
+
+TEST(ServeProtocol, OptionsPartialJsonKeepsDefaults) {
+  Json json = Json::object();
+  json["mode"] = "ll";
+  json["parallelism"] = 3;
+  const CompileOptions parsed = serve::options_from_json(json);
+  const CompileOptions defaults;
+  EXPECT_EQ(parsed.mode, PipelineMode::kLowLatency);
+  EXPECT_EQ(parsed.parallelism_degree, 3);
+  EXPECT_EQ(parsed.mapper, defaults.mapper);
+  EXPECT_EQ(parsed.ga.population, defaults.ga.population);
+  EXPECT_EQ(parsed.seed, defaults.seed);
+}
+
+TEST(ServeProtocol, OptionsJsonLayersOverCallerBase) {
+  CompileOptions base;
+  base.mode = PipelineMode::kLowLatency;
+  base.ga.population = 8;
+  base.ga.generations = 4;
+  base.seed = 99;
+
+  Json json = Json::object();
+  json["parallelism"] = 40;
+  const CompileOptions parsed = serve::options_from_json(json, base);
+  EXPECT_EQ(parsed.parallelism_degree, 40);
+  EXPECT_EQ(parsed.mode, PipelineMode::kLowLatency);
+  EXPECT_EQ(parsed.ga.population, 8);   // not GaConfig's 100
+  EXPECT_EQ(parsed.ga.generations, 4);  // not GaConfig's 200
+  EXPECT_EQ(parsed.seed, 99u);
+
+  // A scenario entry without an "options" object is exactly the base.
+  Json entry = Json::object();
+  entry["label"] = "as-is";
+  const serve::ScenarioSpec spec =
+      serve::scenario_spec_from_json(entry, 0, base);
+  EXPECT_EQ(fingerprint(spec.options), fingerprint(base));
+}
+
+TEST(ServeProtocol, OptionsRejectBadMode) {
+  Json json = Json::object();
+  json["mode"] = "warp-speed";
+  EXPECT_THROW(serve::options_from_json(json), ServeError);
+}
+
+TEST(ServeProtocol, AbsurdWireNumericsAreRejected) {
+  // One request must never be able to OOM the shared daemon: allocation
+  // drivers carry the same sanity ceilings as the CLI.
+  Json huge_pop = Json::object();
+  Json ga = Json::object();
+  ga["population"] = 2'000'000'000;
+  huge_pop["ga"] = ga;
+  EXPECT_THROW(serve::options_from_json(huge_pop), ServeError);
+
+  Json huge_par = Json::object();
+  huge_par["parallelism"] = (1 << 20) + 1;
+  EXPECT_THROW(serve::options_from_json(huge_par), ServeError);
+
+  Json huge_cores = Json::object();
+  huge_cores["core_count"] = 2'000'000'000;
+  EXPECT_THROW(serve::hardware_from_json(huge_cores), ServeError);
+
+  Json request = Json::object();
+  request["type"] = "compile";
+  request["model"] = "vgg16";
+  request["cores"] = 2'000'000'000;
+  Json scenarios = Json::array();
+  scenarios.push_back(Json::object());
+  request["scenarios"] = scenarios;
+  EXPECT_THROW(serve::request_from_json(request), ServeError);
+}
+
+TEST(ServeProtocol, MisspelledKeysAreRejectedNotIgnored) {
+  // "parallelism_degree" is the C++ field name; the wire key is
+  // "parallelism" — silently ignoring the typo would compile the default
+  // configuration under the requested label.
+  Json options = Json::object();
+  options["parallelism_degree"] = 40;
+  EXPECT_THROW(serve::options_from_json(options), ServeError);
+
+  // GA keys belong inside the "ga" object.
+  Json flat_ga = Json::object();
+  flat_ga["generations"] = 5;
+  EXPECT_THROW(serve::options_from_json(flat_ga), ServeError);
+
+  Json bad_ga = Json::object();
+  Json ga = Json::object();
+  ga["popsize"] = 10;
+  bad_ga["ga"] = ga;
+  EXPECT_THROW(serve::options_from_json(bad_ga), ServeError);
+
+  Json hw = Json::object();
+  hw["cores"] = 8;  // wire key is "core_count"
+  EXPECT_THROW(serve::hardware_from_json(hw), ServeError);
+
+  Json entry = Json::object();
+  entry["options "] = Json::object();  // stray space
+  EXPECT_THROW(serve::scenario_spec_from_json(entry, 0), ServeError);
+}
+
+// ---------------------------------------------------------------------------
+// HardwareConfig JSON.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, HardwareRoundTripPreservesFingerprint) {
+  HardwareConfig hw = HardwareConfig::puma_default();
+  hw.xbar_rows = 256;
+  hw.cell_bits = 4;
+  hw.core_count = 72;
+  hw.cores_per_chip = 18;
+  hw.connection = CoreConnection::kBus;
+  hw.vfu_ops_per_ns = 3.5;
+  hw.local_memory_bytes = 128 * 1024;
+  hw.noc_hop_latency = from_ns(3.0);
+  hw.mvm_latency = from_ns(750.0);
+
+  const HardwareConfig parsed =
+      serve::hardware_from_json(wire(serve::hardware_to_json(hw)));
+  EXPECT_EQ(fingerprint(parsed), fingerprint(hw));
+}
+
+TEST(ServeProtocol, HardwarePartialOverrideKeepsBaseFields) {
+  Json json = Json::object();
+  json["core_count"] = 4;
+  const HardwareConfig base = HardwareConfig::puma_default();
+  const HardwareConfig parsed = serve::hardware_from_json(json, base);
+  EXPECT_EQ(parsed.core_count, 4);
+  EXPECT_EQ(parsed.xbar_rows, base.xbar_rows);
+  EXPECT_EQ(parsed.mvm_latency, base.mvm_latency);
+}
+
+// ---------------------------------------------------------------------------
+// Events.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, EventRoundTripsAllKinds) {
+  PipelineEvent stage_end;
+  stage_end.kind = PipelineEvent::Kind::kStageEnd;
+  stage_end.name = "mapping";
+  stage_end.scenario = "P=20";
+  stage_end.scenario_index = 2;
+  stage_end.seconds = 1.25;
+
+  PipelineEvent parsed = event_from_json(wire(event_to_json(stage_end)));
+  EXPECT_EQ(parsed.kind, PipelineEvent::Kind::kStageEnd);
+  EXPECT_EQ(parsed.name, "mapping");
+  EXPECT_EQ(parsed.scenario, "P=20");
+  EXPECT_EQ(parsed.scenario_index, 2);
+  EXPECT_DOUBLE_EQ(parsed.seconds, 1.25);
+
+  PipelineEvent hit;
+  hit.kind = PipelineEvent::Kind::kCacheHit;
+  hit.name = cache_names::kWorkload;
+  hit.scenario = "P=1";
+  hit.scenario_index = 0;
+  hit.hits = 9;
+  parsed = event_from_json(wire(event_to_json(hit)));
+  EXPECT_EQ(parsed.kind, PipelineEvent::Kind::kCacheHit);
+  EXPECT_EQ(parsed.name, cache_names::kWorkload);
+  EXPECT_EQ(parsed.hits, 9u);
+
+  PipelineEvent begin;
+  begin.kind = PipelineEvent::Kind::kStageBegin;
+  begin.name = "partitioning";
+  parsed = event_from_json(wire(event_to_json(begin)));
+  EXPECT_EQ(parsed.kind, PipelineEvent::Kind::kStageBegin);
+  EXPECT_EQ(parsed.scenario_index, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, CompileRequestRoundTrip) {
+  CompileRequest request;
+  request.id = 42;
+  request.model = "squeezenet";
+  request.input_size = 64;
+  request.cores = 12;
+  request.simulate = false;
+  serve::ScenarioSpec spec;
+  spec.label = "tight";
+  spec.options.parallelism_degree = 5;
+  Json hw_override = Json::object();
+  hw_override["core_count"] = 1;
+  spec.hardware = hw_override;
+  request.scenarios.push_back(spec);
+
+  const CompileRequest parsed =
+      serve::request_from_json(wire(serve::to_json(request)));
+  EXPECT_EQ(parsed.id, 42);
+  EXPECT_EQ(parsed.model, "squeezenet");
+  EXPECT_EQ(parsed.input_size, 64);
+  EXPECT_EQ(parsed.cores, 12);
+  EXPECT_FALSE(parsed.simulate);
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  EXPECT_EQ(parsed.scenarios[0].label, "tight");
+  EXPECT_EQ(parsed.scenarios[0].options.parallelism_degree, 5);
+  ASSERT_TRUE(parsed.scenarios[0].hardware.has_value());
+  EXPECT_EQ(parsed.scenarios[0].hardware->get("core_count", 0), 1);
+}
+
+TEST(ServeProtocol, RequestNeedsModelOrGraphAndScenarios) {
+  Json no_model = Json::object();
+  no_model["type"] = "compile";
+  Json scenarios = Json::array();
+  scenarios.push_back(Json::object());
+  no_model["scenarios"] = scenarios;
+  EXPECT_THROW(serve::request_from_json(no_model), ServeError);
+
+  Json no_scenarios = Json::object();
+  no_scenarios["type"] = "compile";
+  no_scenarios["model"] = "vgg16";
+  EXPECT_THROW(serve::request_from_json(no_scenarios), ServeError);
+
+  Json both = Json::object();
+  both["type"] = "compile";
+  both["model"] = "vgg16";
+  both["graph"] = Json::object();
+  both["scenarios"] = scenarios;
+  EXPECT_THROW(serve::request_from_json(both), ServeError);
+}
+
+TEST(ServeProtocol, RequestRejectsNewerProtocolVersion) {
+  Json json = Json::object();
+  json["type"] = "compile";
+  json["version"] = serve::kProtocolVersion + 1;
+  json["model"] = "vgg16";
+  Json scenarios = Json::array();
+  scenarios.push_back(Json::object());
+  json["scenarios"] = scenarios;
+  EXPECT_THROW(serve::request_from_json(json), ServeError);
+}
+
+// ---------------------------------------------------------------------------
+// Server messages.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, ServerMessagesRoundTripThroughVariant) {
+  EventMessage event;
+  event.id = 7;
+  event.event.kind = PipelineEvent::Kind::kStageBegin;
+  event.event.name = "scheduling";
+  ServerMessage message = serve::server_message_from_json(
+      wire(serve::to_json(event)));
+  ASSERT_TRUE(std::holds_alternative<EventMessage>(message));
+  EXPECT_EQ(std::get<EventMessage>(message).id, 7);
+  EXPECT_EQ(std::get<EventMessage>(message).event.name, "scheduling");
+
+  OutcomeMessage ok;
+  ok.id = 7;
+  ok.label = "P=20";
+  ok.index = 1;
+  ok.ok = true;
+  Json compile = Json::object();
+  compile["model"] = "x";
+  ok.compile = compile;
+  message = serve::server_message_from_json(wire(serve::to_json(ok)));
+  ASSERT_TRUE(std::holds_alternative<OutcomeMessage>(message));
+  EXPECT_TRUE(std::get<OutcomeMessage>(message).ok);
+  EXPECT_EQ(std::get<OutcomeMessage>(message).compile.get("model",
+                                                          std::string()),
+            "x");
+
+  OutcomeMessage bad;
+  bad.id = 7;
+  bad.label = "P=1M";
+  bad.index = 0;
+  bad.ok = false;
+  bad.error = "CapacityError: does not fit";
+  message = serve::server_message_from_json(wire(serve::to_json(bad)));
+  ASSERT_TRUE(std::holds_alternative<OutcomeMessage>(message));
+  EXPECT_FALSE(std::get<OutcomeMessage>(message).ok);
+  EXPECT_EQ(std::get<OutcomeMessage>(message).error,
+            "CapacityError: does not fit");
+
+  message = serve::server_message_from_json(
+      wire(serve::to_json(DoneMessage{7, 3, 1})));
+  ASSERT_TRUE(std::holds_alternative<DoneMessage>(message));
+  EXPECT_EQ(std::get<DoneMessage>(message).ok_count, 3);
+  EXPECT_EQ(std::get<DoneMessage>(message).error_count, 1);
+
+  message = serve::server_message_from_json(
+      wire(serve::to_json(ErrorMessage{7, "unknown model"})));
+  ASSERT_TRUE(std::holds_alternative<ErrorMessage>(message));
+  EXPECT_EQ(std::get<ErrorMessage>(message).error, "unknown model");
+
+  message = serve::server_message_from_json(
+      wire(serve::to_json(PongMessage{7, serve::kProtocolVersion})));
+  ASSERT_TRUE(std::holds_alternative<PongMessage>(message));
+}
+
+TEST(ServeProtocol, UnknownServerMessageTypeThrows) {
+  Json json = Json::object();
+  json["type"] = "telegram";
+  EXPECT_THROW(serve::server_message_from_json(json), ServeError);
+}
+
+}  // namespace
+}  // namespace pimcomp
