@@ -3,9 +3,10 @@
 // same network across crossbar geometries and reports the
 // performance / area / energy trade-off of each design point.
 //
-// The sweep is one CompilerSession batch: the model is built once, each
-// design point is a Scenario with a hardware override, and the session
-// caches the partitioned workload per hardware fingerprint.
+// The sweep runs through the session's asynchronous job API: the model is
+// built once, each design point is submitted as a CompileJob with a
+// hardware override (the session caches the partitioned workload per
+// hardware fingerprint), and the results are awaited in submission order.
 //
 //   ./build/examples/design_space_exploration
 
@@ -35,6 +36,8 @@ int main() {
 
   CompilerSession session(zoo::resnet18(64), HardwareConfig::puma_default());
   session.set_jobs(0);  // fan the design points out, one worker per thread
+  std::vector<CompileJob> sweep;
+  int index = 0;
   for (const DesignPoint& point : points) {
     HardwareConfig hw = HardwareConfig::puma_default();
     hw.xbar_rows = point.xbar_rows;
@@ -46,18 +49,23 @@ int main() {
     options.mode = PipelineMode::kLowLatency;
     options.ga.population = 30;
     options.ga.generations = 40;
-    session.enqueue(Scenario{point.label, options, hw});
+    JobOptions job;
+    job.index = index++;
+    sweep.push_back(
+        session.submit(Scenario{point.label, options, hw}, job));
   }
 
   Table table("resnet18 @64 across crossbar design points (LL mode, P=20)");
   table.set_header({"design", "cores", "latency (us)", "chip area (mm2)",
                     "energy (uJ)", "xbar util"});
-  for (const ScenarioOutcome& outcome : session.compile_all()) {
+  for (const CompileJob& job : sweep) {
+    const ScenarioOutcome& outcome = job.wait();
     // An infeasible geometry reports its error and leaves the rest of the
     // sweep intact instead of aborting the whole exploration.
     if (!outcome.ok()) {
-      std::cerr << "design point '" << outcome.label << "' failed: "
-                << outcome.error << '\n';
+      std::cerr << "design point '" << outcome.label << "' failed ("
+                << to_string(outcome.error_kind) << "): " << outcome.error
+                << '\n';
       continue;
     }
     const CompileResult& result = *outcome.result;

@@ -31,8 +31,12 @@
 //   pimcomp_cli submit --server (unix:PATH | HOST:PORT) <model|graph.json>
 //                     [compile options: --mode --parallelism --mapper
 //                      --policy --input --cores --pop --gens --seed]
-//                     [--scenarios FILE] [--no-simulate] [--trace FILE]
-//                     [--json]
+//                     [--scenarios FILE] [--no-simulate] [--timeout SEC]
+//                     [--priority N] [--trace FILE] [--json]
+//
+//   submit exit codes: 0 = every scenario compiled, 1 = some scenario
+//   failed (or a simulation did), 2 = request/connection failure —
+//   including a --timeout expiry — so scripts can branch without parsing.
 //
 // Examples:
 //   ./build/examples/pimcomp_cli resnet18 --mode ll --parallelism 20
@@ -78,7 +82,7 @@ using namespace pimcomp;
          "   or: " << argv0
       << " submit --server (unix:PATH | HOST:PORT) <model|graph.json>\n"
          "       [compile options] [--scenarios FILE] [--no-simulate]\n"
-         "       [--trace FILE] [--json]\n";
+         "       [--timeout SEC] [--priority N] [--trace FILE] [--json]\n";
   std::exit(2);
 }
 
@@ -284,6 +288,8 @@ int run_submit(int argc, char** argv, const char* argv0) {
   std::vector<int> parallelism_sweep;
   int input_size = 0;
   int cores = 0;
+  int timeout_seconds = 0;  // 0 = wait forever (the historical behavior)
+  int priority = 0;
   bool simulate = true;
   bool emit_json = false;
 
@@ -303,6 +309,13 @@ int run_submit(int argc, char** argv, const char* argv0) {
       scenarios_path = next();
     } else if (arg == "--no-simulate") {
       simulate = false;
+    } else if (arg == "--timeout") {
+      // Scripting guard: a hung or wedged daemon turns into exit code 2
+      // after this many seconds of frame silence instead of hanging the
+      // pipeline that invoked us.
+      timeout_seconds = parse_int(arg, next(), 1, 24 * 3600);
+    } else if (arg == "--priority") {
+      priority = parse_int(arg, next(), -1000, 1000);
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--json") {
@@ -330,6 +343,7 @@ int run_submit(int argc, char** argv, const char* argv0) {
     }
     request.cores = cores;
     request.simulate = simulate;
+    request.priority = priority;
 
     if (!scenarios_path.empty()) {
       if (!parallelism_sweep.empty()) {
@@ -360,6 +374,7 @@ int run_submit(int argc, char** argv, const char* argv0) {
     }
 
     serve::CompileClient client = serve::CompileClient::connect(server_endpoint);
+    if (timeout_seconds > 0) client.set_timeout(timeout_seconds);
     TraceRecorder recorder;
     const serve::CompileReply reply =
         client.submit(request, [&](const PipelineEvent& event) {
@@ -369,7 +384,10 @@ int run_submit(int argc, char** argv, const char* argv0) {
 
     if (!trace_path.empty()) write_trace(recorder, trace_path);
 
-    bool any_failed = false;
+    // A delivered batch with any failing scenario exits 1 — belt and
+    // braces via both the per-outcome flags and the done frame's error
+    // count, so a lost outcome frame can never turn a failure into exit 0.
+    bool any_failed = reply.error_count > 0;
     if (emit_json) {
       Json out = Json::array();
       for (const serve::OutcomeMessage& outcome : reply.outcomes) {
@@ -383,8 +401,11 @@ int run_submit(int argc, char** argv, const char* argv0) {
                         "throughput (inf/s)"});
       for (const serve::OutcomeMessage& outcome : reply.outcomes) {
         if (!outcome.ok) {
-          std::cerr << "pimcomp: scenario '" << outcome.label
-                    << "' failed: " << outcome.error << '\n';
+          std::cerr << "pimcomp: scenario '" << outcome.label << "' failed";
+          if (!outcome.error_kind.empty()) {
+            std::cerr << " (" << outcome.error_kind << ")";
+          }
+          std::cerr << ": " << outcome.error << '\n';
           any_failed = true;
           continue;
         }
@@ -477,24 +498,34 @@ int run_local(int argc, char** argv) {
     if (!trace_path.empty()) session.set_observer(&recorder);
 
     if (parallelism_sweep.size() > 1) {
-      // A parallelism sweep: one session batch fanned out over --jobs
-      // workers, with per-scenario outcomes (a failing point reports its
-      // error without killing the sweep).
+      // A parallelism sweep through the asynchronous job API: every point
+      // is submitted up front as a CompileJob on the session's resident
+      // --jobs workers, then awaited in submission order — per-scenario
+      // outcomes, so a failing point reports its error without killing
+      // the sweep.
       if (dump_core >= 0) {
         fail("--dump-stream needs a single --parallelism value");
       }
-      for (int parallelism : parallelism_sweep) {
+      std::vector<CompileJob> sweep_jobs;
+      for (std::size_t i = 0; i < parallelism_sweep.size(); ++i) {
         CompileOptions point = options;
-        point.parallelism_degree = parallelism;
-        session.enqueue(point, "P=" + std::to_string(parallelism));
+        point.parallelism_degree = parallelism_sweep[i];
+        JobOptions job_options;
+        job_options.index = static_cast<int>(i);
+        sweep_jobs.push_back(session.submit(
+            point, "P=" + std::to_string(parallelism_sweep[i]),
+            job_options));
       }
-      const std::vector<ScenarioOutcome> outcomes = session.compile_all();
+      for (const CompileJob& job : sweep_jobs) job.wait();
       if (!trace_path.empty()) write_trace(recorder, trace_path);
 
       bool any_failed = false;
       if (emit_json) {
         Json out = Json::array();
-        for (const ScenarioOutcome& outcome : outcomes) {
+        for (const CompileJob& job : sweep_jobs) {
+          // wait() is idempotent and hands back a reference — no copy of
+          // the (large) CompileResult is ever taken.
+          const ScenarioOutcome& outcome = job.wait();
           Json entry = Json::object();
           entry["scenario"] = outcome.label;
           if (outcome.ok()) {
@@ -510,6 +541,7 @@ int run_local(int argc, char** argv) {
             }
           } else {
             entry["error"] = outcome.error;
+            entry["error_kind"] = to_string(outcome.error_kind);
             any_failed = true;
           }
           out.push_back(std::move(entry));
@@ -522,10 +554,12 @@ int run_local(int argc, char** argv) {
                     std::to_string(session.jobs()) + ")");
         table.set_header({"scenario", "compile (s)",
                           ht ? "throughput (inf/s)" : "latency (us)"});
-        for (const ScenarioOutcome& outcome : outcomes) {
+        for (const CompileJob& job : sweep_jobs) {
+          const ScenarioOutcome& outcome = job.wait();
           if (!outcome.ok()) {
-            std::cerr << "pimcomp: scenario '" << outcome.label
-                      << "' failed: " << outcome.error << '\n';
+            std::cerr << "pimcomp: scenario '" << outcome.label << "' failed ("
+                      << to_string(outcome.error_kind)
+                      << "): " << outcome.error << '\n';
             any_failed = true;
             continue;
           }

@@ -42,9 +42,10 @@ done
 [ -S "$SOCK" ] || { echo "pimcompd never bound $SOCK" >&2; exit 1; }
 
 # Exit 1 is expected: submit reports per-scenario failures through its exit
-# code, and this batch deliberately contains one.
+# code, and this batch deliberately contains one. --timeout bounds the wait
+# on a wedged daemon (exit 2), far above this batch's real compile time.
 SUBMIT_EXIT=0
-"$BUILD"/examples/pimcomp_cli submit --server "unix:$SOCK" \
+"$BUILD"/examples/pimcomp_cli submit --server "unix:$SOCK" --timeout 300 \
   squeezenet --input 64 --scenarios "$SCENARIOS" --json > "$OUTCOMES" \
   || SUBMIT_EXIT=$?
 [ "$SUBMIT_EXIT" -eq 1 ] || {
@@ -65,6 +66,8 @@ assert ok[0]["scenario"] == "feasible", ok[0]
 assert "compile" in ok[0] and "simulation" in ok[0], ok[0]
 assert bad[0]["scenario"] == "infeasible", bad[0]
 assert bad[0].get("error"), f"failure must carry a structured error: {bad[0]}"
+assert bad[0].get("error_kind") == "capacity", \
+    f"failure must carry the machine-readable kind: {bad[0]}"
 print("serve smoke OK:",
       f"'{ok[0]['scenario']}' compiled,",
       f"'{bad[0]['scenario']}' rejected with: {bad[0]['error'][:90]}")

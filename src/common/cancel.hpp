@@ -1,0 +1,41 @@
+#ifndef PIMCOMP_COMMON_CANCEL_HPP
+#define PIMCOMP_COMMON_CANCEL_HPP
+
+#include <atomic>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace pimcomp {
+
+/// Cooperative cancellation flag shared between a job's owner and the code
+/// running it. Copies observe one underlying flag (a simplified
+/// std::stop_token): the owner calls request(), long-running code polls
+/// cancelled() at natural boundaries — the pipeline between stages, the GA
+/// between generations — and bails out with CancelledError. Cancellation is
+/// therefore prompt but not preemptive: a stage that never polls runs to
+/// completion.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent, safe from any thread.
+  void request() { state_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return state_->load(std::memory_order_relaxed); }
+
+  /// Polling helper for stage/generation boundaries: throws CancelledError
+  /// naming `where` once cancellation has been requested.
+  void throw_if_cancelled(const char* where) const {
+    if (cancelled()) {
+      throw CancelledError(std::string("cancelled before ") + where);
+    }
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_COMMON_CANCEL_HPP

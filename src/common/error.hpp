@@ -41,6 +41,14 @@ class SimulationError : public Error {
   explicit SimulationError(const std::string& message) : Error(message) {}
 };
 
+/// Raised when a compilation observes its CancelToken (common/cancel.hpp)
+/// at a stage or GA-generation boundary after cancellation was requested.
+/// Not an input or system failure: the job's owner asked for the abort.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& message) : Error(message) {}
+};
+
 namespace detail {
 [[noreturn]] void assertion_failure(const char* expr, const char* file,
                                     int line, const std::string& message);

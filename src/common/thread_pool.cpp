@@ -5,6 +5,14 @@
 
 namespace pimcomp {
 
+namespace {
+/// Set for the duration of worker_loop() so ThreadPool::current() can tell
+/// pool workers apart from external threads. run_one() deliberately leaves
+/// it untouched: a task helped along on a worker still reports that worker's
+/// pool, and an external helper still reports none.
+thread_local const ThreadPool* tl_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) {
   const int count = std::max(1, threads);
   workers_.reserve(static_cast<std::size_t>(count));
@@ -22,12 +30,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(std::function<void()> task, int priority) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push_back(std::move(task));
+    tasks_.push(Entry{priority, next_seq_++, std::move(task)});
   }
   work_available_.notify_one();
+}
+
+bool ThreadPool::run_one() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return false;
+  run_entry_locked(lock);
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -35,29 +50,41 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
 }
 
+const ThreadPool* ThreadPool::current() { return tl_current_pool; }
+
 int ThreadPool::hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+void ThreadPool::run_entry_locked(std::unique_lock<std::mutex>& lock) {
+  // priority_queue::top() is const; the task is moved out via const_cast,
+  // which is safe because pop() removes the node before anyone else can
+  // observe it.
+  std::function<void()> task = std::move(const_cast<Entry&>(tasks_.top()).task);
+  tasks_.pop();
+  ++active_;
+  lock.unlock();
+  task();
+  // Destroy the closure (and everything it captured) *before* the pool
+  // counts the task as done: after wait_idle() returns, no task state —
+  // including shared_ptrs captured in completion callbacks — survives on a
+  // worker. CompileServer's teardown relies on this to never run a session
+  // destructor on that session's own worker thread.
+  task = nullptr;
+  lock.lock();
+  --active_;
+  if (tasks_.empty() && active_ == 0) idle_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
+  tl_current_pool = this;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping_ with a drained queue
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
-      ++active_;
-    }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --active_;
-      if (tasks_.empty() && active_ == 0) idle_.notify_all();
-    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_available_.wait(lock,
+                         [this] { return stopping_ || !tasks_.empty(); });
+    if (tasks_.empty()) return;  // stopping_ with a drained queue
+    run_entry_locked(lock);
   }
 }
 

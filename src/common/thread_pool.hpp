@@ -2,51 +2,87 @@
 #define PIMCOMP_COMMON_THREAD_POOL_HPP
 
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <vector>
 
 namespace pimcomp {
 
-/// A fixed-size worker pool over a FIFO task queue. Small by design: enough
-/// for CompilerSession to fan a scenario batch out across threads, nothing
-/// speculative (no futures, no work stealing).
+/// A fixed-size worker pool over a priority-aware task queue. Workers are
+/// resident: CompilerSession keeps one pool alive across batches and feeds
+/// it submitted CompileJobs, so back-to-back batches never pay thread
+/// creation again. Still small by design — no futures, no work stealing.
+///
+/// Ordering: higher `priority` runs sooner; tasks of equal priority run in
+/// strict submission (FIFO) order, which is what keeps a one-worker pool
+/// behaviorally identical to the old inline sequential batch loop.
 ///
 /// Tasks must not let exceptions escape — a throwing task terminates the
 /// process (std::thread unwinding). Callers that can fail wrap their work in
 /// a try/catch and encode the failure in their own result slot, as
-/// CompilerSession::compile_all() does with ScenarioOutcome.
+/// CompilerSession's job runner does with ScenarioOutcome.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (clamped to >= 1).
   explicit ThreadPool(int threads);
 
   /// Joins all workers. Pending tasks are still drained first: destruction
-  /// waits for the queue to empty, it does not cancel.
+  /// waits for the queue to empty, it does not cancel. (Callers wanting a
+  /// fast teardown cancel their tasks' own work first, as CompilerSession's
+  /// destructor does with its jobs' CancelTokens.)
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for the next free worker.
-  void submit(std::function<void()> task);
+  /// Enqueues a task. Higher `priority` is dequeued first; ties run FIFO.
+  void submit(std::function<void()> task, int priority = 0);
+
+  /// Runs the best queued task inline on the calling thread; returns false
+  /// without blocking when the queue is empty. This is how a worker that
+  /// must wait for another task's completion (a nested batch submitted from
+  /// inside a running task) makes progress instead of deadlocking on
+  /// itself — see CompileJob::wait().
+  bool run_one();
 
   /// Blocks until every submitted task has finished and the queue is empty.
   void wait_idle();
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// The pool whose worker loop is running on the calling thread, or
+  /// nullptr for threads the pool does not own. Lets blocking waits detect
+  /// "I am waiting on work only I can run" and switch to run_one() helping.
+  static const ThreadPool* current();
+
   /// std::thread::hardware_concurrency with a sane floor (the standard
   /// allows it to report 0).
   static int hardware_threads();
 
  private:
+  struct Entry {
+    int priority = 0;
+    std::uint64_t seq = 0;  ///< submission order, breaks priority ties FIFO
+    std::function<void()> task;
+  };
+  struct EntryOrder {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;  // earlier submission first within a priority
+    }
+  };
+
   void worker_loop();
+  /// Pops the best entry (mutex_ held by the caller through `lock`),
+  /// runs it unlocked, and re-locks to update the active count.
+  void run_entry_locked(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> tasks_;
+  std::uint64_t next_seq_ = 0;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;

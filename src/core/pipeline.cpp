@@ -130,6 +130,7 @@ class MappingStage : public Stage {
     mapper_options.parallelism_degree = options.parallelism_degree;
     mapper_options.max_nodes_per_core = options.max_nodes_per_core;
     mapper_options.seed = options.seed;
+    mapper_options.cancel = ctx.cancel;
 
     ctx.solution = mapper_->map(*ctx.workload, mapper_options);
     ctx.mapper_name = mapper_->name();
@@ -240,7 +241,14 @@ std::vector<std::unique_ptr<Stage>> build_stages(const PipelineContext& ctx) {
 CompileResult run_pipeline(PipelineContext ctx, PipelineObserver* observer) {
   const std::vector<std::unique_ptr<Stage>> stages = build_stages(ctx);
   for (const std::unique_ptr<Stage>& stage : stages) {
-    StageInfo info{stage->name(), ctx.scenario_label, ctx.scenario_index, 0.0};
+    // Cooperative cancellation boundary: a cancelled compilation aborts
+    // between stages (CancelledError) instead of burning minutes of mapping
+    // it will throw away. The GA additionally polls between generations.
+    if (ctx.cancel != nullptr) {
+      ctx.cancel->throw_if_cancelled(stage->name().c_str());
+    }
+    StageInfo info{stage->name(), ctx.scenario_label, ctx.scenario_index, 0.0,
+                   ctx.tag};
     if (observer != nullptr) observer->on_stage_begin(info);
     const auto t0 = std::chrono::steady_clock::now();
     try {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/compiler.hpp"
 #include "mapping/fitness.hpp"
 #include "mapping/mapper.hpp"
@@ -38,6 +39,8 @@ struct StageInfo {
   std::string scenario;     ///< label of the scenario ("" when single-shot)
   int scenario_index = -1;  ///< position in the session batch (-1 single-shot)
   double seconds = 0.0;     ///< wall-clock duration (on_stage_end only)
+  std::uint64_t tag = 0;    ///< caller-chosen job tag (0 = untagged; see
+                            ///< JobOptions::tag in core/session.hpp)
 };
 
 /// Names of CompilerSession's two cache layers, as reported in CacheEvent.
@@ -53,6 +56,7 @@ struct CacheEvent {
   std::string scenario;     ///< label of the scenario ("" when single-shot)
   int scenario_index = -1;  ///< position in the session batch (-1 single-shot)
   std::uint64_t hits = 0;   ///< session-lifetime hit count of that cache
+  std::uint64_t tag = 0;    ///< caller-chosen job tag (0 = untagged)
 };
 
 /// Per-stage callbacks around the pipeline's stage loop. Default methods are
@@ -84,6 +88,17 @@ struct PipelineContext {
   /// Scenario identity forwarded to observer callbacks.
   std::string scenario_label;
   int scenario_index = -1;
+
+  /// Caller-chosen job tag forwarded verbatim to observer callbacks (how
+  /// the compile server routes a shared session's event stream back to the
+  /// request that owns each job). 0 = untagged.
+  std::uint64_t tag = 0;
+
+  /// Cooperative cancellation flag, polled by run_pipeline() before every
+  /// stage and by the GA between generations (not owned; nullptr = the
+  /// compilation cannot be cancelled). A cancelled compilation throws
+  /// CancelledError instead of producing a result.
+  const CancelToken* cancel = nullptr;
 
   /// Stage 1 output. Pre-seeding this (CompilerSession's workload cache)
   /// elides the partitioning stage entirely.

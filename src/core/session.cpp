@@ -53,10 +53,48 @@ std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
 /// flat when every scenario is distinct and can never hit.
 constexpr std::size_t kMaxCachedMappings = 128;
 
+/// Registry-compaction threshold: expired job weak_ptrs are swept once the
+/// registry grows past this, keeping submit() O(1) amortized.
+constexpr std::size_t kJobRegistrySweep = 64;
+
 }  // namespace
 
 std::uint64_t combine_fingerprints(std::uint64_t a, std::uint64_t b) {
   return combine(a, b);
+}
+
+std::string to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kNone: return "";
+    case ErrorKind::kCapacity: return "capacity";
+    case ErrorKind::kConfig: return "config";
+    case ErrorKind::kCancelled: return "cancelled";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+ErrorKind error_kind_from_string(const std::string& s) {
+  if (s.empty()) return ErrorKind::kNone;
+  if (s == "capacity") return ErrorKind::kCapacity;
+  if (s == "config") return ErrorKind::kConfig;
+  if (s == "cancelled") return ErrorKind::kCancelled;
+  return ErrorKind::kInternal;
+}
+
+ErrorKind error_kind_of(const std::exception& e) {
+  // Order matters only in that every listed type derives from Error; the
+  // three leaf classes are disjoint.
+  if (dynamic_cast<const CancelledError*>(&e) != nullptr) {
+    return ErrorKind::kCancelled;
+  }
+  if (dynamic_cast<const CapacityError*>(&e) != nullptr) {
+    return ErrorKind::kCapacity;
+  }
+  if (dynamic_cast<const ConfigError*>(&e) != nullptr) {
+    return ErrorKind::kConfig;
+  }
+  return ErrorKind::kInternal;
 }
 
 std::uint64_t fingerprint(const Graph& graph) {
@@ -125,6 +163,86 @@ std::uint64_t fingerprint(const CompileOptions& options) {
   return h;
 }
 
+// ---------------------------------------------------------------------------
+// CompileJob.
+// ---------------------------------------------------------------------------
+
+/// Shared state behind one CompileJob handle. Single-writer state machine:
+/// only the session's job runner transitions `status` (kQueued -> kRunning
+/// -> kDone/kCancelled); cancel() only raises the token, which the runner
+/// observes. The state outlives both the session and the pool, so handles
+/// stay usable after either is gone (by then every job is terminal).
+struct CompileJob::State {
+  Scenario scenario;
+  int index = -1;
+  std::uint64_t tag = 0;
+  std::function<void(const ScenarioOutcome&)> on_complete;
+  CancelToken token;
+  ThreadPool* owner_pool = nullptr;  ///< helping-wait identity; see wait()
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  std::atomic<JobStatus> status{JobStatus::kQueued};
+  ScenarioOutcome outcome;  ///< written once, before status turns terminal
+
+  bool terminal() const {
+    const JobStatus s = status.load(std::memory_order_acquire);
+    return s == JobStatus::kDone || s == JobStatus::kCancelled;
+  }
+};
+
+namespace {
+CompileJob::State& require_state(
+    const std::shared_ptr<CompileJob::State>& state) {
+  PIMCOMP_CHECK(state != nullptr, "empty CompileJob handle");
+  return *state;
+}
+}  // namespace
+
+JobStatus CompileJob::poll() const {
+  return require_state(state_).status.load(std::memory_order_acquire);
+}
+
+bool CompileJob::done() const { return require_state(state_).terminal(); }
+
+const ScenarioOutcome& CompileJob::wait() const {
+  State& state = require_state(state_);
+  // Deadlock avoidance for nested waits: a session worker waiting on a job
+  // of its own pool (a completion callback or observer that submitted
+  // follow-up work) runs queued jobs inline instead of blocking — otherwise
+  // a one-worker session would wait on work only it can run.
+  if (!state.terminal() && state.owner_pool != nullptr &&
+      ThreadPool::current() == state.owner_pool) {
+    while (!state.terminal() && state.owner_pool->run_one()) {
+    }
+  }
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.cv.wait(lock, [&state] { return state.terminal(); });
+  return state.outcome;
+}
+
+bool CompileJob::cancel() const {
+  State& state = require_state(state_);
+  state.token.request();
+  // True = the request landed before the job turned terminal: a queued job
+  // is now guaranteed to finalize as cancelled, a running one aborts at its
+  // next stage/generation boundary (and may still complete if it was past
+  // the last one — the outcome is authoritative).
+  return !state.terminal();
+}
+
+const std::string& CompileJob::label() const {
+  return require_state(state_).scenario.label;
+}
+
+int CompileJob::index() const { return require_state(state_).index; }
+
+std::uint64_t CompileJob::tag() const { return require_state(state_).tag; }
+
+// ---------------------------------------------------------------------------
+// CompilerSession.
+// ---------------------------------------------------------------------------
+
 /// State of one workload-cache slot. The first scenario to claim a
 /// fingerprint becomes the owner and partitions; concurrent peers block on
 /// `published` until the owner stores either the workload or the failure
@@ -173,7 +291,22 @@ CompilerSession::CompilerSession(Graph graph, HardwareConfig hw)
   gate_ = std::make_unique<ObserverGate>(this);
 }
 
-CompilerSession::~CompilerSession() = default;
+CompilerSession::~CompilerSession() {
+  // Outstanding jobs are cancelled, not completed: queued ones finalize as
+  // cancelled the moment a draining worker pops them, running ones abort at
+  // their next cancellation boundary. The pool teardown below waits for all
+  // of that, so every CompileJob handle is terminal when we return.
+  cancel_all_jobs();
+  std::unique_ptr<ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    shutting_down_ = true;  // submit() from a draining callback must not
+                            // resurrect a pool over dying session state
+    pool = std::move(pool_);
+    job_registry_.clear();
+  }
+  pool.reset();  // drains the queue and joins the workers
+}
 
 std::uint64_t CompilerSession::fingerprint() const {
   return combine(graph_fingerprint_, pimcomp::fingerprint(hw_));
@@ -186,6 +319,144 @@ void CompilerSession::set_observer(PipelineObserver* observer) {
 
 void CompilerSession::set_jobs(int jobs) {
   jobs_ = jobs <= 0 ? ThreadPool::hardware_threads() : jobs;
+}
+
+void CompilerSession::ensure_pool_locked() {
+  if (pool_ != nullptr && pool_->size() == jobs_) return;
+  if (pool_ != nullptr && outstanding_jobs_.load() != 0) {
+    // A resize with jobs in flight is deferred: the current pool keeps
+    // draining, the new size applies at the first submit after idle.
+    return;
+  }
+  pool_.reset();  // idle: joining is instant
+  pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+CompileJob CompilerSession::submit(Scenario scenario, JobOptions options) {
+  auto state = std::make_shared<CompileJob::State>();
+  state->scenario = std::move(scenario);
+  state->index = options.index;
+  state->tag = options.tag;
+  state->on_complete = std::move(options.on_complete);
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    if (shutting_down_) {
+      // ~CompilerSession is draining: a follow-up submitted from a dying
+      // job's completion callback is finalized as cancelled on the spot —
+      // it must not revive a worker pool over session state mid-teardown.
+      state->outcome.label = state->scenario.label;
+      state->outcome.index = state->index;
+      state->outcome.error = "session is shutting down";
+      state->outcome.error_kind = ErrorKind::kCancelled;
+      state->status.store(JobStatus::kCancelled, std::memory_order_release);
+      rejected = true;
+    } else {
+      ensure_pool_locked();
+      state->owner_pool = pool_.get();
+      if (job_registry_.size() >= kJobRegistrySweep) {
+        job_registry_.erase(
+            std::remove_if(job_registry_.begin(), job_registry_.end(),
+                           [](const std::weak_ptr<CompileJob::State>& weak) {
+                             const auto held = weak.lock();
+                             return held == nullptr || held->terminal();
+                           }),
+            job_registry_.end());
+      }
+      job_registry_.push_back(state);
+      outstanding_jobs_.fetch_add(1, std::memory_order_relaxed);
+      pool_->submit([this, state] { run_job(state); }, options.priority);
+    }
+  }
+  if (rejected && state->on_complete) {
+    // Outside job_mutex_, honoring the JobOptions contract ("runs outside
+    // all session locks"): a callback that submits again must not relock.
+    state->on_complete(state->outcome);
+  }
+  return CompileJob(state);
+}
+
+CompileJob CompilerSession::submit(CompileOptions options, std::string label,
+                                   JobOptions job) {
+  return submit(Scenario{std::move(label), std::move(options), std::nullopt},
+                std::move(job));
+}
+
+std::size_t CompilerSession::outstanding_jobs() const {
+  return outstanding_jobs_.load(std::memory_order_relaxed);
+}
+
+std::size_t CompilerSession::cancel_all_jobs() {
+  std::vector<std::shared_ptr<CompileJob::State>> states;
+  {
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    states.reserve(job_registry_.size());
+    for (const std::weak_ptr<CompileJob::State>& weak : job_registry_) {
+      if (std::shared_ptr<CompileJob::State> state = weak.lock()) {
+        states.push_back(std::move(state));
+      }
+    }
+  }
+  std::size_t cancelled = 0;
+  for (const std::shared_ptr<CompileJob::State>& state : states) {
+    if (!state->terminal()) {
+      state->token.request();
+      ++cancelled;
+    }
+  }
+  return cancelled;
+}
+
+void CompilerSession::wait_jobs_idle() {
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    pool = pool_.get();
+  }
+  if (pool != nullptr) pool->wait_idle();
+}
+
+void CompilerSession::run_job(const std::shared_ptr<CompileJob::State>& state) {
+  state->status.store(JobStatus::kRunning, std::memory_order_release);
+
+  ScenarioOutcome outcome;
+  outcome.label = state->scenario.label;
+  outcome.index = state->index;
+  if (state->token.cancelled()) {
+    // Cancelled while queued: no stage ever runs for this job.
+    outcome.error = "cancelled before start";
+    outcome.error_kind = ErrorKind::kCancelled;
+  } else {
+    try {
+      outcome.result = compile_scenario(state->scenario, state->index,
+                                        state->tag, &state->token);
+    } catch (const std::exception& e) {
+      // An infeasible design point (CapacityError), bad configuration
+      // (ConfigError), or observed cancellation fails this job only; the
+      // queue carries on.
+      outcome.error = e.what();
+      outcome.error_kind = error_kind_of(e);
+    } catch (...) {
+      outcome.error = "unknown error";
+      outcome.error_kind = ErrorKind::kInternal;
+    }
+  }
+
+  const JobStatus terminal = outcome.error_kind == ErrorKind::kCancelled
+                                 ? JobStatus::kCancelled
+                                 : JobStatus::kDone;
+  std::function<void(const ScenarioOutcome&)> callback;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->outcome = std::move(outcome);
+    state->status.store(terminal, std::memory_order_release);
+    callback = std::move(state->on_complete);
+  }
+  state->cv.notify_all();
+  // The callback runs after waiters are released and outside every session
+  // lock; it sees the final outcome and may submit follow-up jobs.
+  if (callback) callback(state->outcome);
+  outstanding_jobs_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 int CompilerSession::enqueue(Scenario scenario) {
@@ -213,32 +484,27 @@ std::vector<ScenarioOutcome> CompilerSession::compile_all() {
     queue_.clear();
   }
 
-  std::vector<ScenarioOutcome> outcomes(batch.size());
-  const auto run_one = [&](std::size_t i) {
-    ScenarioOutcome& outcome = outcomes[i];
-    outcome.label = batch[i].label;
-    outcome.index = static_cast<int>(i);
-    try {
-      outcome.result = compile(batch[i], static_cast<int>(i));
-    } catch (const std::exception& e) {
-      // An infeasible design point (CapacityError) or bad configuration
-      // (ConfigError) fails this scenario only; the batch carries on.
-      outcome.error = e.what();
-    } catch (...) {
-      outcome.error = "unknown error";
-    }
-  };
+  // Thin wrapper over the job API: submit-all, wait-all. A one-worker
+  // session (the default) runs the jobs strictly FIFO, which keeps this
+  // path — outcomes, cache-hit counts, observer event order — identical to
+  // the historical inline sequential loop; wider pools overlap jobs but
+  // stay bit-identical per scenario at equal seeds.
+  std::vector<CompileJob> jobs;
+  jobs.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    JobOptions options;
+    options.index = static_cast<int>(i);
+    jobs.push_back(submit(std::move(batch[i]), std::move(options)));
+  }
 
-  const int jobs =
-      std::min(jobs_, static_cast<int>(std::max<std::size_t>(batch.size(), 1)));
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < batch.size(); ++i) run_one(i);
-  } else {
-    ThreadPool pool(jobs);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      pool.submit([&run_one, i] { run_one(i); });
-    }
-    pool.wait_idle();
+  std::vector<ScenarioOutcome> outcomes;
+  outcomes.reserve(jobs.size());
+  for (CompileJob& job : jobs) {
+    job.wait();
+    // These handles never leave this wrapper, so the outcome — which holds
+    // the full CompileResult (per-core op streams, GA history) — is moved
+    // out of the job state instead of deep-copied.
+    outcomes.push_back(std::move(job.state_->outcome));
   }
   return outcomes;
 }
@@ -248,6 +514,24 @@ CompileResult CompilerSession::compile(const CompileOptions& options) {
 }
 
 CompileResult CompilerSession::compile(const Scenario& scenario, int index) {
+  return compile_scenario(scenario, index, /*tag=*/0, /*cancel=*/nullptr);
+}
+
+/// One in-flight mapping computation. The first job of a mapping key
+/// becomes the owner and compiles; concurrent identical jobs wait on
+/// `settled` instead of duplicating the GA, then re-read the cache (a
+/// mapping cache hit) — or re-claim if the owner failed without publishing
+/// (e.g. it was cancelled: cancellation must never leak to innocent peers).
+struct CompilerSession::MappingClaim {
+  std::mutex mutex;
+  std::condition_variable settled;
+  bool done = false;
+  std::thread::id owner;  ///< claimant; set under mapping_mutex_ at claim
+};
+
+CompileResult CompilerSession::compile_scenario(const Scenario& scenario,
+                                                int index, std::uint64_t tag,
+                                                const CancelToken* cancel) {
   const HardwareConfig& hw =
       scenario.hardware.has_value() ? *scenario.hardware : hw_;
   if (scenario.hardware.has_value()) hw.validate();
@@ -255,37 +539,110 @@ CompileResult CompilerSession::compile(const Scenario& scenario, int index) {
   // Fail fast on unknown strategy keys: before partitioning is paid for and
   // before a cache slot is claimed.
   validate_strategies(scenario.options);
+  if (cancel != nullptr) cancel->throw_if_cancelled("compilation");
 
   const std::uint64_t workload_key =
       combine(graph_fingerprint_, pimcomp::fingerprint(hw));
   const std::uint64_t mapping_key =
       combine(workload_key, pimcomp::fingerprint(scenario.options));
 
-  if (std::optional<CompileResult> cached = find_mapping(mapping_key)) {
-    notify_cache_hit(cache_names::kMapping, scenario.label, index,
-                     mapping_hits_);
-    // No stage ran for this scenario; a zeroed StageTimes says so (same
-    // convention as a cached partitioning stage).
-    cached->stage_times = StageTimes{};
-    return std::move(*cached);
+  const auto run_stages = [&]() -> CompileResult {
+    double partition_seconds = 0.0;
+    std::shared_ptr<const Workload> workload = resolve_workload(
+        workload_key, hw, scenario.label, index, tag, &partition_seconds);
+
+    PipelineContext ctx;
+    ctx.graph = &graph_;
+    ctx.hardware = &hw;
+    ctx.options = &scenario.options;
+    ctx.scenario_label = scenario.label;
+    ctx.scenario_index = index;
+    ctx.tag = tag;
+    ctx.cancel = cancel;
+    ctx.workload = std::move(workload);  // pre-seeded => partitioning skipped
+    ctx.stage_times.partitioning = partition_seconds;
+
+    CompileResult result = run_pipeline(std::move(ctx), gate_.get());
+    store_mapping(mapping_key, result);
+    return result;
+  };
+
+  for (;;) {
+    if (std::optional<CompileResult> cached = find_mapping(mapping_key)) {
+      notify_cache_hit(cache_names::kMapping, scenario.label, index, tag,
+                       mapping_hits_);
+      // No stage ran for this scenario; a zeroed StageTimes says so (same
+      // convention as a cached partitioning stage).
+      cached->stage_times = StageTimes{};
+      return std::move(*cached);
+    }
+
+    std::shared_ptr<MappingClaim> claim;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(mapping_mutex_);
+      std::shared_ptr<MappingClaim>& slot = inflight_mappings_[mapping_key];
+      if (slot == nullptr) {
+        slot = std::make_shared<MappingClaim>();
+        slot->owner = std::this_thread::get_id();
+        owner = true;
+      }
+      claim = slot;
+    }
+
+    if (!owner) {
+      if (claim->owner == std::this_thread::get_id()) {
+        // Re-entrant identical compile from inside the owner's own
+        // observer callback: waiting would be waiting on ourselves, so
+        // compute privately (store_mapping keeps the first publisher).
+        return run_stages();
+      }
+      std::unique_lock<std::mutex> lock(claim->mutex);
+      while (!claim->done) {
+        claim->settled.wait_for(lock, std::chrono::milliseconds(50));
+        // A cancelled waiter leaves promptly instead of riding out the
+        // owner's whole GA run.
+        if (cancel != nullptr && cancel->cancelled()) {
+          throw CancelledError(
+              "cancelled while waiting for an identical in-flight "
+              "compilation");
+        }
+      }
+      // The owner settled: normally its result is now in the cache (the
+      // loop's find_mapping reports the hit); if the owner failed or was
+      // cancelled without publishing — or the result was already evicted —
+      // this thread re-claims and computes itself.
+      continue;
+    }
+
+    // Owner: compute, publish (store_mapping inside run_stages), and wake
+    // the peers whether we succeeded or not — on failure they re-claim
+    // rather than inheriting an error that may be ours alone (cancel).
+    try {
+      CompileResult result = run_stages();
+      release_mapping_claim(mapping_key, claim);
+      return result;
+    } catch (...) {
+      release_mapping_claim(mapping_key, claim);
+      throw;
+    }
   }
+}
 
-  double partition_seconds = 0.0;
-  std::shared_ptr<const Workload> workload = resolve_workload(
-      workload_key, hw, scenario.label, index, &partition_seconds);
-
-  PipelineContext ctx;
-  ctx.graph = &graph_;
-  ctx.hardware = &hw;
-  ctx.options = &scenario.options;
-  ctx.scenario_label = scenario.label;
-  ctx.scenario_index = index;
-  ctx.workload = std::move(workload);  // pre-seeded => partitioning skipped
-  ctx.stage_times.partitioning = partition_seconds;
-
-  CompileResult result = run_pipeline(std::move(ctx), gate_.get());
-  store_mapping(mapping_key, result);
-  return result;
+void CompilerSession::release_mapping_claim(
+    std::uint64_t key, const std::shared_ptr<MappingClaim>& claim) {
+  {
+    std::lock_guard<std::mutex> lock(mapping_mutex_);
+    const auto it = inflight_mappings_.find(key);
+    if (it != inflight_mappings_.end() && it->second == claim) {
+      inflight_mappings_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(claim->mutex);
+    claim->done = true;
+  }
+  claim->settled.notify_all();
 }
 
 SimReport CompilerSession::simulate(const CompileResult& result) const {
@@ -315,7 +672,7 @@ std::size_t CompilerSession::cached_mappings() const {
 
 std::shared_ptr<const Workload> CompilerSession::resolve_workload(
     std::uint64_t key, const HardwareConfig& hw, const std::string& label,
-    int index, double* partition_seconds) {
+    int index, std::uint64_t tag, double* partition_seconds) {
   std::shared_ptr<WorkloadEntry> entry;
   bool owner = false;
   {
@@ -333,7 +690,11 @@ std::shared_ptr<const Workload> CompilerSession::resolve_workload(
     // The partitioning stage runs here, outside the pipeline's stage loop,
     // so its once-per-fingerprint semantics hold under concurrency — but
     // with the same observer events and timing the loop would produce.
-    StageInfo info{stage_names::kPartitioning, label, index, 0.0};
+    // Deliberately no cancellation check on this path: a cancelled owner
+    // would publish CancelledError to innocent peers waiting on the same
+    // fingerprint (partitioning is the cheap stage; cancellation lands at
+    // the next stage boundary instead).
+    StageInfo info{stage_names::kPartitioning, label, index, 0.0, tag};
     const auto t0 = std::chrono::steady_clock::now();
     try {
       // The begin callback runs inside the try: an observer that throws
@@ -407,7 +768,7 @@ std::shared_ptr<const Workload> CompilerSession::resolve_workload(
     if (entry->failure != nullptr) std::rethrow_exception(entry->failure);
     workload = entry->workload;
   }
-  notify_cache_hit(cache_names::kWorkload, label, index, workload_hits_);
+  notify_cache_hit(cache_names::kWorkload, label, index, tag, workload_hits_);
   return workload;
 }
 
@@ -445,6 +806,7 @@ void CompilerSession::store_mapping(std::uint64_t key,
 
 void CompilerSession::notify_cache_hit(const char* cache,
                                        const std::string& label, int index,
+                                       std::uint64_t tag,
                                        std::atomic<std::uint64_t>& counter) {
   // Increment under the observer serialization mutex so the cumulative
   // `hits` values reach the observer in monotonic order even when parallel
@@ -452,7 +814,7 @@ void CompilerSession::notify_cache_hit(const char* cache,
   std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
   const std::uint64_t hits = counter.fetch_add(1) + 1;
   if (observer_ != nullptr) {
-    observer_->on_cache_hit(CacheEvent{cache, label, index, hits});
+    observer_->on_cache_hit(CacheEvent{cache, label, index, hits, tag});
   }
 }
 

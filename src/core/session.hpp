@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -11,10 +12,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/compiler.hpp"
 #include "core/pipeline.hpp"
 
 namespace pimcomp {
+
+class ThreadPool;  // common/thread_pool.hpp
 
 /// Stable identity of a graph / hardware config, used to key the session's
 /// workload cache. Two equal fingerprints partition identically.
@@ -42,22 +46,119 @@ struct Scenario {
   std::optional<HardwareConfig> hardware;
 };
 
+/// Machine-readable classification of a scenario failure, alongside the
+/// human-readable message. Stable across releases (it travels the serve
+/// protocol as a string), so clients branch on it instead of string-matching
+/// what() text.
+enum class ErrorKind {
+  kNone,       ///< the scenario succeeded
+  kCapacity,   ///< CapacityError: the design point cannot hold the model
+  kConfig,     ///< ConfigError: bad options / unknown strategy key
+  kCancelled,  ///< CancelledError: the job's owner cancelled it
+  kInternal,   ///< anything else (allocation failure, logic error, ...)
+};
+
+/// Wire names: "" / "capacity" / "config" / "cancelled" / "internal".
+std::string to_string(ErrorKind kind);
+/// Inverse of to_string; unknown strings map to kInternal (a newer peer may
+/// speak kinds this build does not know — still a failure, still typed).
+ErrorKind error_kind_from_string(const std::string& s);
+/// Classifies a caught scenario failure by exception type.
+ErrorKind error_kind_of(const std::exception& e);
+
 /// Per-scenario result of a batch compile. Exactly one of `result` / `error`
 /// is meaningful: a feasible scenario carries its CompileResult, an
-/// infeasible or misconfigured one carries the failure's what() message
-/// (CapacityError, ConfigError, ...) so one bad design point no longer
-/// aborts a whole sweep.
+/// infeasible, misconfigured, or cancelled one carries the failure's what()
+/// message plus its ErrorKind classification, so one bad design point no
+/// longer aborts a whole sweep and clients never parse error text.
 struct ScenarioOutcome {
   std::string label;
   int index = -1;  ///< position in the batch (results keep enqueue order)
   std::optional<CompileResult> result;
   std::string error;
+  ErrorKind error_kind = ErrorKind::kNone;
 
   bool ok() const { return result.has_value(); }
+  bool cancelled() const { return error_kind == ErrorKind::kCancelled; }
 };
 
-/// Batch compilation front-end over the pluggable pipeline. A session owns
-/// one model and caches two layers:
+/// Lifecycle of a submitted job. kDone covers success *and* compile
+/// failures (the outcome's error_kind tells them apart); kCancelled is the
+/// terminal state of a job whose cancellation was observed.
+enum class JobStatus { kQueued, kRunning, kDone, kCancelled };
+
+/// Per-job knobs for CompilerSession::submit().
+struct JobOptions {
+  /// Batch position recorded in the outcome and observer callbacks (-1 for
+  /// ad-hoc jobs; compile_all() fills it with the enqueue position).
+  int index = -1;
+
+  /// Queue priority: higher runs sooner, ties are FIFO. Default 0.
+  int priority = 0;
+
+  /// Opaque caller tag forwarded verbatim into every observer callback this
+  /// job produces (StageInfo/CacheEvent/PipelineEvent::tag). How a consumer
+  /// sharing one session across independent callers — the compile server —
+  /// attributes the merged event stream. 0 = untagged.
+  std::uint64_t tag = 0;
+
+  /// Invoked exactly once, on the worker thread, right after the job turns
+  /// terminal (after wait() is already unblocked). Runs outside all session
+  /// locks; it may submit follow-up jobs but must not block on this job.
+  std::function<void(const ScenarioOutcome&)> on_complete;
+};
+
+/// Handle to one asynchronous compilation: a value type sharing state with
+/// the session's job queue, so it stays valid — and its outcome reachable —
+/// even after the session that spawned it is destroyed (destruction cancels
+/// and finalizes every outstanding job first).
+class CompileJob {
+ public:
+  /// Opaque shared job state (defined in session.cpp).
+  struct State;
+
+  /// An empty handle; valid() is false and every other accessor throws.
+  CompileJob() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking status probe.
+  JobStatus poll() const;
+
+  /// True once the job reached kDone or kCancelled.
+  bool done() const;
+
+  /// Blocks until the job is terminal and returns its outcome (idempotent —
+  /// call as often as you like). A session worker waiting on a job of its
+  /// own pool (a completion callback or observer submitting follow-up
+  /// work) runs other queued jobs inline instead of blocking, so nested
+  /// waits are deadlock-free on a one-worker session. One caveat on
+  /// multi-worker sessions: do not wait, from inside a job's callbacks, on
+  /// a follow-up with the *same options and hardware* as a job still
+  /// running — the in-flight mapping dedup would make the follow-up wait
+  /// on the very job hosting the callback. The returned reference lives as
+  /// long as some CompileJob handle does.
+  const ScenarioOutcome& wait() const;
+
+  /// Requests cooperative cancellation. A still-queued job is finalized as
+  /// cancelled immediately; a running one aborts at its next stage or GA
+  /// generation boundary. Returns false when the job was already terminal
+  /// (too late — the result stands).
+  bool cancel() const;
+
+  const std::string& label() const;
+  int index() const;
+  std::uint64_t tag() const;
+
+ private:
+  friend class CompilerSession;
+  explicit CompileJob(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Asynchronous compilation front-end over the pluggable pipeline. A session
+/// owns one model, a resident worker pool (set_jobs), and two cache layers:
 ///
 ///  1. the partitioned Workload per distinct hardware fingerprint, so an
 ///     N-scenario sweep runs node partitioning once instead of N times;
@@ -65,19 +166,27 @@ struct ScenarioOutcome {
 ///     fingerprint), so a sweep revisiting an identical configuration skips
 ///     the GA (and scheduling) entirely.
 ///
-/// Batches fan out across a worker pool (set_jobs); scenarios are
-/// independent (each compile owns its mapper and RNG), the caches are
-/// mutex-guarded with once-per-fingerprint partitioning (the first scenario
-/// of a fingerprint partitions, peers block until it publishes), and
-/// observer callbacks are serialized. Results are bit-identical to the
-/// sequential path — and to Compiler::compile() — at equal seed; the
-/// session (like Compiler) must outlive the CompileResults it returns.
+/// The primitive is submit(): every scenario becomes a CompileJob on a
+/// shared priority-aware queue drained by resident workers (they survive
+/// across batches), with poll()/wait()/cancel() and a completion callback.
+/// compile_all() survives as a thin submit-all + wait-all wrapper: outcomes
+/// keep enqueue order and are bit-identical to the pre-job sequential path —
+/// and to Compiler::compile() — at equal seeds. Scenarios are independent
+/// (each compile owns its mapper and RNG), the caches are mutex-guarded with
+/// once-per-fingerprint partitioning (the first scenario of a fingerprint
+/// partitions, peers block until it publishes), and observer callbacks are
+/// serialized. The session (like Compiler) must outlive the CompileResults
+/// it returns; CompileJob handles themselves may outlive it.
 class CompilerSession {
  public:
   /// Takes ownership of the graph (finalizing it if needed); `hw` is the
   /// default hardware for scenarios without an override.
   CompilerSession(Graph graph, HardwareConfig hw);
-  ~CompilerSession();  // out of line: ObserverGate is incomplete here
+
+  /// Cancels every outstanding job, finalizes it (waiters and completion
+  /// callbacks observe a cancelled outcome), and joins the workers before
+  /// returning. CompileJob handles held by callers stay valid afterwards.
+  ~CompilerSession();
 
   CompilerSession(const CompilerSession&) = delete;
   CompilerSession& operator=(const CompilerSession&) = delete;
@@ -91,29 +200,56 @@ class CompilerSession {
 
   /// Observer receiving per-stage and cache-hit callbacks for every
   /// compilation this session runs (nullptr disables; not owned). Callbacks
-  /// are serialized even when the batch runs parallel.
+  /// are serialized even when jobs run in parallel.
   void set_observer(PipelineObserver* observer);
 
-  /// Worker threads compile_all() fans a batch out over. 1 (the default)
-  /// compiles inline on the calling thread; 0 means one per hardware
-  /// thread. Parallel batches return outcomes in enqueue order,
-  /// bit-identical to the sequential ones at equal seeds.
+  /// Resident worker count jobs run on. 1 (the default) keeps one worker —
+  /// submitted jobs still run asynchronously, strictly FIFO; 0 means one
+  /// worker per hardware thread. Takes effect immediately when no jobs are
+  /// outstanding, otherwise at the next submit() after the queue drains.
+  /// Parallel batches return outcomes in enqueue order, bit-identical to
+  /// the sequential ones at equal seeds.
   void set_jobs(int jobs);
   int jobs() const { return jobs_; }
 
-  /// Queues a scenario; returns its index in the current batch. Safe to
-  /// call from observer callbacks (follow-up scenarios join a later batch).
+  /// Submits one scenario as an asynchronous job on the shared queue and
+  /// returns immediately. Failures (infeasible point, bad options,
+  /// cancellation) are reported through the job's outcome, never thrown.
+  /// Safe from any thread, including observer callbacks and completion
+  /// callbacks of other jobs.
+  CompileJob submit(Scenario scenario, JobOptions options = {});
+  CompileJob submit(CompileOptions options, std::string label = {},
+                    JobOptions job = {});
+
+  /// Jobs submitted but not yet terminal.
+  std::size_t outstanding_jobs() const;
+
+  /// Requests cancellation of every outstanding job; returns how many were
+  /// actually cancelled (already-terminal jobs don't count). The jobs
+  /// finalize asynchronously; destruction or wait() observes them.
+  std::size_t cancel_all_jobs();
+
+  /// Blocks until no job is queued or running. (Jobs submitted concurrently
+  /// with the wait may extend it.)
+  void wait_jobs_idle();
+
+  /// Queues a scenario for the next compile_all(); returns its index in the
+  /// current batch. Safe to call from observer callbacks (follow-up
+  /// scenarios join a later batch).
   int enqueue(Scenario scenario);
   int enqueue(CompileOptions options, std::string label = {});
   int pending() const;
 
-  /// Compiles every queued scenario and clears the queue. Never throws for
-  /// a scenario failure: each infeasible/misconfigured scenario yields an
-  /// error outcome and the rest of the batch completes.
+  /// Compatibility wrapper over the job API: submits every queued scenario
+  /// (clearing the queue) and waits for all of them. Outcomes keep enqueue
+  /// order; a scenario failure never throws — each infeasible or
+  /// misconfigured scenario yields an error outcome and the rest of the
+  /// batch completes.
   std::vector<ScenarioOutcome> compile_all();
 
-  /// Cache-aware single compilation against the session hardware. Unlike
-  /// compile_all(), the single-scenario forms throw on failure.
+  /// Cache-aware single compilation against the session hardware, run
+  /// synchronously on the calling thread (not through the job queue).
+  /// Unlike the job API, the single-scenario forms throw on failure.
   CompileResult compile(const CompileOptions& options);
 
   /// Cache-aware single compilation of one scenario. `index` is forwarded
@@ -136,7 +272,22 @@ class CompilerSession {
 
  private:
   struct WorkloadEntry;
+  struct MappingClaim;
   class ObserverGate;
+
+  /// The full-context compile every job and public compile() funnels into:
+  /// `tag` flows to observer callbacks, `cancel` (nullable) is polled at
+  /// stage boundaries and inside the GA.
+  CompileResult compile_scenario(const Scenario& scenario, int index,
+                                 std::uint64_t tag, const CancelToken* cancel);
+
+  /// Creates (or, when idle and resized, re-creates) the resident pool.
+  /// Requires job_mutex_ held.
+  void ensure_pool_locked();
+
+  /// Executes one job on a worker (or a helping waiter): runs the compile,
+  /// classifies failures, finalizes the state, fires the callback.
+  void run_job(const std::shared_ptr<CompileJob::State>& state);
 
   /// Returns the cached workload for `key`, partitioning it (and publishing
   /// it for concurrently waiting peers) on first use. On the partitioning
@@ -145,13 +296,17 @@ class CompilerSession {
   std::shared_ptr<const Workload> resolve_workload(std::uint64_t key,
                                                    const HardwareConfig& hw,
                                                    const std::string& label,
-                                                   int index,
+                                                   int index, std::uint64_t tag,
                                                    double* partition_seconds);
 
   std::optional<CompileResult> find_mapping(std::uint64_t key) const;
   void store_mapping(std::uint64_t key, const CompileResult& result);
-  void notify_cache_hit(const char* cache, const std::string& label,
-                        int index, std::atomic<std::uint64_t>& counter);
+  /// Retires an in-flight mapping claim and wakes its waiting peers.
+  void release_mapping_claim(std::uint64_t key,
+                             const std::shared_ptr<MappingClaim>& claim);
+  void notify_cache_hit(const char* cache, const std::string& label, int index,
+                        std::uint64_t tag,
+                        std::atomic<std::uint64_t>& counter);
 
   Graph graph_;
   HardwareConfig hw_;
@@ -159,17 +314,21 @@ class CompilerSession {
   int jobs_ = 1;
 
   // recursive_mutex: an observer callback may legally re-enter
-  // session.compile() or a sequential compile_all() on its own thread (the
-  // pre-parallel observer path permitted it); cross-thread serialization
-  // still holds. Two limits, both because the callback's thread holds this
-  // mutex while other workers may need it: nested compiles from a callback
-  // are unsupported while a parallel batch is in flight (the nested call
-  // could wait on a WorkloadEntry whose owner is blocked on this mutex),
-  // and a *parallel* compile_all() from a callback is never supported.
-  // enqueue() is always safe.
+  // session.compile() — or submit and wait on follow-up jobs — on its own
+  // worker thread; cross-thread serialization still holds. Nested compiles
+  // from a callback remain unsupported while jobs run on several workers
+  // (the nested call could wait on a WorkloadEntry whose owner is blocked
+  // on this mutex). enqueue() and submit() are always safe.
   PipelineObserver* observer_ = nullptr;      // guarded by observer_mutex_
   std::unique_ptr<ObserverGate> gate_;        // serializing forwarder
   mutable std::recursive_mutex observer_mutex_;
+
+  // Resident job workers plus the registry destruction/cancel_all walk.
+  std::unique_ptr<ThreadPool> pool_;          // guarded by job_mutex_
+  std::vector<std::weak_ptr<CompileJob::State>> job_registry_;  // same guard
+  bool shutting_down_ = false;                // same guard; set by ~CompilerSession
+  mutable std::mutex job_mutex_;
+  std::atomic<std::size_t> outstanding_jobs_{0};
 
   std::vector<Scenario> queue_;               // guarded by queue_mutex_
   mutable std::mutex queue_mutex_;
@@ -183,6 +342,11 @@ class CompilerSession {
   std::unordered_map<std::uint64_t, std::shared_ptr<const CompileResult>>
       mappings_;                              // guarded by mapping_mutex_
   std::deque<std::uint64_t> mapping_order_;   // insertion order, same guard
+  // In-flight dedup: concurrent identical jobs (same mapping key) wait for
+  // the first one instead of mapping twice — the second then reads the
+  // cache and reports a mapping cache hit, deterministically.
+  std::unordered_map<std::uint64_t, std::shared_ptr<MappingClaim>>
+      inflight_mappings_;                     // same guard
   mutable std::mutex mapping_mutex_;
 
   std::atomic<std::uint64_t> workload_hits_{0};

@@ -12,6 +12,7 @@ PipelineEvent PipelineEvent::stage_begin(const StageInfo& info) {
   event.name = info.stage;
   event.scenario = info.scenario;
   event.scenario_index = info.scenario_index;
+  event.tag = info.tag;
   return event;
 }
 
@@ -22,6 +23,7 @@ PipelineEvent PipelineEvent::stage_end(const StageInfo& info) {
   event.scenario = info.scenario;
   event.scenario_index = info.scenario_index;
   event.seconds = info.seconds;
+  event.tag = info.tag;
   return event;
 }
 
@@ -32,6 +34,7 @@ PipelineEvent PipelineEvent::cache_hit(const CacheEvent& cache_event) {
   event.scenario = cache_event.scenario;
   event.scenario_index = cache_event.scenario_index;
   event.hits = cache_event.hits;
+  event.tag = cache_event.tag;
   return event;
 }
 
@@ -64,6 +67,8 @@ Json event_to_json(const PipelineEvent& event) {
   if (event.kind == PipelineEvent::Kind::kCacheHit) {
     json["hits"] = static_cast<std::int64_t>(event.hits);
   }
+  // Untagged events keep the pre-job JSON shape byte for byte.
+  if (event.tag != 0) json["job"] = static_cast<std::int64_t>(event.tag);
   return json;
 }
 
@@ -78,6 +83,8 @@ PipelineEvent event_from_json(const Json& json) {
   event.seconds = json.get("seconds", 0.0);
   event.hits = static_cast<std::uint64_t>(
       json.get("hits", static_cast<std::int64_t>(0)));
+  event.tag = static_cast<std::uint64_t>(
+      json.get("job", static_cast<std::int64_t>(0)));
   return event;
 }
 

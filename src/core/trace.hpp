@@ -26,6 +26,8 @@ struct PipelineEvent {
   int scenario_index = -1;   ///< position in the session batch
   double seconds = 0.0;      ///< stage duration (kStageEnd only)
   std::uint64_t hits = 0;    ///< session-lifetime hit count (kCacheHit only)
+  std::uint64_t tag = 0;     ///< job tag (JobOptions::tag; 0 = untagged —
+                             ///< serialized as "job" only when set)
 
   static PipelineEvent stage_begin(const StageInfo& info);
   static PipelineEvent stage_end(const StageInfo& info);

@@ -356,6 +356,12 @@ MappingSolution GeneticMapper::map(const Workload& workload,
     }
   }
   while (static_cast<int>(population.size()) < config_.population) {
+    // Large populations make initialization itself minutes-long on big
+    // models, so cancellation is observed per individual here and per
+    // generation below — never finer, keeping the overhead unmeasurable.
+    if (options.cancel != nullptr) {
+      options.cancel->throw_if_cancelled("ga population initialization");
+    }
     MappingSolution s =
         random_individual(workload, options, rng, config_.target_fill);
     const double f = evaluate(s);
@@ -393,6 +399,11 @@ MappingSolution GeneticMapper::map(const Workload& workload,
   };
 
   for (int gen = 0; gen < config_.generations; ++gen) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      throw CancelledError("mapping cancelled at generation " +
+                           std::to_string(gen) + " of " +
+                           std::to_string(config_.generations));
+    }
     std::vector<Individual> next;
     next.reserve(population.size());
     // Elitism: carry the best individuals unchanged (no crossover; the

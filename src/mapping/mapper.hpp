@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/cancel.hpp"
 #include "mapping/mapping_solution.hpp"
 #include "partition/workload.hpp"
 
@@ -28,6 +29,11 @@ struct MapperOptions {
   int max_nodes_per_core = 8;
 
   std::uint64_t seed = 1;
+
+  /// Cooperative cancellation flag (not owned; nullptr = not cancellable).
+  /// Iterative strategies poll it at iteration boundaries — the GA between
+  /// generations — and abort with CancelledError.
+  const CancelToken* cancel = nullptr;
 };
 
 struct GaStats;

@@ -53,6 +53,12 @@ class CompileClient {
   /// ServeError when the connection is gone.
   bool ping();
 
+  /// Bounds every wait for a server frame: once set, a submit()/ping() that
+  /// sees no frame for `seconds` throws ServeError("receive timed out ...")
+  /// instead of blocking forever on a hung daemon (the CLI's `--timeout`).
+  /// 0 restores the default unbounded wait.
+  void set_timeout(int seconds) { channel_.set_recv_timeout(seconds); }
+
   void close() { channel_.shutdown_both(); }
 
  private:

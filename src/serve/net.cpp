@@ -78,6 +78,13 @@ void Socket::set_send_timeout(int seconds) {
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
+void Socket::set_recv_timeout(int seconds) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 Socket listen_unix(const std::string& path) {
   const sockaddr_un addr = unix_address(path);
   Socket socket(::socket(AF_UNIX, SOCK_STREAM, 0));
@@ -182,19 +189,51 @@ std::optional<Socket> accept_connection(const Socket& listener,
   return std::nullopt;
 }
 
-std::optional<std::string> LineChannel::read_line() {
-  for (;;) {
-    const std::size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      std::string line = buffer_.substr(0, newline);
-      buffer_.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return line;
-    }
+std::optional<std::string> LineChannel::take_line() {
+  const std::size_t newline = buffer_.find('\n');
+  if (newline == std::string::npos) {
     if (buffer_.size() > kMaxLineBytes) {
       throw ServeError("frame exceeds " + std::to_string(kMaxLineBytes) +
                        " bytes without a newline");
     }
+    return std::nullopt;
+  }
+  std::string line = buffer_.substr(0, newline);
+  buffer_.erase(0, newline + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+bool LineChannel::fill_from_socket() {
+  char chunk[16384];
+  for (;;) {
+    // MSG_DONTWAIT keeps a multiplexed reader honest: even if poll(2) woke
+    // us spuriously, the recv returns EAGAIN instead of parking the reader
+    // thread on one connection.
+    const ssize_t n =
+        ::recv(socket_.fd(), chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      if (buffer_.size() > kMaxLineBytes && buffer_.find('\n') == std::string::npos) {
+        throw ServeError("frame exceeds " + std::to_string(kMaxLineBytes) +
+                         " bytes without a newline");
+      }
+      return true;
+    }
+    if (n == 0) {
+      // Clean EOF. A partial trailing line without '\n' is dropped: the
+      // peer died mid-frame and the fragment is unparseable anyway.
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // no data yet
+    throw_errno("recv");
+  }
+}
+
+std::optional<std::string> LineChannel::read_line() {
+  for (;;) {
+    if (std::optional<std::string> line = take_line()) return line;
     char chunk[16384];
     const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
     if (n > 0) {
@@ -202,11 +241,16 @@ std::optional<std::string> LineChannel::read_line() {
       continue;
     }
     if (n == 0) {
-      // Clean EOF. A partial trailing line without '\n' is dropped: the
-      // peer died mid-frame and the fragment is unparseable anyway.
+      // Clean EOF (see fill_from_socket on partial trailing lines).
       return std::nullopt;
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired: the server went quiet past the caller's
+      // deadline (`--timeout`), which must read as a request failure, not
+      // a generic socket error.
+      throw ServeError("receive timed out: no server frame arrived in time");
+    }
     throw_errno("recv");
   }
 }
@@ -214,16 +258,6 @@ std::optional<std::string> LineChannel::read_line() {
 void LineChannel::write_line(const std::string& line) {
   std::lock_guard<std::mutex> lock(write_mutex_);
   write_locked(line);
-}
-
-bool LineChannel::try_write_line(const std::string& line) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
-  pollfd pfd{socket_.fd(), POLLOUT, 0};
-  const int ready = ::poll(&pfd, 1, /*timeout_ms=*/0);
-  if (ready < 0) throw_errno("poll(POLLOUT)");
-  if (ready == 0 || (pfd.revents & POLLOUT) == 0) return false;
-  write_locked(line);
-  return true;
 }
 
 void LineChannel::write_locked(const std::string& line) {

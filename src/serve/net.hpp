@@ -42,6 +42,11 @@ class Socket {
   /// into a ServeError after `seconds` instead of blocking a writer forever.
   void set_send_timeout(int seconds);
 
+  /// SO_RCVTIMEO: bounds every blocking recv() so a peer that stops sending
+  /// turns into a "receive timed out" ServeError after `seconds` (the
+  /// client-side `--timeout` knob).
+  void set_recv_timeout(int seconds);
+
  private:
   int fd_ = -1;
 };
@@ -74,20 +79,30 @@ class LineChannel {
   explicit LineChannel(Socket socket) : socket_(std::move(socket)) {}
 
   /// Next complete line without its trailing '\n'; std::nullopt on clean
-  /// EOF. Throws ServeError on read errors or lines above kMaxLineBytes
-  /// (a malformed peer must not make the server buffer unboundedly).
+  /// EOF. Throws ServeError on read errors, receive timeouts (when a recv
+  /// timeout is set), or lines above kMaxLineBytes (a malformed peer must
+  /// not make the server buffer unboundedly).
   std::optional<std::string> read_line();
+
+  /// Non-blocking half of read_line() for multiplexed readers: performs one
+  /// MSG_DONTWAIT recv() into the buffer — call it after poll(2) reported
+  /// readability. Returns false on clean EOF (a spurious wakeup with no
+  /// data returns true with nothing buffered). Throws ServeError on read
+  /// errors or an oversized buffered frame.
+  bool fill_from_socket();
+
+  /// Extracts the next complete buffered line without touching the socket;
+  /// std::nullopt when no full line is buffered yet. Pair with
+  /// fill_from_socket() in a poll loop.
+  std::optional<std::string> take_line();
+
+  /// See Socket::set_recv_timeout (affects blocking read_line() only).
+  void set_recv_timeout(int seconds) { socket_.set_recv_timeout(seconds); }
 
   /// Writes `line` plus a trailing '\n' atomically with respect to other
   /// write_line() callers. Throws ServeError when the peer is gone (or,
   /// with a send timeout set, has stopped reading).
   void write_line(const std::string& line);
-
-  /// Best-effort variant for advisory frames (progress events): returns
-  /// false without writing anything when the socket's send buffer has no
-  /// room right now (slow or stalled reader), so a compile pipeline never
-  /// blocks on a client that isn't keeping up. Hard errors still throw.
-  bool try_write_line(const std::string& line);
 
   /// Unblocks a read_line() in progress on another thread.
   void shutdown_both() { socket_.shutdown_both(); }

@@ -278,6 +278,7 @@ Json to_json(const CompileRequest& request) {
   if (request.cores > 0) json["cores"] = request.cores;
   if (request.hardware.has_value()) json["hardware"] = *request.hardware;
   json["simulate"] = request.simulate;
+  if (request.priority != 0) json["priority"] = request.priority;
 
   Json scenarios = Json::array();
   for (const ScenarioSpec& spec : request.scenarios) {
@@ -302,7 +303,7 @@ CompileRequest request_from_json(const Json& json) {
   require_known_keys(json, "request",
                      {"type", "version", "id", "model", "graph",
                       "input_size", "cores", "hardware", "simulate",
-                      "scenarios"});
+                      "priority", "scenarios"});
   CompileRequest request;
   request.id = require_id(json);
   request.model = json.get("model", std::string());
@@ -318,6 +319,8 @@ CompileRequest request_from_json(const Json& json) {
   request.cores = bounded_int(json, "cores", 0, 0, kMaxWireCores, "request");
   if (json.contains("hardware")) request.hardware = json.at("hardware");
   request.simulate = json.get("simulate", true);
+  request.priority =
+      bounded_int(json, "priority", 0, -1000, 1000, "request");
 
   if (!json.contains("scenarios") || !json.at("scenarios").is_array() ||
       json.at("scenarios").size() == 0) {
@@ -378,6 +381,7 @@ Json to_json(const OutcomeMessage& message) {
     if (!message.simulation.is_null()) json["simulation"] = message.simulation;
   } else {
     json["error"] = message.error;
+    if (!message.error_kind.empty()) json["error_kind"] = message.error_kind;
   }
   return json;
 }
@@ -428,6 +432,7 @@ ServerMessage server_message_from_json(const Json& json) {
       }
     } else {
       message.error = json.get("error", std::string("unknown error"));
+      message.error_kind = json.get("error_kind", std::string());
     }
     return message;
   }

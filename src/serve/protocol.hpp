@@ -15,8 +15,10 @@
 namespace pimcomp::serve {
 
 /// Bumped when a message shape changes incompatibly. The server rejects
-/// requests declaring a newer version than it speaks.
-inline constexpr int kProtocolVersion = 1;
+/// requests declaring a newer version than it speaks. v2 adds the
+/// machine-readable `error_kind` on failed outcomes and the request-level
+/// `priority` hint; v1 requests are still accepted.
+inline constexpr int kProtocolVersion = 2;
 
 // ---------------------------------------------------------------------------
 // Field (de)serialization shared by requests and tooling.
@@ -67,6 +69,9 @@ struct CompileRequest {
   int cores = 0;                  ///< core count (0 = auto-fit, 3x headroom)
   std::optional<Json> hardware;   ///< overrides on HardwareConfig::puma_default
   bool simulate = true;           ///< attach a SimReport to each ok outcome
+  /// Job-queue priority of every scenario in this request (higher runs
+  /// sooner on the shared session; ties are FIFO). Default 0.
+  int priority = 0;
   std::vector<ScenarioSpec> scenarios;
 };
 
@@ -101,18 +106,22 @@ struct EventMessage {
   PipelineEvent event;
 };
 
-/// Terminal record of one scenario. `ok == false` carries the structured
-/// error (CapacityError / ConfigError message) of an infeasible or
-/// misconfigured design point; the connection and the rest of the batch are
-/// unaffected — the wire form of ScenarioOutcome.
+/// Terminal record of one scenario — the wire form of ScenarioOutcome.
+/// `ok == false` carries the structured error of an infeasible,
+/// misconfigured, or cancelled design point: the human-readable message
+/// plus the machine-readable `error_kind` ("capacity" / "config" /
+/// "cancelled" / "internal", see pimcomp::ErrorKind), so clients branch on
+/// the kind instead of string-matching what() text. The connection and the
+/// rest of the batch are unaffected.
 struct OutcomeMessage {
   std::int64_t id = 0;
   std::string label;
   int index = -1;
   bool ok = false;
-  std::string error;  ///< !ok only
-  Json compile;       ///< ok only: core/compile_report.hpp JSON
-  Json simulation;    ///< ok && request.simulate only
+  std::string error;       ///< !ok only
+  std::string error_kind;  ///< !ok only: to_string(ErrorKind)
+  Json compile;            ///< ok only: core/compile_report.hpp JSON
+  Json simulation;         ///< ok && request.simulate only
 };
 
 /// End of a request: every scenario has reported its outcome.

@@ -1,6 +1,9 @@
 #include "serve/server.hpp"
 
 #include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -12,6 +15,7 @@
 #include "common/string_util.hpp"
 #include "core/compile_report.hpp"
 #include "core/compiler.hpp"
+#include "core/trace.hpp"
 #include "graph/serialize.hpp"
 #include "graph/zoo/zoo.hpp"
 
@@ -21,42 +25,249 @@ namespace {
 
 std::string compact(const Json& json) { return json.dump(-1); }
 
-/// Upper bound on any single blocking send to a client. A peer that stops
-/// reading for this long is declared gone (its connection drops); progress
-/// events never block at all (see the try_write_line sink below).
-constexpr int kSendTimeoutSeconds = 30;
-
 std::int64_t message_id(const Json& json) {
   return json.get("id", static_cast<std::int64_t>(0));
 }
 
-/// Clears the session observer even when the batch throws, so the next
-/// request routed to this session can never stream into our connection.
-struct ObserverGuard {
-  explicit ObserverGuard(CompilerSession& session) : session(session) {}
-  ~ObserverGuard() { session.set_observer(nullptr); }
-  CompilerSession& session;
-};
-
 }  // namespace
 
-CompileServer::SessionEntry::Turn::Turn(SessionEntry& entry) : entry(entry) {
-  std::unique_lock<std::mutex> lock(entry.mutex);
-  const std::uint64_t ticket = entry.next_ticket++;
-  entry.turn.wait(lock, [&] { return entry.serving == ticket; });
+// ---------------------------------------------------------------------------
+// Per-connection / per-request state.
+// ---------------------------------------------------------------------------
+
+/// One client connection. The pinned reader owns both socket directions:
+/// it parses inbound lines, and it pumps the outbound frame queue with
+/// non-blocking sends when poll(2) reports writability — producers
+/// (session workers finishing jobs, the event router, the reader itself
+/// answering pings) only enqueue. That is what keeps one stalled client
+/// from ever blocking a session worker: the expensive threads never touch
+/// a socket. `broken` is the one-way "this peer is gone or not reading"
+/// latch: the pump sets it on send errors, outbound overflow, or stalls,
+/// and the owning reader observes it and disconnects (cancelling the
+/// connection's outstanding jobs).
+struct CompileServer::Connection {
+  explicit Connection(Socket socket) : channel(std::move(socket)) {}
+
+  LineChannel channel;
+  std::atomic<bool> broken{false};
+  Reader* reader = nullptr;  ///< pinned reader, for outbound wakeups
+
+  std::mutex mutex;  // guards `requests`
+  std::vector<std::weak_ptr<RequestState>> requests;
+
+  // Outbound frame queue (guards everything below). Frames carry their
+  // trailing '\n'; `offset` is how much of the front frame already went
+  // out; `last_progress` drives the stall timeout.
+  std::mutex out_mutex;
+  std::deque<std::string> outbound;
+  std::size_t out_bytes = 0;
+  std::size_t offset = 0;
+  std::chrono::steady_clock::time_point last_progress{};
+
+  /// Advisory frames (progress events) are dropped once this much output
+  /// is already queued — a slow reader loses progress, never outcomes.
+  static constexpr std::size_t kAdvisoryBudget = 4u << 20;
+  /// Hard cap: a peer that reads nothing while mandatory frames pile past
+  /// this is declared broken (bounds a hostile/stuck client's memory cost).
+  static constexpr std::size_t kOutboundCap = 256u << 20;
+};
+
+/// One in-flight compile request: N jobs fanning into an in-order outcome
+/// stream. Outcome frames are emitted strictly in scenario-enqueue order
+/// (a finished-early job parks in `ready` until its turn), so the wire
+/// contract — events*, outcomes in index order, done — survives the
+/// job-granular concurrency underneath.
+struct CompileServer::RequestState {
+  std::shared_ptr<Connection> connection;
+  std::shared_ptr<SessionEntry> entry;  ///< keeps the session alive
+  std::int64_t id = 0;
+  bool simulate = true;
+  std::size_t total = 0;
+
+  std::mutex mutex;  // guards everything below
+  std::vector<CompileJob> jobs;
+  std::map<std::size_t, OutcomeMessage> ready;  ///< finished, awaiting turn
+  std::size_t next_emit = 0;
+  std::size_t completed = 0;
+  int ok_count = 0;
+  int error_count = 0;
+  bool done_handled = false;
+
+  /// Serializes the pop-and-write sequence so two workers finishing jobs
+  /// back-to-back cannot interleave their in-order frame runs. Never held
+  /// together with `mutex` across a write (writes block up to the send
+  /// timeout; `mutex` must stay cheap for cancellation paths).
+  std::mutex emit_mutex;
+};
+
+/// One shared CompilerSession plus the event router that attributes its
+/// merged observer stream. `next_tag` mints the session-unique job tags.
+struct CompileServer::SessionEntry {
+  SessionEntry(Graph graph, HardwareConfig hw)
+      : session(std::move(graph), hw) {
+    session.set_observer(&router);
+  }
+
+  CompilerSession session;
+  JobRouter router;
+  std::atomic<std::uint64_t> next_tag{1};
+};
+
+/// One reader of the fixed pool: a thread multiplexing its pinned
+/// connections via poll(2), woken through a self-pipe when the accept loop
+/// hands it a new connection or stop() flips the flag.
+struct CompileServer::Reader {
+  ~Reader() {
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+  }
+
+  std::thread thread;
+  int wake_read = -1;
+  int wake_write = -1;
+
+  std::mutex mutex;  // guards `incoming`
+  std::vector<std::shared_ptr<Connection>> incoming;
+};
+
+// ---------------------------------------------------------------------------
+// JobRouter.
+// ---------------------------------------------------------------------------
+
+void CompileServer::JobRouter::add(std::uint64_t tag,
+                                   std::weak_ptr<Connection> connection,
+                                   std::int64_t request_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  routes_[tag] = Route{std::move(connection), request_id};
 }
 
-CompileServer::SessionEntry::Turn::~Turn() {
-  {
-    std::lock_guard<std::mutex> lock(entry.mutex);
-    ++entry.serving;
-  }
-  entry.turn.notify_all();
+void CompileServer::JobRouter::remove(std::uint64_t tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  routes_.erase(tag);
 }
+
+void CompileServer::JobRouter::on_stage_begin(const StageInfo& info) {
+  route(PipelineEvent::stage_begin(info));
+}
+
+void CompileServer::JobRouter::on_stage_end(const StageInfo& info) {
+  route(PipelineEvent::stage_end(info));
+}
+
+void CompileServer::JobRouter::on_cache_hit(const CacheEvent& event) {
+  route(PipelineEvent::cache_hit(event));
+}
+
+void CompileServer::JobRouter::route(const PipelineEvent& event) {
+  if (event.tag == 0) return;  // not one of our jobs (direct session use)
+  std::shared_ptr<Connection> connection;
+  std::int64_t request_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = routes_.find(event.tag);
+    if (it == routes_.end()) return;  // request already finished/unroutable
+    connection = it->second.connection.lock();
+    request_id = it->second.request_id;
+  }
+  if (connection == nullptr ||
+      connection->broken.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Progress events are advisory: a slow reader loses events (the outbound
+  // queue drops them past its advisory budget), never outcomes — and this
+  // enqueue never blocks the pipeline that is calling us.
+  enqueue_frame(*connection, to_json(EventMessage{request_id, event}),
+                /*advisory=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Outbound pumping.
+// ---------------------------------------------------------------------------
+
+void CompileServer::enqueue_frame(Connection& connection, const Json& json,
+                                  bool advisory) {
+  std::string line;
+  try {
+    line = compact(json);
+  } catch (const std::exception&) {
+    // Serialization failure (allocation) of a mandatory frame: the stream
+    // would be missing a frame the client waits on, so the connection is
+    // declared broken rather than silently incomplete.
+    if (!advisory) {
+      connection.broken.store(true, std::memory_order_relaxed);
+      connection.channel.shutdown_both();
+    }
+    return;
+  }
+  line.push_back('\n');
+
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(connection.out_mutex);
+    if (connection.broken.load(std::memory_order_relaxed)) return;
+    if (advisory && connection.out_bytes > Connection::kAdvisoryBudget) {
+      return;  // slow reader: drop progress, keep outcomes
+    }
+    if (connection.out_bytes > Connection::kOutboundCap) {
+      connection.broken.store(true, std::memory_order_relaxed);
+      connection.channel.shutdown_both();
+      return;
+    }
+    if (connection.outbound.empty()) {
+      connection.last_progress = std::chrono::steady_clock::now();
+      wake = true;  // the reader needs to start polling POLLOUT
+    }
+    connection.out_bytes += line.size();
+    connection.outbound.push_back(std::move(line));
+  }
+  if (wake && connection.reader != nullptr) wake_reader(*connection.reader);
+}
+
+void CompileServer::pump_outbound(Connection& connection) {
+  std::lock_guard<std::mutex> lock(connection.out_mutex);
+  while (!connection.outbound.empty()) {
+    const std::string& front = connection.outbound.front();
+    const ssize_t n =
+        ::send(connection.channel.fd(), front.data() + connection.offset,
+               front.size() - connection.offset,
+               MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.offset += static_cast<std::size_t>(n);
+      connection.last_progress = std::chrono::steady_clock::now();
+      if (connection.offset == front.size()) {
+        connection.out_bytes -= front.size();
+        connection.outbound.pop_front();
+        connection.offset = 0;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EPIPE / ECONNRESET / shutdown: the peer is gone.
+    connection.broken.store(true, std::memory_order_relaxed);
+    break;
+  }
+}
+
+bool CompileServer::outbound_stalled(Connection& connection) const {
+  std::lock_guard<std::mutex> lock(connection.out_mutex);
+  if (connection.outbound.empty()) return false;
+  const double stalled_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               connection.last_progress)
+                               .count();
+  return stalled_s > options_.send_timeout_seconds;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle.
+// ---------------------------------------------------------------------------
 
 CompileServer::CompileServer(ServerOptions options)
     : options_(std::move(options)) {
   options_.max_sessions = std::max<std::size_t>(options_.max_sessions, 1);
+  options_.readers = std::max(options_.readers, 1);
+  options_.send_timeout_seconds = std::max(options_.send_timeout_seconds, 1);
 }
 
 CompileServer::~CompileServer() { stop(); }
@@ -71,7 +282,39 @@ void CompileServer::start() {
     listener_ = listen_tcp(options_.host, options_.port, &bound_port_);
   }
   accept_stop_ = false;
+  reader_stop_ = false;
   stop_requested_ = false;
+
+  readers_.clear();
+  next_reader_ = 0;
+  for (int i = 0; i < options_.readers; ++i) {
+    auto reader = std::make_unique<Reader>();
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      // Unwind the readers already spawned: destroying a joinable
+      // std::thread is std::terminate, so a half-started server must stop
+      // and join them before reporting the failure.
+      reader_stop_ = true;
+      for (const std::unique_ptr<Reader>& started : readers_) {
+        wake_reader(*started);
+      }
+      for (const std::unique_ptr<Reader>& started : readers_) {
+        if (started->thread.joinable()) started->thread.join();
+      }
+      readers_.clear();
+      reader_stop_ = false;
+      listener_.close();
+      throw ServeError("pipe(reader wakeup) failed");
+    }
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    reader->wake_read = fds[0];
+    reader->wake_write = fds[1];
+    Reader* raw = reader.get();
+    reader->thread = std::thread([this, raw] { reader_loop(*raw); });
+    readers_.push_back(std::move(reader));
+  }
+
   running_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -93,31 +336,57 @@ void CompileServer::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.close();
 
-  // Unblock handler threads sitting in read_line(); their in-flight
-  // compilations finish, their final writes fail fast, and they exit.
-  std::vector<std::thread> threads;
+  // Stop the reader pool, then cut every connection: pending client reads
+  // see EOF, worker writes fail fast, all outstanding jobs get cancelled.
+  reader_stop_ = true;
+  for (const std::unique_ptr<Reader>& reader : readers_) wake_reader(*reader);
+  for (const std::unique_ptr<Reader>& reader : readers_) {
+    if (reader->thread.joinable()) reader->thread.join();
+  }
+  std::vector<std::shared_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (const std::weak_ptr<LineChannel>& weak : live_channels_) {
-      if (std::shared_ptr<LineChannel> channel = weak.lock()) {
-        channel->shutdown_both();
+    for (const std::weak_ptr<Connection>& weak : connections_) {
+      if (std::shared_ptr<Connection> connection = weak.lock()) {
+        connections.push_back(std::move(connection));
       }
     }
-    threads.swap(connection_threads_);
-    live_channels_.clear();
-    finished_ids_.clear();
+    connections_.clear();
   }
-  for (std::thread& thread : threads) {
-    if (thread.joinable()) thread.join();
+  for (const std::shared_ptr<Connection>& connection : connections) {
+    disconnect(connection);
+  }
+
+  // Drain the sessions while the registry still holds them: cancelled jobs
+  // finalize quickly, their completion callbacks run (writes fail fast on
+  // the shut-down sockets), and — because the pool destroys each task
+  // closure before counting it done — no worker still holds a RequestState
+  // (and through it a SessionEntry) once wait_jobs_idle() returns. Only
+  // then is it safe to drop the registry references and destroy sessions
+  // on this thread.
+  std::vector<std::shared_ptr<SessionEntry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    for (const auto& [key, entry] : sessions_) entries.push_back(entry);
+    for (const std::shared_ptr<SessionEntry>& entry : retired_) {
+      entries.push_back(entry);
+    }
+  }
+  for (const std::shared_ptr<SessionEntry>& entry : entries) {
+    entry->session.cancel_all_jobs();
+  }
+  for (const std::shared_ptr<SessionEntry>& entry : entries) {
+    entry->session.wait_jobs_idle();
   }
   {
-    // The threads just joined pushed their ids into finished_ids_ on exit
-    // (after the clear above). Drop them: a stale id surviving into a
-    // restarted server could alias a reused thread id and make
-    // reap_finished_locked() join a live connection.
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    finished_ids_.clear();
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    sessions_.clear();
+    session_order_.clear();
+    retired_.clear();
   }
+  entries.clear();
+  connections.clear();
+  readers_.clear();
 
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 
@@ -143,6 +412,10 @@ std::size_t CompileServer::session_count() const {
   return sessions_.size();
 }
 
+// ---------------------------------------------------------------------------
+// Accepting and reading.
+// ---------------------------------------------------------------------------
+
 void CompileServer::accept_loop() {
   for (;;) {
     std::optional<Socket> socket;
@@ -154,93 +427,162 @@ void CompileServer::accept_loop() {
     if (!socket.has_value()) break;
     ++connections_accepted_;
 
-    socket->set_send_timeout(kSendTimeoutSeconds);
-    auto channel = std::make_shared<LineChannel>(std::move(*socket));
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    reap_finished_locked();
-    live_channels_.push_back(channel);
-    connection_threads_.emplace_back([this, channel] {
-      handle_connection(channel);
-      std::lock_guard<std::mutex> done_lock(conn_mutex_);
-      finished_ids_.push_back(std::this_thread::get_id());
-    });
+    auto connection = std::make_shared<Connection>(std::move(*socket));
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      connections_.erase(
+          std::remove_if(connections_.begin(), connections_.end(),
+                         [](const std::weak_ptr<Connection>& weak) {
+                           return weak.expired();
+                         }),
+          connections_.end());
+      connections_.push_back(connection);
+    }
+
+    // Pin the connection to a reader round-robin; the reader owns both
+    // socket directions from here on (inbound parsing, outbound pumping).
+    Reader& reader = *readers_[next_reader_++ % readers_.size()];
+    connection->reader = &reader;
+    {
+      std::lock_guard<std::mutex> lock(reader.mutex);
+      reader.incoming.push_back(std::move(connection));
+    }
+    wake_reader(reader);
   }
 }
 
-void CompileServer::reap_finished_locked() {
-  for (const std::thread::id id : finished_ids_) {
-    const auto it = std::find_if(
-        connection_threads_.begin(), connection_threads_.end(),
-        [id](const std::thread& thread) { return thread.get_id() == id; });
-    if (it != connection_threads_.end()) {
-      it->join();
-      connection_threads_.erase(it);
-    }
-  }
-  finished_ids_.clear();
-  live_channels_.erase(
-      std::remove_if(live_channels_.begin(), live_channels_.end(),
-                     [](const std::weak_ptr<LineChannel>& weak) {
-                       return weak.expired();
-                     }),
-      live_channels_.end());
+void CompileServer::wake_reader(Reader& reader) {
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(reader.wake_write, &byte, 1);
 }
 
-void CompileServer::handle_connection(std::shared_ptr<LineChannel> channel) {
-  for (;;) {
-    std::optional<std::string> line;
-    try {
-      line = channel->read_line();
-    } catch (const ServeError&) {
-      return;  // read error or oversized frame: drop the connection
+void CompileServer::reader_loop(Reader& reader) {
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<pollfd> fds;
+  while (!reader_stop_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(reader.mutex);
+      for (std::shared_ptr<Connection>& incoming : reader.incoming) {
+        connections.push_back(std::move(incoming));
+      }
+      reader.incoming.clear();
     }
-    if (!line.has_value()) return;  // clean EOF
-    if (line->empty()) continue;
+    // Reap connections the pump (or an enqueue overflow) declared broken,
+    // and those whose queued output stalled past the send timeout:
+    // cancel their jobs, drop them.
+    for (std::shared_ptr<Connection>& connection : connections) {
+      if (!connection->broken.load() && outbound_stalled(*connection)) {
+        connection->broken.store(true);
+      }
+      if (connection->broken.load()) {
+        disconnect(connection);
+        connection = nullptr;
+      }
+    }
+    connections.erase(std::remove(connections.begin(), connections.end(),
+                                  nullptr),
+                      connections.end());
 
-    Json json;
-    try {
-      json = Json::parse(*line);
-    } catch (const JsonError& e) {
-      // Line framing keeps the stream synchronized, so a malformed document
-      // is a request-level error, not a connection killer.
-      try {
-        channel->write_line(
-            compact(to_json(ErrorMessage{0, std::string("bad json: ") +
-                                                e.what()})));
-      } catch (const ServeError&) {
-        return;
+    fds.clear();
+    fds.push_back(pollfd{reader.wake_read, POLLIN, 0});
+    for (const std::shared_ptr<Connection>& connection : connections) {
+      short events = POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(connection->out_mutex);
+        if (!connection->outbound.empty()) events |= POLLOUT;
       }
-      continue;
+      fds.push_back(pollfd{connection->channel.fd(), events, 0});
     }
+    // The timeout is a safety net: the broken/stall reaping above must not
+    // wait on socket traffic forever.
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 500);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll on our own fds failing is unrecoverable
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(reader.wake_read, drain, sizeof(drain)) > 0) {
+      }
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      std::shared_ptr<Connection>& connection = connections[i - 1];
+      if (fds[i].revents == 0) continue;
+      if ((fds[i].revents & POLLOUT) != 0) pump_outbound(*connection);
+      bool drop = false;
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0) {
+        try {
+          if (!connection->channel.fill_from_socket()) {
+            drop = true;  // clean EOF: the client hung up
+          } else {
+            while (std::optional<std::string> line =
+                       connection->channel.take_line()) {
+              if (!line->empty()) dispatch_line(connection, *line);
+            }
+          }
+        } catch (const std::exception&) {
+          drop = true;  // read error, oversized frame, or allocation failure
+        }
+      }
+      if (drop) {
+        disconnect(connection);
+        connection = nullptr;
+      }
+    }
+    connections.erase(std::remove(connections.begin(), connections.end(),
+                                  nullptr),
+                      connections.end());
+  }
+  // stop(): the registry walk shuts every connection down; nothing to do.
+}
 
-    const std::string type = json.get("type", std::string("compile"));
-    try {
-      if (type == "ping") {
-        channel->write_line(compact(to_json(PongMessage{message_id(json)})));
-      } else if (type == "compile") {
-        handle_compile(*channel, json);
-      } else {
-        channel->write_line(compact(to_json(
-            ErrorMessage{message_id(json),
-                         "unknown request type '" + type + "'"})));
-      }
-    } catch (const ServeError&) {
-      return;  // write failed: the peer is gone
-    } catch (const std::exception& e) {
-      // Nothing a request does may take the daemon down: an exception that
-      // slipped through handle_compile's own handlers becomes a
-      // request-level error, and only a failing write drops the connection.
-      try {
-        channel->write_line(
-            compact(to_json(ErrorMessage{message_id(json), e.what()})));
-      } catch (const ServeError&) {
-        return;
-      }
+void CompileServer::dispatch_line(
+    const std::shared_ptr<Connection>& connection, const std::string& line) {
+  Json json;
+  try {
+    json = Json::parse(line);
+  } catch (const JsonError& e) {
+    // Line framing keeps the stream synchronized, so a malformed document
+    // is a request-level error, not a connection killer.
+    enqueue_frame(*connection,
+                  to_json(ErrorMessage{0, std::string("bad json: ") +
+                                              e.what()}),
+                  /*advisory=*/false);
+    return;
+  }
+
+  const std::string type = json.get("type", std::string("compile"));
+  try {
+    if (type == "ping") {
+      enqueue_frame(*connection, to_json(PongMessage{message_id(json)}),
+                    /*advisory=*/false);
+    } else if (type == "compile") {
+      handle_compile(connection, json);
+    } else {
+      enqueue_frame(*connection,
+                    to_json(ErrorMessage{message_id(json),
+                                         "unknown request type '" + type +
+                                             "'"}),
+                    /*advisory=*/false);
     }
+  } catch (const std::exception& e) {
+    // Nothing a request does may take the daemon down: an exception that
+    // slipped through handle_compile's own handlers becomes a
+    // request-level error. (Replies never block or throw — delivery
+    // problems surface through the outbound pump's broken flag.)
+    enqueue_frame(*connection,
+                  to_json(ErrorMessage{message_id(json), e.what()}),
+                  /*advisory=*/false);
   }
 }
 
-void CompileServer::handle_compile(LineChannel& channel, const Json& json) {
+// ---------------------------------------------------------------------------
+// Compile requests.
+// ---------------------------------------------------------------------------
+
+void CompileServer::handle_compile(
+    const std::shared_ptr<Connection>& connection, const Json& json) {
   std::int64_t id = message_id(json);
 
   // Phase 1 — resolve the request to a session and a scenario batch. Every
@@ -250,6 +592,7 @@ void CompileServer::handle_compile(LineChannel& channel, const Json& json) {
     std::shared_ptr<SessionEntry> entry;
     std::vector<Scenario> batch;
     bool simulate = true;
+    int priority = 0;
   };
   Prepared prepared;
   try {
@@ -283,96 +626,205 @@ void CompileServer::handle_compile(LineChannel& channel, const Json& json) {
       prepared.batch.push_back(std::move(scenario));
     }
     prepared.simulate = request.simulate;
+    prepared.priority = request.priority;
     prepared.entry = resolve_session(std::move(graph), hw);
   } catch (const std::exception& e) {
-    channel.write_line(compact(to_json(ErrorMessage{id, e.what()})));
+    enqueue_frame(*connection, to_json(ErrorMessage{id, e.what()}),
+                  /*advisory=*/false);
     return;
   }
 
-  // Phase 2 — run the batch through the shared session, streaming observer
-  // callbacks to the client as they happen. Two isolation rules keep one
-  // client from hurting the others: a client that disconnects mid-stream
-  // must not fail the compilation (another request may be queued behind it
-  // on the same caches), so write failures flip `broken` and the batch runs
-  // to completion silently; and a client that merely reads slowly must not
-  // stall the pipeline (these callbacks run while the session turn is
-  // held), so events are best-effort — try_write_line drops an event
-  // instead of blocking when the peer's buffer is full.
-  std::atomic<bool> broken{false};
-  EventBridge bridge([&](const PipelineEvent& event) {
-    if (broken.load(std::memory_order_relaxed)) return;
-    try {
-      channel.try_write_line(compact(to_json(EventMessage{id, event})));
-    } catch (const ServeError&) {
-      broken.store(true, std::memory_order_relaxed);
-    }
-  });
+  // Phase 2 — every scenario becomes one CompileJob on the shared session.
+  // The per-job tag routes streamed observer events to this request; the
+  // completion callback (on the session's workers) streams the outcome
+  // frames in enqueue order and, after the last one, the done frame. The
+  // reader returns to its poll loop immediately: requests from any number
+  // of clients interleave at job granularity.
+  auto request_state = std::make_shared<RequestState>();
+  request_state->connection = connection;
+  request_state->entry = prepared.entry;
+  request_state->id = id;
+  request_state->simulate = prepared.simulate;
+  request_state->total = prepared.batch.size();
+  {
+    std::lock_guard<std::mutex> lock(connection->mutex);
+    connection->requests.erase(
+        std::remove_if(connection->requests.begin(),
+                       connection->requests.end(),
+                       [](const std::weak_ptr<RequestState>& weak) {
+                         return weak.expired();
+                       }),
+        connection->requests.end());
+    connection->requests.push_back(request_state);
+  }
 
-  CompilerSession& session = prepared.entry->session;
-  std::vector<ScenarioOutcome> outcomes;
+  for (std::size_t i = 0; i < prepared.batch.size(); ++i) {
+    const std::uint64_t tag = prepared.entry->next_tag.fetch_add(1);
+    // Route before submit: the first observer event may fire before
+    // submit() even returns.
+    prepared.entry->router.add(tag, connection, id);
+
+    JobOptions job_options;
+    job_options.index = static_cast<int>(i);
+    job_options.tag = tag;
+    job_options.priority = prepared.priority;
+    job_options.on_complete =
+        [this, request_state, tag](const ScenarioOutcome& outcome) {
+          on_job_complete(request_state, tag, outcome);
+        };
+    CompileJob job = prepared.entry->session.submit(
+        std::move(prepared.batch[i]), std::move(job_options));
+    std::lock_guard<std::mutex> lock(request_state->mutex);
+    request_state->jobs.push_back(std::move(job));
+  }
+
+  // The client may have died mid-submission (its disconnect ran against a
+  // partial job list); sweep once more so none of its jobs outlive it.
+  if (connection->broken.load()) cancel_request_jobs(request_state);
+}
+
+void CompileServer::on_job_complete(
+    const std::shared_ptr<RequestState>& request, std::uint64_t tag,
+    const ScenarioOutcome& outcome) {
+  request->entry->router.remove(tag);
+
+  OutcomeMessage message;
+  message.id = request->id;
+  message.label = outcome.label;
+  message.index = outcome.index;
+  // This runs on a session pool worker, where an escaping exception would
+  // terminate the whole daemon (ThreadPool's documented task contract) —
+  // so serialization failures of any type degrade to an error outcome.
   try {
-    SessionEntry::Turn turn(*prepared.entry);
-    ObserverGuard guard(session);
-    session.set_observer(&bridge);
-    for (Scenario& scenario : prepared.batch) {
-      session.enqueue(std::move(scenario));
-    }
-    outcomes = session.compile_all();
-  } catch (const std::exception& e) {
-    // compile_all() never throws for a scenario failure; reaching this is a
-    // batch-level breakdown (e.g. allocation failure).
-    channel.write_line(compact(to_json(ErrorMessage{id, e.what()})));
-    return;
-  }
-
-  if (broken.load()) {
-    // The event stream already failed: the peer is gone or stopped reading,
-    // and a timed-out send may have cut a frame mid-line, so the byte
-    // stream is no longer trustworthy. Drop the connection now — the
-    // client gets EOF and a clean "connection closed" error instead of
-    // waiting forever for outcome frames — and skip the per-scenario
-    // simulations nobody will receive.
-    channel.shutdown_both();
-    return;
-  }
-
-  // Phase 3 — per-scenario outcomes, then the terminal done record. The
-  // turn is already released: serializing JSON and simulating happen off
-  // the session's request queue.
-  int ok_count = 0;
-  int error_count = 0;
-  std::vector<OutcomeMessage> messages;
-  for (const ScenarioOutcome& outcome : outcomes) {
-    OutcomeMessage message;
-    message.id = id;
-    message.label = outcome.label;
-    message.index = outcome.index;
     if (outcome.ok()) {
       message.ok = true;
       message.compile = compile_result_to_json(*outcome.result);
-      if (prepared.simulate) {
+      // Simulation is skipped for a broken connection: nobody will receive
+      // the frame, and the cycles belong to live clients.
+      if (request->simulate && !request->connection->broken.load()) {
         try {
-          message.simulation =
-              sim_report_to_json(session.simulate(*outcome.result));
+          message.simulation = sim_report_to_json(
+              request->entry->session.simulate(*outcome.result));
         } catch (const std::exception& e) {
           message.ok = false;
           message.compile = Json();
           message.error = std::string("simulation failed: ") + e.what();
+          message.error_kind = to_string(error_kind_of(e));
         }
       }
     } else {
       message.error = outcome.error;
+      message.error_kind = to_string(outcome.error_kind);
     }
-    (message.ok ? ok_count : error_count) += 1;
-    messages.push_back(std::move(message));
+  } catch (const std::exception& e) {
+    message.ok = false;
+    message.compile = Json();
+    message.simulation = Json();
+    message.error = std::string("failed to serialize result: ") + e.what();
+    message.error_kind = to_string(ErrorKind::kInternal);
   }
 
-  for (const OutcomeMessage& message : messages) {
-    channel.write_line(compact(to_json(message)));
+  {
+    std::lock_guard<std::mutex> lock(request->mutex);
+    (message.ok ? request->ok_count : request->error_count) += 1;
+    request->ready.emplace(static_cast<std::size_t>(outcome.index),
+                           std::move(message));
+    ++request->completed;
   }
-  channel.write_line(compact(to_json(DoneMessage{id, ok_count, error_count})));
-  ++requests_served_;
+  flush_outcomes(request);
 }
+
+void CompileServer::flush_outcomes(
+    const std::shared_ptr<RequestState>& request) {
+  std::lock_guard<std::mutex> emit_lock(request->emit_mutex);
+  for (;;) {
+    std::optional<OutcomeMessage> message;
+    bool emit_done = false;
+    int ok_count = 0;
+    int error_count = 0;
+    {
+      std::lock_guard<std::mutex> lock(request->mutex);
+      const auto it = request->ready.find(request->next_emit);
+      if (it != request->ready.end()) {
+        message = std::move(it->second);
+        request->ready.erase(it);
+        ++request->next_emit;
+      } else if (request->completed == request->total &&
+                 request->next_emit == request->total &&
+                 !request->done_handled) {
+        request->done_handled = true;
+        emit_done = true;
+        ok_count = request->ok_count;
+        error_count = request->error_count;
+      } else {
+        return;  // the next frame in order is still compiling
+      }
+    }
+
+    // This runs on a pool worker, but enqueue_frame never blocks and never
+    // throws: the frames land on the connection's outbound queue and the
+    // pinned reader pumps them — delivery failures surface through the
+    // broken flag (the reader then cancels the request's remaining jobs).
+    Connection& connection = *request->connection;
+    if (message.has_value()) {
+      if (!connection.broken.load()) {
+        enqueue_frame(connection, to_json(*message), /*advisory=*/false);
+      }
+      continue;  // keep draining frames that are already in order
+    }
+    if (!emit_done) return;
+
+    // Terminal done frame: the request is fully answered. A broken
+    // connection's request drained (its cancelled jobs completed) but was
+    // never answered, so it does not count as served. The counter ticks
+    // before the enqueue — a client acting on the done frame must never
+    // observe a server that hasn't counted its request yet.
+    if (!connection.broken.load()) {
+      ++requests_served_;
+      enqueue_frame(connection,
+                    to_json(DoneMessage{request->id, ok_count, error_count}),
+                    /*advisory=*/false);
+    }
+    return;
+  }
+}
+
+void CompileServer::cancel_request_jobs(
+    const std::shared_ptr<RequestState>& request) {
+  std::vector<CompileJob> jobs;
+  {
+    std::lock_guard<std::mutex> lock(request->mutex);
+    jobs = request->jobs;
+  }
+  // cancel() outside the request lock: a still-queued job may finalize (and
+  // re-enter this request's bookkeeping via its completion callback) on
+  // another thread while we iterate.
+  for (const CompileJob& job : jobs) {
+    if (job.cancel()) ++jobs_cancelled_;
+  }
+}
+
+void CompileServer::disconnect(const std::shared_ptr<Connection>& connection) {
+  connection->broken.store(true);
+  connection->channel.shutdown_both();
+  std::vector<std::shared_ptr<RequestState>> requests;
+  {
+    std::lock_guard<std::mutex> lock(connection->mutex);
+    for (const std::weak_ptr<RequestState>& weak : connection->requests) {
+      if (std::shared_ptr<RequestState> request = weak.lock()) {
+        requests.push_back(std::move(request));
+      }
+    }
+    connection->requests.clear();
+  }
+  for (const std::shared_ptr<RequestState>& request : requests) {
+    cancel_request_jobs(request);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session registry.
+// ---------------------------------------------------------------------------
 
 std::shared_ptr<CompileServer::SessionEntry> CompileServer::resolve_session(
     Graph&& graph, const HardwareConfig& hw) {
@@ -381,6 +833,7 @@ std::shared_ptr<CompileServer::SessionEntry> CompileServer::resolve_session(
       combine_fingerprints(fingerprint(graph), fingerprint(hw));
 
   std::lock_guard<std::mutex> lock(session_mutex_);
+  prune_retired_locked();
   const auto it = sessions_.find(key);
   if (it != sessions_.end()) return it->second;
 
@@ -388,14 +841,37 @@ std::shared_ptr<CompileServer::SessionEntry> CompileServer::resolve_session(
   entry->session.set_jobs(options_.jobs);
   sessions_.emplace(key, entry);
   session_order_.push_back(key);
-  // FIFO eviction keeps a daemon sweeping many models bounded; entries held
-  // by in-flight requests stay alive through their shared_ptr.
+  // FIFO eviction keeps a daemon sweeping many models bounded. Evicted
+  // entries are parked in retired_ (not dropped): in-flight jobs still
+  // reference them through their RequestStates, and the registry must keep
+  // the last reference so a session is never destroyed — never joins its
+  // own workers — from one of its own worker threads.
   while (sessions_.size() > options_.max_sessions) {
-    sessions_.erase(session_order_.front());
+    const auto evicted = sessions_.find(session_order_.front());
+    if (evicted != sessions_.end()) {
+      retired_.push_back(evicted->second);
+      sessions_.erase(evicted);
+    }
     session_order_.pop_front();
   }
   return entry;
 }
+
+void CompileServer::prune_retired_locked() {
+  retired_.erase(
+      std::remove_if(retired_.begin(), retired_.end(),
+                     [](const std::shared_ptr<SessionEntry>& entry) {
+                       // use_count == 1: only the registry holds it — no
+                       // job closure, request, or handler can resurrect
+                       // it, so destroying here (a server thread) is safe.
+                       return entry.use_count() == 1;
+                     }),
+      retired_.end());
+}
+
+// ---------------------------------------------------------------------------
+// Daemon frontend.
+// ---------------------------------------------------------------------------
 
 void block_shutdown_signals() {
   sigset_t set;
@@ -420,7 +896,7 @@ int run_daemon(int argc, char** argv, const std::string& program) {
   const auto usage = [&program]() -> int {
     std::cerr << "usage: " << program
               << " (--unix PATH | --port N [--host ADDR])\n"
-                 "       [--jobs N|auto] [--max-sessions N]\n";
+                 "       [--jobs N|auto] [--readers N] [--max-sessions N]\n";
     return 2;
   };
   const auto parse_int_flag = [&program](const std::string& flag,
@@ -457,6 +933,10 @@ int run_daemon(int argc, char** argv, const std::string& program) {
         std::cerr << program << ": " << e.what() << '\n';
         return 2;
       }
+    } else if (arg == "--readers" && has_next) {
+      const std::optional<int> readers = parse_int_flag(arg, argv[++i], 1, 64);
+      if (!readers.has_value()) return 2;
+      options.readers = *readers;
     } else if (arg == "--max-sessions" && has_next) {
       const std::optional<int> max =
           parse_int_flag(arg, argv[++i], 1, 1 << 16);

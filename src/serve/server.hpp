@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -27,14 +28,28 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;
 
-  /// Worker threads each CompilerSession fans a scenario batch over
-  /// (CompilerSession::set_jobs: 0 = one per hardware thread).
+  /// Resident worker threads per CompilerSession: how many of one session's
+  /// jobs compile concurrently (CompilerSession::set_jobs; 0 = one per
+  /// hardware thread).
   int jobs = 1;
+
+  /// Reader threads multiplexing all connections via poll(2). Each
+  /// connection is pinned to one reader; 2 is plenty, because readers only
+  /// parse requests and submit jobs — compilation happens on the sessions'
+  /// workers.
+  int readers = 2;
 
   /// Bound on concurrently cached sessions (distinct (graph, hardware)
   /// identities). Oldest-created sessions are evicted first; in-flight
   /// requests keep evicted sessions alive until they finish.
   std::size_t max_sessions = 8;
+
+  /// Outbound stall bound: a peer with queued frames that accepts no bytes
+  /// for this long is declared gone — its connection drops and its
+  /// remaining jobs are cancelled. (All socket writes are non-blocking and
+  /// performed by the reader pool, so a stalled peer never blocks a
+  /// session worker for even a moment.)
+  int send_timeout_seconds = 30;
 };
 
 /// The compile-server daemon core: accepts connections, reads
@@ -44,12 +59,16 @@ struct ServerOptions {
 /// another's partitioned workloads and mapping results, observed as
 /// `cache_hit` events on the wire.
 ///
-/// Concurrency model: one handler thread per connection; requests that
-/// resolve to the same session are served in arrival order (a per-session
-/// FIFO queue), which is what makes observer events attributable to exactly
-/// one request; requests for different sessions run fully in parallel, and
-/// a single request's scenario batch additionally fans out over
-/// `options.jobs` workers inside its session.
+/// Concurrency model (PR 4): a small fixed reader pool multiplexes every
+/// connection via poll(2); each wire scenario becomes a CompileJob on the
+/// session's shared priority queue (CompilerSession::submit), its
+/// completion callback streams the outcome frame, and per-job tags route
+/// the merged observer event stream back to exactly the request that owns
+/// each job. There is no thread per connection and no per-session FIFO
+/// turn: requests from many clients interleave at job granularity on the
+/// session's resident workers. A client that disconnects — or stops
+/// reading past the send timeout — has its own jobs cancelled
+/// (cooperatively, mid-GA included) without touching anyone else's.
 class CompileServer {
  public:
   explicit CompileServer(ServerOptions options);
@@ -60,12 +79,12 @@ class CompileServer {
   CompileServer(const CompileServer&) = delete;
   CompileServer& operator=(const CompileServer&) = delete;
 
-  /// Binds the socket and spawns the accept thread. Throws ServeError when
-  /// the endpoint cannot be bound.
+  /// Binds the socket and spawns the accept thread plus the reader pool.
+  /// Throws ServeError when the endpoint cannot be bound.
   void start();
 
-  /// Graceful shutdown: stops accepting, unblocks every connection (their
-  /// in-flight compilations finish and their final messages are attempted),
+  /// Graceful shutdown: stops accepting, unblocks the readers, cancels
+  /// every outstanding job, waits for the sessions' workers to go idle,
   /// joins all threads, and removes the Unix socket file. Idempotent.
   void stop();
 
@@ -84,42 +103,90 @@ class CompileServer {
 
   std::uint64_t requests_served() const { return requests_served_; }
   std::uint64_t connections_accepted() const { return connections_accepted_; }
+  /// Jobs cancelled because their client disconnected or stopped reading.
+  std::uint64_t jobs_cancelled() const { return jobs_cancelled_; }
   std::size_t session_count() const;
 
  private:
-  /// One shared CompilerSession plus the FIFO ticket lock serializing the
-  /// requests routed to it (std::mutex makes no fairness promise; tickets
-  /// do, and the order requests join the queue is the order clients see
-  /// their batches served).
-  struct SessionEntry {
-    SessionEntry(Graph graph, HardwareConfig hw)
-        : session(std::move(graph), hw) {}
+  struct Connection;
+  struct RequestState;
+  struct SessionEntry;
+  struct Reader;
 
-    CompilerSession session;
-    std::mutex mutex;
-    std::condition_variable turn;
-    std::uint64_t next_ticket = 0;
-    std::uint64_t serving = 0;
+  /// Routes tagged observer events of one shared session back to the
+  /// connection whose request owns each job. Installed as the session's
+  /// observer once, at SessionEntry creation; events are best-effort
+  /// (advisory frames past the outbound budget are dropped) so a slow
+  /// reader can never stall the pipeline.
+  class JobRouter final : public PipelineObserver {
+   public:
+    void add(std::uint64_t tag, std::weak_ptr<Connection> connection,
+             std::int64_t request_id);
+    void remove(std::uint64_t tag);
 
-    struct Turn {
-      explicit Turn(SessionEntry& entry);
-      ~Turn();
-      SessionEntry& entry;
+    void on_stage_begin(const StageInfo& info) override;
+    void on_stage_end(const StageInfo& info) override;
+    void on_cache_hit(const CacheEvent& event) override;
+
+   private:
+    struct Route {
+      std::weak_ptr<Connection> connection;
+      std::int64_t request_id = 0;
     };
+    void route(const PipelineEvent& event);
+
+    std::mutex mutex_;
+    std::unordered_map<std::uint64_t, Route> routes_;
   };
 
   void accept_loop();
-  void handle_connection(std::shared_ptr<LineChannel> channel);
-  void handle_compile(LineChannel& channel, const Json& json);
+  void reader_loop(Reader& reader);
+  static void wake_reader(Reader& reader);
 
-  /// Joins handler threads that announced completion (conn_mutex_ held).
-  void reap_finished_locked();
+  /// Serializes `json` onto the connection's outbound queue (the pinned
+  /// reader pumps it with non-blocking sends). Advisory frames (progress
+  /// events) are dropped when the queue is already deep; mandatory frames
+  /// past the hard cap mark the connection broken. Never blocks, never
+  /// throws.
+  static void enqueue_frame(Connection& connection, const Json& json,
+                            bool advisory);
+  /// Drains as much outbound as the socket accepts right now (reader
+  /// thread only); send errors mark the connection broken.
+  static void pump_outbound(Connection& connection);
+  /// True when queued output has made no progress past the stall bound.
+  bool outbound_stalled(Connection& connection) const;
+
+  /// Parses and answers one request line (replies go through the outbound
+  /// queue, so this never blocks on the peer).
+  void dispatch_line(const std::shared_ptr<Connection>& connection,
+                     const std::string& line);
+  void handle_compile(const std::shared_ptr<Connection>& connection,
+                      const Json& json);
+
+  /// Job-completion fan-in (runs on session workers): converts the outcome
+  /// to a wire frame (simulating if requested) and streams every frame
+  /// that is ready in enqueue order.
+  void on_job_complete(const std::shared_ptr<RequestState>& request,
+                       std::uint64_t tag, const ScenarioOutcome& outcome);
+  void flush_outcomes(const std::shared_ptr<RequestState>& request);
+
+  /// Cancels a request's still-outstanding jobs (counted in
+  /// jobs_cancelled_) — the isolation primitive behind "a dead client
+  /// cancels only its own work".
+  void cancel_request_jobs(const std::shared_ptr<RequestState>& request);
+
+  /// Declares a connection dead: marks it broken, shuts the socket down,
+  /// and cancels the jobs of every request it still owns.
+  void disconnect(const std::shared_ptr<Connection>& connection);
 
   /// Returns the shared session for (graph, hw), creating (and possibly
-  /// evicting) under the registry lock. `graph` is consumed on the create
+  /// retiring) under the registry lock. `graph` is consumed on the create
   /// path only.
   std::shared_ptr<SessionEntry> resolve_session(Graph&& graph,
                                                 const HardwareConfig& hw);
+  /// Destroys retired sessions nobody references anymore (registry lock
+  /// held). Keeps session destruction off the sessions' own workers.
+  void prune_retired_locked();
 
   ServerOptions options_;
   Socket listener_;
@@ -128,26 +195,29 @@ class CompileServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> accept_stop_{false};
+  std::atomic<bool> reader_stop_{false};
   bool stop_requested_ = false;  // guarded by lifecycle_mutex_
   mutable std::mutex lifecycle_mutex_;
   std::condition_variable stopped_;
 
-  // Connection bookkeeping so stop() can unblock handler threads stuck in
-  // read_line() and join them, and so a long-lived daemon reaps finished
-  // handler threads instead of accumulating them.
-  std::vector<std::thread> connection_threads_;   // guarded by conn_mutex_
-  std::vector<std::thread::id> finished_ids_;     // same guard
-  std::vector<std::weak_ptr<LineChannel>> live_channels_;  // same guard
-  std::mutex conn_mutex_;
+  std::vector<std::unique_ptr<Reader>> readers_;
+  std::size_t next_reader_ = 0;  // accept-thread only: round-robin pinning
+
+  // Every live connection, so stop() can shut them all down.
+  std::vector<std::weak_ptr<Connection>> connections_;  // guarded by
+  std::mutex conn_mutex_;                               // conn_mutex_
 
   // Session registry: fingerprint -> shared session, plus creation order
-  // for FIFO eviction.
+  // for FIFO eviction. Evicted entries move to retired_ until their last
+  // outstanding job finishes (see prune_retired_locked).
   std::unordered_map<std::uint64_t, std::shared_ptr<SessionEntry>> sessions_;
   std::deque<std::uint64_t> session_order_;
+  std::vector<std::shared_ptr<SessionEntry>> retired_;
   mutable std::mutex session_mutex_;
 
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> jobs_cancelled_{0};
 };
 
 /// Signal plumbing for daemon mains (pimcompd, `pimcomp_cli serve`): call
@@ -172,11 +242,12 @@ int parse_jobs_flag(const std::string& value);
 /// The complete daemon frontend shared by `pimcompd` and
 /// `pimcomp_cli serve` — one flag grammar, one lifecycle, two binaries that
 /// cannot drift. Parses `--unix PATH | --port N [--host ADDR]`,
-/// `[--jobs N|auto] [--max-sessions N]` from argv (NOT including the
-/// program/subcommand name), masks SIGINT/SIGTERM, starts a CompileServer,
-/// prints "<program> listening on <endpoint>" on stdout, blocks until a
-/// shutdown signal, and stops gracefully. Returns the process exit code
-/// (2 = bad usage; errors print to stderr prefixed with `program`).
+/// `[--jobs N|auto] [--readers N] [--max-sessions N]` from argv (NOT
+/// including the program/subcommand name), masks SIGINT/SIGTERM, starts a
+/// CompileServer, prints "<program> listening on <endpoint>" on stdout,
+/// blocks until a shutdown signal, and stops gracefully. Returns the
+/// process exit code (2 = bad usage; errors print to stderr prefixed with
+/// `program`).
 int run_daemon(int argc, char** argv, const std::string& program);
 
 }  // namespace pimcomp::serve

@@ -211,6 +211,9 @@ TEST(ServeEndToEnd, InfeasibleScenarioReportsErrorWithoutKillingConnection) {
   EXPECT_TRUE(reply.outcomes[0].ok) << reply.outcomes[0].error;
   EXPECT_FALSE(reply.outcomes[1].ok);
   EXPECT_FALSE(reply.outcomes[1].error.empty());
+  // The machine-readable classification travels the wire: clients branch
+  // on "capacity" instead of string-matching the what() text.
+  EXPECT_EQ(reply.outcomes[1].error_kind, to_string(ErrorKind::kCapacity));
   EXPECT_EQ(reply.ok_count, 1);
   EXPECT_EQ(reply.error_count, 1);
 

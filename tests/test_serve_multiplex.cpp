@@ -1,0 +1,241 @@
+// End-to-end tests of the multiplexed pimcompd (PR 4): one fixed reader
+// pool serving many concurrent clients over poll(2), wire scenarios running
+// as CompileJobs on shared sessions, and the isolation acceptance scenario —
+// a deliberately stalled client whose disconnect cancels its own jobs (and
+// only its own) instead of wedging a handler thread or starving the queue.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/serialize.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace pimcomp {
+namespace {
+
+using serve::CompileClient;
+using serve::CompileReply;
+using serve::CompileRequest;
+using serve::CompileServer;
+using serve::LineChannel;
+using serve::ScenarioSpec;
+using serve::ServerOptions;
+
+Graph small_cnn() {
+  GraphBuilder b("mux-cnn", {3, 16, 16});
+  NodeId x = b.input();
+  x = b.conv_relu(x, 8, 3, /*stride=*/1, /*padding=*/1, "conv1");
+  x = b.max_pool(x, 2, 2, 0, "pool1");
+  x = b.conv_relu(x, 16, 3, 1, 1, "conv2");
+  x = b.fc(b.flatten(x, "flatten"), 10, "classifier");
+  b.softmax(x, "prob");
+  return b.build();
+}
+
+CompileOptions tiny_options(int parallelism, std::uint64_t seed = 1) {
+  CompileOptions options;
+  options.mode = PipelineMode::kHighThroughput;
+  options.parallelism_degree = parallelism;
+  options.ga.population = 8;
+  options.ga.generations = 4;
+  options.seed = seed;
+  return options;
+}
+
+CompileRequest tiny_request(int parallelism, std::uint64_t seed = 1) {
+  CompileRequest request;
+  request.graph = graph_to_json(small_cnn());
+  ScenarioSpec spec;
+  spec.label = "P=" + std::to_string(parallelism);
+  spec.options = tiny_options(parallelism, seed);
+  request.scenarios.push_back(std::move(spec));
+  return request;
+}
+
+std::string unique_socket_path(const std::string& tag) {
+  return "/tmp/pimcomp-mux-" + tag + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+// ---------------------------------------------------------------------------
+// The reader pool serves many clients at once.
+// ---------------------------------------------------------------------------
+
+TEST(ServeMultiplex, ReaderPoolServesEightConcurrentClients) {
+  ServerOptions options;
+  options.unix_path = unique_socket_path("eight");
+  options.readers = 2;  // 8 connections multiplexed onto 2 reader threads
+  options.jobs = 2;
+  CompileServer server(options);
+  server.start();
+
+  constexpr int kClients = 8;
+  std::vector<CompileReply> replies(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      CompileClient client = CompileClient::connect(server.endpoint());
+      // Three distinct design points across the fleet: plenty of overlap,
+      // so later clients hit the caches their peers warmed.
+      replies[static_cast<std::size_t>(c)] =
+          client.submit(tiny_request(2 + (c % 3)));
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    const CompileReply& reply = replies[static_cast<std::size_t>(c)];
+    ASSERT_EQ(reply.outcomes.size(), 1u) << "client " << c;
+    EXPECT_TRUE(reply.outcomes[0].ok)
+        << "client " << c << ": " << reply.outcomes[0].error;
+    EXPECT_EQ(reply.error_count, 0);
+    // Every streamed event belongs to this client's own scenario.
+    for (const PipelineEvent& event : reply.events) {
+      EXPECT_EQ(event.scenario, reply.outcomes[0].label);
+    }
+  }
+  EXPECT_EQ(server.requests_served(), static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(server.connections_accepted(),
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(server.session_count(), 1u);  // all eight shared one session
+  EXPECT_EQ(server.jobs_cancelled(), 0u);
+  server.stop();
+}
+
+TEST(ServeMultiplex, PipelinedRequestsOnOneConnection) {
+  ServerOptions options;
+  options.unix_path = unique_socket_path("pipeline");
+  CompileServer server(options);
+  server.start();
+
+  // Back-to-back requests on one connection: the multiplexed reader keeps
+  // the connection usable across any number of requests.
+  CompileClient client = CompileClient::connect(server.endpoint());
+  for (int i = 0; i < 3; ++i) {
+    const CompileReply reply =
+        client.submit(tiny_request(2 + i, static_cast<std::uint64_t>(i + 1)));
+    EXPECT_EQ(reply.error_count, 0);
+    EXPECT_TRUE(client.ping());
+  }
+  EXPECT_EQ(server.requests_served(), 3u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario: a stalled client cancels only its own jobs.
+// ---------------------------------------------------------------------------
+
+TEST(ServeMultiplex, StalledClientCancelsOnlyItsOwnJobs) {
+  ServerOptions options;
+  options.unix_path = unique_socket_path("stalled");
+  options.readers = 2;
+  // One worker per session: if the dead client's runaway job were NOT
+  // cancelled, every other client below would starve behind it for the
+  // better part of a minute and the test would time out.
+  options.jobs = 1;
+  CompileServer server(options);
+  server.start();
+
+  // The stalled client: submits a ~40 s GA budget (at full run) on the
+  // same model everyone else uses, never reads a byte of its reply, and
+  // then vanishes. Raw channel, not CompileClient — stalling is the point.
+  auto stalled = std::make_unique<LineChannel>(
+      serve::connect_unix(options.unix_path));
+  {
+    CompileRequest runaway = tiny_request(9, /*seed=*/77);
+    runaway.scenarios[0].label = "runaway";
+    runaway.scenarios[0].options.ga.generations = 1'000'000;
+    runaway.simulate = false;
+    runaway.id = 424242;
+    stalled->write_line(serve::to_json(runaway).dump(-1));
+  }
+  // Give the runaway job time to be admitted and occupy the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Eight live clients pile on while the runaway job holds the only worker.
+  constexpr int kClients = 8;
+  std::vector<CompileReply> replies(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      CompileClient client = CompileClient::connect(server.endpoint());
+      replies[static_cast<std::size_t>(c)] = client.submit(
+          tiny_request(2 + (c % 3), static_cast<std::uint64_t>(c + 1)));
+    });
+  }
+
+  // The stalled client hangs up. The reader observes EOF, cancels the
+  // runaway job mid-GA (observed within one generation), and the worker
+  // moves on to the live clients' jobs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const auto hangup = std::chrono::steady_clock::now();
+  stalled->shutdown_both();
+  stalled.reset();
+
+  for (std::thread& thread : clients) thread.join();
+  const double drain_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - hangup)
+          .count();
+
+  // Everyone else was served, correctly and promptly — nowhere near the
+  // ~40 s the runaway budget would have held the worker.
+  for (int c = 0; c < kClients; ++c) {
+    const CompileReply& reply = replies[static_cast<std::size_t>(c)];
+    ASSERT_EQ(reply.outcomes.size(), 1u) << "client " << c;
+    EXPECT_TRUE(reply.outcomes[0].ok)
+        << "client " << c << ": " << reply.outcomes[0].error;
+  }
+  EXPECT_LT(drain_seconds, 20.0);
+
+  // Exactly the stalled client's job was cancelled, nobody else's.
+  EXPECT_EQ(server.jobs_cancelled(), 1u);
+  EXPECT_EQ(server.requests_served(), static_cast<std::uint64_t>(kClients));
+  server.stop();
+}
+
+TEST(ServeMultiplex, DisconnectBeforeJobsStartCancelsTheWholeBatch) {
+  ServerOptions options;
+  options.unix_path = unique_socket_path("earlydrop");
+  options.jobs = 1;
+  CompileServer server(options);
+  server.start();
+
+  // A batch of three jobs, then an immediate hangup: whichever jobs have
+  // not started are cancelled before ever reaching a pipeline stage.
+  {
+    LineChannel channel(serve::connect_unix(options.unix_path));
+    CompileRequest request = tiny_request(2, /*seed=*/5);
+    for (int i = 0; i < 2; ++i) {
+      ScenarioSpec spec;
+      spec.label = "extra-" + std::to_string(i);
+      spec.options = tiny_options(3 + i, /*seed=*/6 + i);
+      spec.options.ga.generations = 200'000;
+      request.scenarios.push_back(std::move(spec));
+    }
+    request.scenarios[0].options.ga.generations = 200'000;
+    channel.write_line(serve::to_json(request).dump(-1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }  // channel closes here: EOF on the reader
+
+  // A fresh client compiles immediately — the dead batch is not in its way.
+  const auto t0 = std::chrono::steady_clock::now();
+  CompileClient client = CompileClient::connect(server.endpoint());
+  const CompileReply reply = client.submit(tiny_request(4, /*seed=*/9));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(reply.error_count, 0);
+  EXPECT_LT(seconds, 20.0);
+  EXPECT_GE(server.jobs_cancelled(), 2u);  // at least the two queued jobs
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pimcomp

@@ -326,11 +326,13 @@ TEST(ServeProtocol, ServerMessagesRoundTripThroughVariant) {
   bad.index = 0;
   bad.ok = false;
   bad.error = "CapacityError: does not fit";
+  bad.error_kind = to_string(ErrorKind::kCapacity);
   message = serve::server_message_from_json(wire(serve::to_json(bad)));
   ASSERT_TRUE(std::holds_alternative<OutcomeMessage>(message));
   EXPECT_FALSE(std::get<OutcomeMessage>(message).ok);
   EXPECT_EQ(std::get<OutcomeMessage>(message).error,
             "CapacityError: does not fit");
+  EXPECT_EQ(std::get<OutcomeMessage>(message).error_kind, "capacity");
 
   message = serve::server_message_from_json(
       wire(serve::to_json(DoneMessage{7, 3, 1})));
@@ -352,6 +354,61 @@ TEST(ServeProtocol, UnknownServerMessageTypeThrows) {
   Json json = Json::object();
   json["type"] = "telegram";
   EXPECT_THROW(serve::server_message_from_json(json), ServeError);
+}
+
+// ---------------------------------------------------------------------------
+// Structured errors on the wire (PR 4).
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, ErrorKindRoundTripsEveryValue) {
+  for (const ErrorKind kind :
+       {ErrorKind::kCapacity, ErrorKind::kConfig, ErrorKind::kCancelled,
+        ErrorKind::kInternal}) {
+    OutcomeMessage failed;
+    failed.id = 11;
+    failed.label = "broken";
+    failed.ok = false;
+    failed.error = "some failure";
+    failed.error_kind = to_string(kind);
+    const ServerMessage message =
+        serve::server_message_from_json(wire(serve::to_json(failed)));
+    ASSERT_TRUE(std::holds_alternative<OutcomeMessage>(message));
+    const OutcomeMessage& parsed = std::get<OutcomeMessage>(message);
+    EXPECT_EQ(parsed.error_kind, to_string(kind));
+    // Clients branch on the enum, not the string.
+    EXPECT_EQ(error_kind_from_string(parsed.error_kind), kind);
+  }
+
+  // Successful outcomes carry no error_kind key at all.
+  OutcomeMessage good;
+  good.id = 11;
+  good.ok = true;
+  good.compile = Json::object();
+  const Json frame = wire(serve::to_json(good));
+  EXPECT_FALSE(frame.contains("error_kind"));
+  // A v1 failure frame (no error_kind) still parses, as "unspecified".
+  Json legacy = Json::object();
+  legacy["type"] = "outcome";
+  legacy["id"] = 3;
+  legacy["ok"] = false;
+  legacy["error"] = "old server";
+  const ServerMessage from_v1 = serve::server_message_from_json(legacy);
+  EXPECT_TRUE(std::get<OutcomeMessage>(from_v1).error_kind.empty());
+}
+
+TEST(ServeProtocol, RequestPriorityRoundTripsAndIsBounded) {
+  CompileRequest request;
+  request.model = "squeezenet";
+  request.priority = 9;
+  request.scenarios.push_back(serve::ScenarioSpec{});
+  const CompileRequest parsed =
+      serve::request_from_json(wire(serve::to_json(request)));
+  EXPECT_EQ(parsed.priority, 9);
+
+  // Absent priority means 0; absurd values are rejected, not clamped.
+  Json json = serve::to_json(request);
+  json["priority"] = 1'000'000;
+  EXPECT_THROW(serve::request_from_json(json), ServeError);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <vector>
 
 namespace pimcomp {
 namespace {
@@ -50,6 +51,62 @@ TEST(ThreadPool, ThreadCountIsClampedToAtLeastOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1);
   EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, PriorityOrdersTheQueueTiesStayFifo) {
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::vector<int> order;
+  std::atomic<bool> release{false};
+  // Park the single worker so every subsequent submit is provably queued.
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  const auto record = [&](int id) {
+    return [&, id] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(id);
+    };
+  };
+  pool.submit(record(1), /*priority=*/0);
+  pool.submit(record(2), /*priority=*/0);
+  pool.submit(record(3), /*priority=*/7);  // jumps both
+  pool.submit(record(4), /*priority=*/7);  // FIFO within priority 7
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{3, 4, 1, 2}));
+}
+
+TEST(ThreadPool, RunOneExecutesInlineAndReportsEmptiness) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  // The worker must own the parking task before we drain inline, or
+  // run_one() below could pop it and spin this thread on itself.
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> done{0};
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.submit([&done] { done.fetch_add(1); });
+  // The external caller drains the queue itself while the worker is stuck.
+  EXPECT_TRUE(pool.run_one());
+  EXPECT_TRUE(pool.run_one());
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_FALSE(pool.run_one());  // queue empty, no blocking
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, CurrentIdentifiesWorkerThreads) {
+  EXPECT_EQ(ThreadPool::current(), nullptr);  // the test thread is external
+  ThreadPool pool(1);
+  const ThreadPool* seen = nullptr;
+  pool.submit([&seen] { seen = ThreadPool::current(); });
+  pool.wait_idle();
+  EXPECT_EQ(seen, &pool);
 }
 
 TEST(ThreadPool, TasksActuallyFanOutAcrossThreads) {
