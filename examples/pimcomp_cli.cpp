@@ -3,6 +3,7 @@
 //   pimcomp_cli <model> [options]          compile locally (default)
 //   pimcomp_cli serve ...                  run the compile-server daemon
 //   pimcomp_cli submit --server E ...      submit a batch to a daemon
+//   pimcomp_cli cache stats|purge ...      inspect / empty a --cache-dir
 //
 // Local compilation:
 //   pimcomp_cli <model> [options]
@@ -23,7 +24,16 @@
 //   --dump-stream CORE   print a core's instruction stream (single run only)
 //   --trace FILE         write the per-stage event timeline as JSON
 //   --json               emit machine-readable JSON reports
-//   --list-mappers       print the registered mapper/scheduler keys
+//   --cache-dir PATH     persistent mapping cache: identical compilations
+//                        (same model, hardware, and options) are reused
+//                        across runs instead of re-running the GA
+//   --list-mappers       print the registered mapper keys
+//   --list-schedulers    print the registered scheduler keys
+//
+// Cache maintenance (the on-disk artifact store a --cache-dir run or a
+// `pimcompd --cache-dir` daemon fills):
+//   pimcomp_cli cache stats --cache-dir PATH [--json]
+//   pimcomp_cli cache purge --cache-dir PATH
 //
 // Serving (see docs/serving.md for the wire protocol):
 //   pimcomp_cli serve (--unix PATH | --port N [--host ADDR])
@@ -52,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/disk_store.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 #include "core/compile_report.hpp"
@@ -75,14 +86,16 @@ using namespace pimcomp;
          "       [--jobs N|auto] [--mapper KEY] [--policy naive|add|ag]\n"
          "       [--input N] [--cores N] [--pop N] [--gens N]\n"
          "       [--seed N] [--dump-stream CORE] [--trace FILE] [--json]\n"
-         "       [--list-mappers]\n"
+         "       [--cache-dir PATH] [--list-mappers] [--list-schedulers]\n"
          "   or: " << argv0
       << " serve (--unix PATH | --port N [--host ADDR])\n"
-         "       [--jobs N|auto] [--max-sessions N]\n"
+         "       [--jobs N|auto] [--max-sessions N] [--cache-dir PATH]\n"
          "   or: " << argv0
       << " submit --server (unix:PATH | HOST:PORT) <model|graph.json>\n"
          "       [compile options] [--scenarios FILE] [--no-simulate]\n"
-         "       [--timeout SEC] [--priority N] [--trace FILE] [--json]\n";
+         "       [--timeout SEC] [--priority N] [--trace FILE] [--json]\n"
+         "   or: " << argv0
+      << " cache (stats | purge) --cache-dir PATH [--json]\n";
   std::exit(2);
 }
 
@@ -175,16 +188,25 @@ CompileOptions default_cli_options() {
   return options;
 }
 
-void list_registries() {
+void list_mappers() {
   std::cout << "mappers:";
   for (const std::string& key : MapperRegistry::keys()) {
     std::cout << ' ' << key;
   }
-  std::cout << "\nschedulers:";
+  std::cout << '\n';
+}
+
+void list_schedulers() {
+  std::cout << "schedulers:";
   for (const std::string& key : SchedulerRegistry::keys()) {
     std::cout << ' ' << key;
   }
   std::cout << '\n';
+}
+
+void list_registries() {
+  list_mappers();
+  list_schedulers();
 }
 
 /// The compile-options flag surface shared verbatim by local compilation
@@ -264,6 +286,8 @@ int run_serve(int argc, char** argv, const char* argv0) {
 void print_event(const PipelineEvent& event) {
   const std::string who =
       event.scenario.empty() ? std::string("-") : event.scenario;
+  const std::string tier =
+      event.source.empty() ? std::string() : " from " + event.source;
   switch (event.kind) {
     case PipelineEvent::Kind::kStageBegin:
       std::cerr << ".. [" << who << "] " << event.name << " started\n";
@@ -273,8 +297,12 @@ void print_event(const PipelineEvent& event) {
                 << format_double(event.seconds, 3) << "s)\n";
       break;
     case PipelineEvent::Kind::kCacheHit:
-      std::cerr << ".. [" << who << "] " << event.name << " cache hit (#"
-                << event.hits << ")\n";
+      std::cerr << ".. [" << who << "] " << event.name << " cache hit" << tier
+                << " (#" << event.hits << ")\n";
+      break;
+    case PipelineEvent::Kind::kCacheStore:
+      std::cerr << ".. [" << who << "] " << event.name << " cached" << tier
+                << " (#" << event.hits << ")\n";
       break;
   }
 }
@@ -430,13 +458,80 @@ int run_submit(int argc, char** argv, const char* argv0) {
 }
 
 // ---------------------------------------------------------------------------
+// `pimcomp_cli cache` — maintenance of a persistent --cache-dir.
+// ---------------------------------------------------------------------------
+
+int run_cache(int argc, char** argv, const char* argv0) {
+  std::string action;
+  std::string dir;
+  bool emit_json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv0);
+      return argv[++i];
+    };
+    if (arg == "--cache-dir") {
+      dir = next();
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else if (!arg.empty() && arg[0] != '-' && action.empty()) {
+      action = arg;
+    } else {
+      usage(argv0);
+    }
+  }
+  if (action != "stats" && action != "purge") {
+    fail("cache wants an action: stats | purge");
+  }
+  if (dir.empty()) fail("cache " + action + " needs --cache-dir PATH");
+
+  try {
+    CacheConfig config;
+    config.dir = dir;
+    config.max_bytes = 0;  // maintenance must never trigger eviction
+    DiskStore store(config);
+
+    if (action == "purge") {
+      const std::uint64_t removed = store.purge();
+      std::cout << "purged " << removed << " artifact(s) from " << dir
+                << '\n';
+      return 0;
+    }
+
+    const CacheStoreStats stats = store.stats();
+    if (emit_json) {
+      Json out = Json::object();
+      out["dir"] = dir;
+      out["schema_version"] = kCacheSchemaVersion;
+      out["entries"] = static_cast<std::int64_t>(stats.entries);
+      out["bytes"] = static_cast<std::int64_t>(stats.bytes);
+      std::cout << out.dump(2) << '\n';
+    } else {
+      std::cout << "cache " << dir << " (schema v" << kCacheSchemaVersion
+                << "): " << stats.entries << " artifact(s), "
+                << format_double(static_cast<double>(stats.bytes) / 1024.0, 1)
+                << " KiB on disk\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pimcomp: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Local compilation (the original mode).
 // ---------------------------------------------------------------------------
 
 int run_local(int argc, char** argv) {
   const char* argv0 = argv[0];
   if (argc == 2 && std::string(argv[1]) == "--list-mappers") {
-    list_registries();
+    list_mappers();
+    return 0;
+  }
+  if (argc == 2 && std::string(argv[1]) == "--list-schedulers") {
+    list_schedulers();
     return 0;
   }
   if (argc < 2) usage(argv0);
@@ -469,8 +564,13 @@ int run_local(int argc, char** argv) {
       trace_path = next();
     } else if (arg == "--json") {
       emit_json = true;
+    } else if (arg == "--cache-dir") {
+      options.cache.dir = next();
     } else if (arg == "--list-mappers") {
-      list_registries();
+      list_mappers();
+      return 0;
+    } else if (arg == "--list-schedulers") {
+      list_schedulers();
       return 0;
     } else {
       usage(argv0);
@@ -491,7 +591,7 @@ int run_local(int argc, char** argv) {
       hw = fit_core_count(graph, hw, 3.0);
     }
 
-    CompilerSession session(std::move(graph), hw);
+    CompilerSession session(std::move(graph), hw, options.cache);
     session.set_jobs(jobs);
 
     TraceRecorder recorder;
@@ -624,6 +724,9 @@ int main(int argc, char** argv) {
     }
     if (subcommand == "submit") {
       return run_submit(argc - 2, argv + 2, argv[0]);
+    }
+    if (subcommand == "cache") {
+      return run_cache(argc - 2, argv + 2, argv[0]);
     }
   }
   return run_local(argc, argv);

@@ -10,6 +10,12 @@
 //
 //   pimcompd --unix /run/pimcompd.sock [--jobs N|auto] [--max-sessions N]
 //   pimcompd --port 7878 [--host 127.0.0.1] [--jobs N|auto]
+//   pimcompd --unix /run/pimcompd.sock --cache-dir /var/cache/pimcomp
+//
+// --cache-dir enables the persistent mapping-artifact cache: identical
+// compilations are served from disk across daemon restarts (clients see
+// `cache_hit` frames whose "source" is "disk"), and several daemons may
+// share one directory safely.
 //
 // Submit with `pimcomp_cli submit --server unix:/run/pimcompd.sock ...`,
 // the C++ client (src/serve/client.hpp), or by hand:

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Smoke test of the persistent two-tier cache with the real CLI binary:
+# compile a model twice with the same --cache-dir and assert that the
+# second run (a fresh process — the in-memory tier is gone)
+#   1. reports at least one disk-tier cache hit,
+#   2. never invokes the mapping stage,
+#   3. produces byte-identical reports modulo wall-clock stage times
+#      (a cache hit reports zeroed times by convention; the cold run's are
+#      real — everything else must match exactly),
+# then checks `pimcomp_cli cache stats`/`purge` round-trip the directory.
+# Run from the repo root after a build:
+#
+#   scripts/cache_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+CACHE_DIR=$(mktemp -d /tmp/pimcomp-cache-smoke-XXXXXX)
+COLD_JSON=$(mktemp /tmp/pimcomp-cache-cold-XXXXXX.json)
+WARM_JSON=$(mktemp /tmp/pimcomp-cache-warm-XXXXXX.json)
+COLD_TRACE=$(mktemp /tmp/pimcomp-cache-coldtrace-XXXXXX.json)
+WARM_TRACE=$(mktemp /tmp/pimcomp-cache-warmtrace-XXXXXX.json)
+
+cleanup() {
+  rm -rf "$CACHE_DIR"
+  rm -f "$COLD_JSON" "$WARM_JSON" "$COLD_TRACE" "$WARM_TRACE"
+}
+trap cleanup EXIT
+
+COMPILE=(squeezenet --input 32 --parallelism 4,8 --pop 6 --gens 3
+         --cache-dir "$CACHE_DIR" --json)
+
+"$BUILD"/examples/pimcomp_cli "${COMPILE[@]}" --trace "$COLD_TRACE" \
+  > "$COLD_JSON"
+"$BUILD"/examples/pimcomp_cli "${COMPILE[@]}" --trace "$WARM_TRACE" \
+  > "$WARM_JSON"
+
+python3 - "$COLD_TRACE" "$WARM_TRACE" "$COLD_JSON" "$WARM_JSON" <<'EOF'
+import json, sys
+
+cold_trace = json.load(open(sys.argv[1]))["events"]
+warm_trace = json.load(open(sys.argv[2]))["events"]
+
+# The cold run computed and persisted both scenarios.
+cold_stores = [e for e in cold_trace
+               if e["event"] == "cache_store" and e.get("source") == "disk"]
+assert len(cold_stores) == 2, f"cold run must persist 2 artifacts: {cold_trace}"
+
+# The warm run never mapped and took its results from the disk tier.
+warm_mapping = [e for e in warm_trace
+                if e["event"] == "stage_begin" and e.get("stage") == "mapping"]
+assert not warm_mapping, f"warm run invoked the mapping stage: {warm_trace}"
+warm_disk_hits = [e for e in warm_trace
+                  if e["event"] == "cache_hit" and e.get("source") == "disk"]
+assert len(warm_disk_hits) >= 1, f"warm run saw no disk hit: {warm_trace}"
+
+# Byte-identical reports modulo stage times.
+cold = json.load(open(sys.argv[3]))
+warm = json.load(open(sys.argv[4]))
+for report in cold + warm:
+    assert "error" not in report, f"scenario failed: {report}"
+    report["compile"]["stage_times"] = {}
+cold_bytes = json.dumps(cold, sort_keys=False)
+warm_bytes = json.dumps(warm, sort_keys=False)
+assert cold_bytes == warm_bytes, "warm report differs from cold report"
+print(f"cache smoke OK: {len(cold_stores)} artifacts persisted,",
+      f"{len(warm_disk_hits)} disk hit(s), 0 warm mapping invocations,",
+      "byte-identical reports")
+EOF
+
+STATS=$("$BUILD"/examples/pimcomp_cli cache stats --cache-dir "$CACHE_DIR")
+echo "$STATS"
+echo "$STATS" | grep -q "2 artifact(s)" || {
+  echo "cache stats should report 2 artifacts" >&2
+  exit 1
+}
+"$BUILD"/examples/pimcomp_cli cache purge --cache-dir "$CACHE_DIR" \
+  | grep -q "purged 2" || {
+  echo "cache purge should remove 2 artifacts" >&2
+  exit 1
+}
+echo "cache purge OK"

@@ -14,8 +14,20 @@ SCENARIOS=$(mktemp /tmp/pimcompd-smoke-scenarios-XXXXXX.json)
 OUTCOMES=$(mktemp /tmp/pimcompd-smoke-outcomes-XXXXXX.json)
 SERVER_PID=
 
+# Trap-based cleanup so a failing assertion anywhere mid-script (set -e)
+# cannot leak a running pimcompd and its socket into the CI runner: the
+# daemon is TERMed, given a bounded grace period to exit, KILLed if it
+# ignores that, and reaped with `wait` before its files are removed.
 cleanup() {
-  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    for _ in $(seq 50); do
+      kill -0 "$SERVER_PID" 2>/dev/null || break
+      sleep 0.1
+    done
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
   rm -f "$SOCK" "$SCENARIOS" "$OUTCOMES"
 }
 trap cleanup EXIT

@@ -1,0 +1,210 @@
+#include "cache/artifact.hpp"
+
+#include <utility>
+
+#include "cache/cache_store.hpp"
+
+namespace pimcomp {
+
+namespace {
+
+/// One Operation as a compact 10-tuple. Field order is part of the schema:
+/// changing it requires a kCacheSchemaVersion bump.
+///   [kind, node, ag, window, bytes, elements, peer, tag, xbars, local_usage]
+Json operation_to_json(const Operation& op) {
+  Json row = Json::array();
+  row.push_back(static_cast<int>(op.kind));
+  row.push_back(static_cast<std::int64_t>(op.node));
+  row.push_back(static_cast<std::int64_t>(op.ag));
+  row.push_back(static_cast<std::int64_t>(op.window));
+  row.push_back(op.bytes);
+  row.push_back(op.elements);
+  row.push_back(static_cast<std::int64_t>(op.peer));
+  row.push_back(static_cast<std::int64_t>(op.tag));
+  row.push_back(static_cast<std::int64_t>(op.xbars));
+  row.push_back(op.local_usage);
+  return row;
+}
+
+Operation operation_from_json(const Json& row) {
+  if (!row.is_array() || row.size() != 10) {
+    throw CacheArtifactError("artifact operation row must be a 10-tuple");
+  }
+  const std::int64_t kind = row.at(std::size_t(0)).as_int();
+  if (kind < 0 || kind > static_cast<std::int64_t>(OpKind::kStoreGlobal)) {
+    throw CacheArtifactError("artifact operation kind out of range: " +
+                             std::to_string(kind));
+  }
+  Operation op;
+  op.kind = static_cast<OpKind>(kind);
+  op.node = static_cast<NodeId>(row.at(std::size_t(1)).as_int());
+  op.ag = static_cast<std::int32_t>(row.at(std::size_t(2)).as_int());
+  op.window = static_cast<std::int32_t>(row.at(std::size_t(3)).as_int());
+  op.bytes = row.at(std::size_t(4)).as_int();
+  op.elements = row.at(std::size_t(5)).as_int();
+  op.peer = static_cast<std::int32_t>(row.at(std::size_t(6)).as_int());
+  op.tag = static_cast<std::int32_t>(row.at(std::size_t(7)).as_int());
+  op.xbars = static_cast<std::int32_t>(row.at(std::size_t(8)).as_int());
+  op.local_usage = row.at(std::size_t(9)).as_int();
+  return op;
+}
+
+Json int64_array(const std::vector<std::int64_t>& values) {
+  Json array = Json::array();
+  for (std::int64_t v : values) array.push_back(v);
+  return array;
+}
+
+std::vector<std::int64_t> int64_vector(const Json& array, const char* what) {
+  if (!array.is_array()) {
+    throw CacheArtifactError(std::string("artifact ") + what +
+                             " must be an array");
+  }
+  std::vector<std::int64_t> values;
+  values.reserve(array.size());
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    values.push_back(array.at(i).as_int());
+  }
+  return values;
+}
+
+Json schedule_to_json(const Schedule& schedule) {
+  Json programs = Json::array();
+  for (const std::vector<Operation>& program : schedule.programs) {
+    Json ops = Json::array();
+    for (const Operation& op : program) ops.push_back(operation_to_json(op));
+    programs.push_back(std::move(ops));
+  }
+  Json json = Json::object();
+  json["ag_count"] = schedule.ag_count;
+  json["total_ops"] = schedule.total_ops;
+  json["spill_bytes"] = int64_array(schedule.spill_bytes);
+  json["peak_local_bytes"] = int64_array(schedule.peak_local_bytes);
+  json["programs"] = std::move(programs);
+  return json;
+}
+
+Schedule schedule_from_json(const Json& json, int expected_cores) {
+  Schedule schedule;
+  schedule.ag_count = static_cast<int>(json.at("ag_count").as_int());
+  schedule.total_ops = json.at("total_ops").as_int();
+  schedule.spill_bytes = int64_vector(json.at("spill_bytes"), "spill_bytes");
+  schedule.peak_local_bytes =
+      int64_vector(json.at("peak_local_bytes"), "peak_local_bytes");
+  const Json& programs = json.at("programs");
+  if (!programs.is_array() ||
+      static_cast<int>(programs.size()) != expected_cores) {
+    throw CacheArtifactError(
+        "artifact schedule core count does not match the workload's "
+        "hardware (" +
+        std::to_string(programs.is_array() ? programs.size() : 0) + " vs " +
+        std::to_string(expected_cores) + ")");
+  }
+  schedule.programs.reserve(programs.size());
+  std::int64_t ops = 0;
+  for (std::size_t core = 0; core < programs.size(); ++core) {
+    const Json& rows = programs.at(core);
+    if (!rows.is_array()) {
+      throw CacheArtifactError("artifact core program must be an array");
+    }
+    std::vector<Operation> program;
+    program.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      program.push_back(operation_from_json(rows.at(i)));
+    }
+    ops += static_cast<std::int64_t>(program.size());
+    schedule.programs.push_back(std::move(program));
+  }
+  if (ops != schedule.total_ops) {
+    throw CacheArtifactError("artifact total_ops (" +
+                             std::to_string(schedule.total_ops) +
+                             ") disagrees with its own op streams (" +
+                             std::to_string(ops) + ")");
+  }
+  return schedule;
+}
+
+Json ga_stats_to_json(const GaStats& stats) {
+  Json history = Json::array();
+  for (double best : stats.best_history) history.push_back(best);
+  Json json = Json::object();
+  json["initial_best"] = stats.initial_best;
+  json["final_best"] = stats.final_best;
+  json["evaluations"] = stats.evaluations;
+  json["best_history"] = std::move(history);
+  return json;
+}
+
+GaStats ga_stats_from_json(const Json& json) {
+  GaStats stats;
+  stats.initial_best = json.get("initial_best", 0.0);
+  stats.final_best = json.get("final_best", 0.0);
+  stats.evaluations = json.get("evaluations", 0);
+  if (json.contains("best_history")) {
+    const Json& history = json.at("best_history");
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      stats.best_history.push_back(history.at(i).as_number());
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+Json compile_result_to_artifact(const CompileResult& result,
+                                std::uint64_t workload_fp,
+                                std::uint64_t mapping_key) {
+  Json artifact = Json::object();
+  // Envelope first: schema/key are (re)stamped by DiskStore::store, but a
+  // self-describing artifact survives being moved between directories.
+  artifact["schema"] = kCacheSchemaVersion;
+  artifact["key"] = cache_key_hex(mapping_key);
+  artifact["workload_fp"] = cache_key_hex(workload_fp);
+  artifact["mapper"] = result.mapper_name;
+  artifact["estimated_fitness"] = result.estimated_fitness;
+  artifact["solution"] = result.solution.to_json();
+  artifact["ga_stats"] = ga_stats_to_json(result.ga_stats);
+  artifact["schedule"] = schedule_to_json(result.schedule);
+  return artifact;
+}
+
+CompileResult compile_result_from_artifact(
+    const Json& artifact, std::shared_ptr<const Workload> workload,
+    const CompileOptions& options, std::uint64_t expected_workload_fp) {
+  if (!artifact.is_object()) {
+    throw CacheArtifactError("artifact must be a JSON object");
+  }
+  if (artifact.get("schema", -1) != kCacheSchemaVersion) {
+    throw CacheArtifactError(
+        "artifact schema version mismatch (artifact " +
+        std::to_string(artifact.get("schema", -1)) + ", this build " +
+        std::to_string(kCacheSchemaVersion) + ")");
+  }
+  const std::string workload_fp = artifact.get("workload_fp", std::string());
+  if (workload_fp != cache_key_hex(expected_workload_fp)) {
+    throw CacheArtifactError(
+        "artifact workload fingerprint " + workload_fp +
+        " does not match the requesting session's " +
+        cache_key_hex(expected_workload_fp) +
+        " — refusing to serve a mapping for a different model/hardware");
+  }
+
+  const Workload& workload_ref = *workload;
+  CompileResult result{
+      std::move(workload),
+      MappingSolution::from_json(workload_ref, artifact.at("solution")),
+      /*schedule=*/{},
+      options,
+      /*stage_times=*/{},  // a cache hit runs no stage
+      artifact.get("estimated_fitness", 0.0),
+      artifact.get("mapper", std::string()),
+      ga_stats_from_json(artifact.contains("ga_stats")
+                             ? artifact.at("ga_stats")
+                             : Json::object()),
+  };
+  result.schedule = schedule_from_json(artifact.at("schedule"),
+                                       result.solution.core_count());
+  return result;
+}
+
+}  // namespace pimcomp

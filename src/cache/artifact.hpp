@@ -1,0 +1,48 @@
+#ifndef PIMCOMP_CACHE_ARTIFACT_HPP
+#define PIMCOMP_CACHE_ARTIFACT_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "common/json.hpp"
+#include "core/compiler.hpp"
+
+namespace pimcomp {
+
+/// Raised when a persisted artifact cannot be trusted: wrong schema,
+/// fingerprint mismatch against the requesting session's workload, or a
+/// payload that fails the mapping/schedule invariants. Callers treat it as
+/// a cache miss (and evict the offending entry), never as a compile error.
+class CacheArtifactError : public Error {
+ public:
+  explicit CacheArtifactError(const std::string& message) : Error(message) {}
+};
+
+/// Serializes a finished compilation into the disk tier's artifact JSON:
+/// the mapping decision (integer chromosome), the full per-core operation
+/// streams, the mapper's identity/fitness/convergence record, and the
+/// `workload_fp`/`mapping_key` envelope that binds the artifact to exactly
+/// one (graph, hardware) x options identity. CompileOptions and StageTimes
+/// are deliberately NOT persisted: the requesting scenario's options are
+/// fingerprint-equal by construction (they are the key), and a cache hit
+/// reports zeroed stage times — no stage ran.
+Json compile_result_to_artifact(const CompileResult& result,
+                                std::uint64_t workload_fp,
+                                std::uint64_t mapping_key);
+
+/// Rebuilds a CompileResult from a persisted artifact against the
+/// requesting session's own workload and options. Throws
+/// CacheArtifactError when the artifact's workload fingerprint does not
+/// match `expected_workload_fp` (an artifact for a different model or
+/// hardware must never be served, whatever path aliasing produced it), and
+/// CacheArtifactError/JsonError when the payload is malformed or violates
+/// the solution/schedule invariants. The returned result is
+/// indistinguishable from an in-memory mapping-cache hit: same solution,
+/// same schedule, zeroed stage times.
+CompileResult compile_result_from_artifact(
+    const Json& artifact, std::shared_ptr<const Workload> workload,
+    const CompileOptions& options, std::uint64_t expected_workload_fp);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_CACHE_ARTIFACT_HPP

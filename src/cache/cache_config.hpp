@@ -1,0 +1,52 @@
+#ifndef PIMCOMP_CACHE_CACHE_CONFIG_HPP
+#define PIMCOMP_CACHE_CACHE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace pimcomp {
+
+/// Version of the persisted artifact schema. Artifacts live under
+/// `<dir>/v<kCacheSchemaVersion>/...`, so a version bump makes every older
+/// artifact invisible (a clean miss) instead of a parse error. Bump this
+/// whenever the artifact JSON shape *or* any fingerprint algorithm changes —
+/// the fingerprint-golden tests (tests/test_fingerprint_goldens.cpp) exist
+/// to force that decision to be explicit: if they fail, either revert the
+/// drift or bump this constant alongside new goldens.
+inline constexpr int kCacheSchemaVersion = 1;
+
+/// Where a cache hit or store landed, as reported to observers
+/// (CacheEvent::source) and on the wire. The memory tier is the session's
+/// in-process store; the disk tier survives the process.
+namespace cache_sources {
+inline constexpr const char kMemory[] = "memory";
+inline constexpr const char kDisk[] = "disk";
+}  // namespace cache_sources
+
+/// Configuration of a session's persistent artifact tier. An empty `dir`
+/// disables the disk tier entirely (the in-memory tier always runs), which
+/// keeps the default CompilerSession byte-for-byte at its historical
+/// behavior. Deliberately excluded from fingerprint(CompileOptions): where
+/// artifacts are stored must never change what is computed.
+struct CacheConfig {
+  /// Root directory of the disk tier ("" = disabled). Created on demand;
+  /// shared safely between concurrent processes (writes are atomic
+  /// renames, readers treat partial/corrupt entries as misses).
+  std::string dir;
+
+  /// Soft bound on the disk tier's total artifact bytes. After every store
+  /// the least-recently-used artifacts (by file mtime; reads bump it) are
+  /// evicted until the total fits again. 0 = unbounded.
+  std::uint64_t max_bytes = 256ull << 20;  // 256 MiB
+
+  /// Read the disk tier but never write it: no stores, no mtime bumps, no
+  /// eviction. For fleets where one producer warms a cache many read-only
+  /// consumers share.
+  bool read_only = false;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_CACHE_CACHE_CONFIG_HPP

@@ -1,0 +1,96 @@
+#ifndef PIMCOMP_CACHE_CACHE_STORE_HPP
+#define PIMCOMP_CACHE_CACHE_STORE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cache/cache_config.hpp"
+#include "common/json.hpp"
+
+namespace pimcomp {
+
+/// One cached artifact as it moves between tiers. Either form may be
+/// absent:
+///  * `decoded` is the in-process object (e.g. a CompileResult) the memory
+///    tier serves without re-parsing — never persisted, type-erased because
+///    the store layer is deliberately ignorant of what it caches;
+///  * `artifact` is the canonical versioned JSON the disk tier persists.
+/// The session stores both on the compute path (artifact only when a disk
+/// tier is configured, so the memory-only default never pays for encoding)
+/// and re-attaches `decoded` when it promotes a disk hit into memory.
+struct CacheEntry {
+  Json artifact;
+  std::shared_ptr<const void> decoded;
+
+  bool has_artifact() const { return !artifact.is_null(); }
+};
+
+/// A successful load: the entry plus which tier satisfied it
+/// (cache_sources::kMemory / kDisk — a static string, safe to hold).
+struct CacheHit {
+  CacheEntry entry;
+  const char* source = cache_sources::kMemory;
+};
+
+/// Lifetime counters of one store (monotonic except entries/bytes, which
+/// track the current contents).
+struct CacheStoreStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;  ///< disk tier: artifact bytes on disk; memory
+                            ///< tier: 0 (decoded sizes are unknowable)
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// A keyed artifact store: one slot per 64-bit fingerprint. This is the
+/// seam the session's caching is built on — InMemoryStore is the extracted
+/// historical behavior, DiskStore adds cross-process persistence, and
+/// TieredStore composes them read-through/write-through. Implementations
+/// are thread-safe; keys are content fingerprints, so two racing writers
+/// of one key always carry identical payloads and "first writer wins" is a
+/// correctness-preserving policy everywhere.
+class CacheStore {
+ public:
+  virtual ~CacheStore() = default;
+
+  /// Store name for diagnostics ("memory", "disk", "tiered").
+  virtual const char* name() const = 0;
+
+  /// Looks `key` up; a hit reports the tier that served it. Never throws:
+  /// any unreadable/corrupt/mismatched persisted entry is a miss.
+  virtual std::optional<CacheHit> load(std::uint64_t key) = 0;
+
+  /// Stores `entry` under `key`. Returns the source name of the deepest
+  /// tier that newly accepted the entry, or nullptr when nothing was
+  /// stored (slot already occupied, read-only tier, or I/O failure —
+  /// stores are best-effort and never throw).
+  virtual const char* store(std::uint64_t key, const CacheEntry& entry) = 0;
+
+  /// Drops `key` everywhere it is present (e.g. after the caller found a
+  /// persisted artifact undecodable at a level the store cannot check).
+  virtual void erase(std::uint64_t key) = 0;
+
+  /// Removes every entry; returns how many were dropped.
+  virtual std::uint64_t purge() = 0;
+
+  virtual CacheStoreStats stats() const = 0;
+
+  /// Current entry count (stats().entries shortcut).
+  std::uint64_t entry_count() const { return stats().entries; }
+};
+
+/// Formats a cache key the way the disk tier names files: 16 lowercase hex
+/// digits, zero-padded ("00c0ffee00c0ffee"). Json numbers are doubles, so
+/// 64-bit fingerprints travel as these strings inside artifacts too.
+std::string cache_key_hex(std::uint64_t key);
+
+/// Inverse of cache_key_hex; std::nullopt for anything that is not exactly
+/// 16 hex digits.
+std::optional<std::uint64_t> cache_key_from_hex(const std::string& hex);
+
+}  // namespace pimcomp
+
+#endif  // PIMCOMP_CACHE_CACHE_STORE_HPP

@@ -49,14 +49,18 @@ inline constexpr const char kWorkload[] = "workload";  ///< partitioned Workload
 inline constexpr const char kMapping[] = "mapping";    ///< full CompileResult
 }  // namespace cache_names
 
-/// One cache hit inside a CompilerSession: a scenario reused a partitioned
-/// workload or a whole mapping result instead of recomputing it.
+/// One cache hit (or store) inside a CompilerSession: a scenario reused a
+/// partitioned workload or a whole mapping result instead of recomputing it
+/// — or persisted a freshly computed one.
 struct CacheEvent {
   std::string cache;        ///< cache layer (see cache_names)
   std::string scenario;     ///< label of the scenario ("" when single-shot)
   int scenario_index = -1;  ///< position in the session batch (-1 single-shot)
   std::uint64_t hits = 0;   ///< session-lifetime hit count of that cache
+                            ///< (store count for on_cache_store)
   std::uint64_t tag = 0;    ///< caller-chosen job tag (0 = untagged)
+  std::string source;       ///< tier that served/accepted the entry
+                            ///< (cache_sources:: "memory" / "disk")
 };
 
 /// Per-stage callbacks around the pipeline's stage loop. Default methods are
@@ -74,8 +78,14 @@ class PipelineObserver {
   virtual ~PipelineObserver() = default;
   virtual void on_stage_begin(const StageInfo& info) { (void)info; }
   virtual void on_stage_end(const StageInfo& info) { (void)info; }
-  /// Fired by CompilerSession when one of its caches satisfies a scenario.
+  /// Fired by CompilerSession when one of its caches satisfies a scenario;
+  /// `event.source` says which tier (in-process memory or the persistent
+  /// disk store) produced the artifact.
   virtual void on_cache_hit(const CacheEvent& event) { (void)event; }
+  /// Fired by CompilerSession when a freshly computed mapping result is
+  /// written into its cache; `event.source` is the deepest tier that newly
+  /// accepted it ("disk" when the persistent tier took the artifact).
+  virtual void on_cache_store(const CacheEvent& event) { (void)event; }
 };
 
 /// Mutable state threaded through the stage loop. Stages read what earlier

@@ -8,6 +8,11 @@
 #include <type_traits>
 #include <utility>
 
+#include "cache/artifact.hpp"
+#include "cache/cache_store.hpp"
+#include "cache/disk_store.hpp"
+#include "cache/memory_store.hpp"
+#include "cache/tiered_store.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "graph/serialize.hpp"
@@ -137,9 +142,17 @@ std::uint64_t fingerprint(const HardwareConfig& hw) {
 }
 
 std::uint64_t fingerprint(const CompileOptions& options) {
-  // Every field participates, scheduler via its *effective* key so an
-  // explicit "ht" and a mode-derived "ht" hash alike. Aliasing two distinct
-  // configurations here would hand one of them the other's cached result.
+  // Every semantic field participates, scheduler via its *effective* key so
+  // an explicit "ht" and a mode-derived "ht" hash alike. Aliasing two
+  // distinct configurations here would hand one of them the other's cached
+  // result. `options.cache` is deliberately NOT hashed: it is execution
+  // environment (where artifacts live), and folding it in would make a
+  // cache-enabled run unable to reuse a cache-less run's identity.
+  //
+  // This function is part of the persisted-cache schema: its values name
+  // artifacts on disk across processes and releases. Changing what or how
+  // it hashes requires bumping kCacheSchemaVersion (src/cache/) — the
+  // goldens in tests/test_fingerprint_goldens.cpp enforce that.
   std::uint64_t h = kFnvOffset;
   h = fnv1a_value(h, options.mode);
   h = fnv1a_value(h, options.parallelism_degree);
@@ -243,16 +256,19 @@ std::uint64_t CompileJob::tag() const { return require_state(state_).tag; }
 // CompilerSession.
 // ---------------------------------------------------------------------------
 
-/// State of one workload-cache slot. The first scenario to claim a
-/// fingerprint becomes the owner and partitions; concurrent peers block on
-/// `published` until the owner stores either the workload or the failure
-/// (CapacityError for an infeasible design point), which every peer then
-/// rethrows without re-partitioning.
-struct CompilerSession::WorkloadEntry {
+/// Coordination record of one in-flight (or deterministically failed)
+/// partitioning. The first scenario to claim a fingerprint becomes the
+/// owner and partitions; concurrent peers block on `published` until the
+/// owner either stores the workload into workload_store_ (peers then
+/// re-read the store) or publishes the failure here (CapacityError for an
+/// infeasible design point), which every peer rethrows without
+/// re-partitioning. Claims with deterministic failures stay registered as
+/// the negative cache; successful claims retire once the store is
+/// populated.
+struct CompilerSession::WorkloadClaim {
   std::mutex mutex;
   std::condition_variable published;
   bool done = false;
-  std::shared_ptr<const Workload> workload;
   std::exception_ptr failure;
   std::thread::id owner;  ///< claimant; set under workload_mutex_ at claim
 };
@@ -279,16 +295,40 @@ class CompilerSession::ObserverGate final : public PipelineObserver {
     if (session_->observer_ != nullptr) session_->observer_->on_cache_hit(event);
   }
 
+  void on_cache_store(const CacheEvent& event) override {
+    std::lock_guard<std::recursive_mutex> lock(session_->observer_mutex_);
+    if (session_->observer_ != nullptr) {
+      session_->observer_->on_cache_store(event);
+    }
+  }
+
  private:
   CompilerSession* session_;
 };
 
-CompilerSession::CompilerSession(Graph graph, HardwareConfig hw)
-    : graph_(std::move(graph)), hw_(hw) {
+CompilerSession::CompilerSession(Graph graph, HardwareConfig hw,
+                                 CacheConfig cache)
+    : graph_(std::move(graph)), hw_(hw), cache_config_(std::move(cache)) {
   if (!graph_.finalized()) graph_.finalize();
   hw_.validate();
   graph_fingerprint_ = pimcomp::fingerprint(graph_);
   gate_ = std::make_unique<ObserverGate>(this);
+
+  workload_store_ = std::make_unique<InMemoryStore>();
+  auto memory = std::make_unique<InMemoryStore>(kMaxCachedMappings);
+  mapping_memory_ = memory.get();
+  if (cache_config_.enabled()) {
+    auto disk = std::make_unique<DiskStore>(cache_config_);
+    mapping_disk_ = disk.get();
+    std::vector<std::unique_ptr<CacheStore>> tiers;
+    tiers.push_back(std::move(memory));
+    tiers.push_back(std::move(disk));
+    mapping_store_ = std::make_unique<TieredStore>(std::move(tiers));
+  } else {
+    // Memory-only: the composed store *is* the memory tier, so the default
+    // session pays nothing for the abstraction.
+    mapping_store_ = std::move(memory);
+  }
 }
 
 CompilerSession::~CompilerSession() {
@@ -563,18 +603,21 @@ CompileResult CompilerSession::compile_scenario(const Scenario& scenario,
     ctx.stage_times.partitioning = partition_seconds;
 
     CompileResult result = run_pipeline(std::move(ctx), gate_.get());
-    store_mapping(mapping_key, result);
+    store_mapping(mapping_key, workload_key, result, scenario.label, index,
+                  tag);
     return result;
   };
 
   for (;;) {
-    if (std::optional<CompileResult> cached = find_mapping(mapping_key)) {
-      notify_cache_hit(cache_names::kMapping, scenario.label, index, tag,
-                       mapping_hits_);
-      // No stage ran for this scenario; a zeroed StageTimes says so (same
-      // convention as a cached partitioning stage).
-      cached->stage_times = StageTimes{};
-      return std::move(*cached);
+    if (std::optional<CacheHit> hit = mapping_store_->load(mapping_key)) {
+      std::optional<CompileResult> adopted =
+          adopt_mapping_hit(std::move(*hit), scenario, hw, index, tag,
+                            workload_key, mapping_key);
+      if (adopted.has_value()) return std::move(*adopted);
+      // Untrustworthy persisted artifact: it was evicted; fall through to
+      // the claim-and-compute path *without* re-consulting the store, so a
+      // read-only disk tier serving the same bad artifact forever cannot
+      // livelock this loop.
     }
 
     std::shared_ptr<MappingClaim> claim;
@@ -609,9 +652,10 @@ CompileResult CompilerSession::compile_scenario(const Scenario& scenario,
         }
       }
       // The owner settled: normally its result is now in the cache (the
-      // loop's find_mapping reports the hit); if the owner failed or was
-      // cancelled without publishing — or the result was already evicted —
-      // this thread re-claims and computes itself.
+      // loop's mapping_store_ load reports the hit via adopt_mapping_hit);
+      // if the owner failed or was cancelled without publishing — or the
+      // result was already evicted — this thread re-claims and computes
+      // itself.
       continue;
     }
 
@@ -656,165 +700,242 @@ SimReport CompilerSession::simulate(const CompileResult& result) const {
 }
 
 std::size_t CompilerSession::cached_workloads() const {
-  std::lock_guard<std::mutex> lock(workload_mutex_);
-  std::size_t count = 0;
-  for (const auto& [key, entry] : workloads_) {
-    std::lock_guard<std::mutex> entry_lock(entry->mutex);
-    if (entry->done && entry->workload != nullptr) ++count;
-  }
-  return count;
+  // Only successful partitions reach the store; failed claims are the
+  // negative cache and deliberately don't count.
+  return static_cast<std::size_t>(workload_store_->entry_count());
 }
 
 std::size_t CompilerSession::cached_mappings() const {
-  std::lock_guard<std::mutex> lock(mapping_mutex_);
-  return mappings_.size();
+  return static_cast<std::size_t>(mapping_memory_->entry_count());
 }
 
 std::shared_ptr<const Workload> CompilerSession::resolve_workload(
     std::uint64_t key, const HardwareConfig& hw, const std::string& label,
     int index, std::uint64_t tag, double* partition_seconds) {
-  std::shared_ptr<WorkloadEntry> entry;
-  bool owner = false;
-  {
-    std::lock_guard<std::mutex> lock(workload_mutex_);
-    std::shared_ptr<WorkloadEntry>& slot = workloads_[key];
-    if (slot == nullptr) {
-      slot = std::make_shared<WorkloadEntry>();
-      slot->owner = std::this_thread::get_id();
-      owner = true;
-    }
-    entry = slot;
-  }
-
-  if (owner) {
-    // The partitioning stage runs here, outside the pipeline's stage loop,
-    // so its once-per-fingerprint semantics hold under concurrency — but
-    // with the same observer events and timing the loop would produce.
-    // Deliberately no cancellation check on this path: a cancelled owner
-    // would publish CancelledError to innocent peers waiting on the same
-    // fingerprint (partitioning is the cheap stage; cancellation lands at
-    // the next stage boundary instead).
-    StageInfo info{stage_names::kPartitioning, label, index, 0.0, tag};
-    const auto t0 = std::chrono::steady_clock::now();
-    try {
-      // The begin callback runs inside the try: an observer that throws
-      // must take the failure path below, or the claimed entry would stay
-      // unpublished forever and strand every waiter on this fingerprint.
-      gate_->on_stage_begin(info);
-      auto workload = std::make_shared<const Workload>(graph_, hw);
-      *partition_seconds = seconds_since(t0);
-      info.seconds = *partition_seconds;
-      {
-        std::lock_guard<std::mutex> entry_lock(entry->mutex);
-        entry->workload = workload;
-        entry->done = true;
-      }
-      entry->published.notify_all();
-      gate_->on_stage_end(info);
+  for (;;) {
+    if (std::optional<CacheHit> hit = workload_store_->load(key)) {
+      auto workload =
+          std::static_pointer_cast<const Workload>(hit->entry.decoded);
+      notify_cache_hit(cache_names::kWorkload, label, index, tag,
+                       workload_hits_, hit->source);
       return workload;
-    } catch (...) {
-      // Publish the failure so waiting peers rethrow it instead of
-      // re-partitioning, keeping the observer's begin/end pairing.
-      // Deterministic failures of the input itself (CapacityError: the
-      // model cannot fit; ConfigError: the graph/config is unusable) stay
-      // cached — every retry would fail identically. Anything else (e.g. a
-      // transient bad_alloc under memory pressure) retires the slot so a
-      // later compile retries partitioning instead of rethrowing a stale
-      // error for the session's lifetime.
-      info.seconds = seconds_since(t0);
-      const std::exception_ptr failure = std::current_exception();
-      bool deterministic = false;
-      try {
-        std::rethrow_exception(failure);
-      } catch (const CapacityError&) {
-        deterministic = true;
-      } catch (const ConfigError&) {
-        deterministic = true;
-      } catch (...) {
-      }
-      {
-        std::lock_guard<std::mutex> entry_lock(entry->mutex);
-        entry->failure = failure;
-        entry->done = true;
-      }
-      entry->published.notify_all();
-      if (!deterministic) {
-        std::lock_guard<std::mutex> lock(workload_mutex_);
-        const auto it = workloads_.find(key);
-        if (it != workloads_.end() && it->second == entry) {
-          workloads_.erase(it);
-        }
-      }
-      gate_->on_stage_end(info);
-      throw;
     }
-  }
 
-  std::shared_ptr<const Workload> workload;
-  {
-    std::unique_lock<std::mutex> entry_lock(entry->mutex);
-    if (!entry->done && entry->owner == std::this_thread::get_id()) {
-      // Re-entrant compile of the same fingerprint from inside this
-      // thread's own partitioning observer callback: waiting would be
-      // waiting on ourselves. Build a private workload instead (the
-      // pre-cache behavior); the outer frame publishes the shared one.
-      entry_lock.unlock();
-      const auto t0 = std::chrono::steady_clock::now();
-      auto private_workload = std::make_shared<const Workload>(graph_, hw);
-      *partition_seconds = seconds_since(t0);
-      return private_workload;
+    std::shared_ptr<WorkloadClaim> claim;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(workload_mutex_);
+      std::shared_ptr<WorkloadClaim>& slot = workload_claims_[key];
+      if (slot == nullptr) {
+        slot = std::make_shared<WorkloadClaim>();
+        slot->owner = std::this_thread::get_id();
+        owner = true;
+      }
+      claim = slot;
     }
-    entry->published.wait(entry_lock, [&entry] { return entry->done; });
-    if (entry->failure != nullptr) std::rethrow_exception(entry->failure);
-    workload = entry->workload;
+
+    if (owner) {
+      // The partitioning stage runs here, outside the pipeline's stage
+      // loop, so its once-per-fingerprint semantics hold under concurrency
+      // — but with the same observer events and timing the loop would
+      // produce. Deliberately no cancellation check on this path: a
+      // cancelled owner would strand innocent peers waiting on the same
+      // fingerprint (partitioning is the cheap stage; cancellation lands
+      // at the next stage boundary instead).
+      StageInfo info{stage_names::kPartitioning, label, index, 0.0, tag};
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        // The begin callback runs inside the try: an observer that throws
+        // must take the failure path below, or the claim would stay
+        // unpublished forever and strand every waiter on this fingerprint.
+        gate_->on_stage_begin(info);
+        auto workload = std::make_shared<const Workload>(graph_, hw);
+        *partition_seconds = seconds_since(t0);
+        info.seconds = *partition_seconds;
+        // Store first, then settle the claim: a waiter that wakes on
+        // `done` must find the workload already published.
+        CacheEntry entry;
+        entry.decoded = workload;
+        workload_store_->store(key, entry);
+        {
+          std::lock_guard<std::mutex> claim_lock(claim->mutex);
+          claim->done = true;
+        }
+        claim->published.notify_all();
+        {
+          // Success retires the claim — the store is the cache now.
+          std::lock_guard<std::mutex> lock(workload_mutex_);
+          const auto it = workload_claims_.find(key);
+          if (it != workload_claims_.end() && it->second == claim) {
+            workload_claims_.erase(it);
+          }
+        }
+        gate_->on_stage_end(info);
+        return workload;
+      } catch (...) {
+        // Publish the failure so waiting peers rethrow it instead of
+        // re-partitioning, keeping the observer's begin/end pairing.
+        // Deterministic failures of the input itself (CapacityError: the
+        // model cannot fit; ConfigError: the graph/config is unusable)
+        // keep their claim registered as the negative cache — every retry
+        // would fail identically. Anything else (e.g. a transient
+        // bad_alloc under memory pressure) retires the claim so a later
+        // compile retries partitioning instead of rethrowing a stale error
+        // for the session's lifetime.
+        info.seconds = seconds_since(t0);
+        const std::exception_ptr failure = std::current_exception();
+        bool deterministic = false;
+        try {
+          std::rethrow_exception(failure);
+        } catch (const CapacityError&) {
+          deterministic = true;
+        } catch (const ConfigError&) {
+          deterministic = true;
+        } catch (...) {
+        }
+        {
+          std::lock_guard<std::mutex> claim_lock(claim->mutex);
+          claim->failure = failure;
+          claim->done = true;
+        }
+        claim->published.notify_all();
+        if (!deterministic) {
+          std::lock_guard<std::mutex> lock(workload_mutex_);
+          const auto it = workload_claims_.find(key);
+          if (it != workload_claims_.end() && it->second == claim) {
+            workload_claims_.erase(it);
+          }
+        }
+        gate_->on_stage_end(info);
+        throw;
+      }
+    }
+
+    {
+      std::unique_lock<std::mutex> claim_lock(claim->mutex);
+      if (!claim->done && claim->owner == std::this_thread::get_id()) {
+        // Re-entrant compile of the same fingerprint from inside this
+        // thread's own partitioning observer callback: waiting would be
+        // waiting on ourselves. Build a private workload instead (the
+        // pre-cache behavior); the outer frame publishes the shared one.
+        claim_lock.unlock();
+        const auto t0 = std::chrono::steady_clock::now();
+        auto private_workload = std::make_shared<const Workload>(graph_, hw);
+        *partition_seconds = seconds_since(t0);
+        return private_workload;
+      }
+      claim->published.wait(claim_lock, [&claim] { return claim->done; });
+      if (claim->failure != nullptr) std::rethrow_exception(claim->failure);
+    }
+    // The owner settled successfully: loop around and take the store hit
+    // (which also fires the workload cache-hit event, as waiting on the
+    // owner always did).
   }
-  notify_cache_hit(cache_names::kWorkload, label, index, tag, workload_hits_);
-  return workload;
 }
 
-std::optional<CompileResult> CompilerSession::find_mapping(
-    std::uint64_t key) const {
-  // Only the pointer lookup happens under the lock; the (potentially large:
-  // per-core op streams, GA history) CompileResult copy is taken outside it
-  // so concurrent workers don't serialize behind each other's hits.
-  std::shared_ptr<const CompileResult> found;
-  {
-    std::lock_guard<std::mutex> lock(mapping_mutex_);
-    const auto it = mappings_.find(key);
-    if (it == mappings_.end()) return std::nullopt;
-    found = it->second;
+std::optional<CompileResult> CompilerSession::adopt_mapping_hit(
+    CacheHit hit, const Scenario& scenario, const HardwareConfig& hw,
+    int index, std::uint64_t tag, std::uint64_t workload_key,
+    std::uint64_t mapping_key) {
+  if (hit.entry.decoded != nullptr) {
+    // Memory tier: the historical fast path. The shared decoded result is
+    // copied (the session, like before the refactor, hands each caller an
+    // independent CompileResult) with zeroed stage times — no stage ran.
+    auto stored =
+        std::static_pointer_cast<const CompileResult>(hit.entry.decoded);
+    notify_cache_hit(cache_names::kMapping, scenario.label, index, tag,
+                     mapping_hits_, hit.source);
+    CompileResult result = *stored;
+    result.stage_times = StageTimes{};
+    return result;
   }
-  return *found;
+
+  // Disk tier: the artifact is only JSON. Resolve the workload first (a
+  // cache hit of its own after the first scenario; partitioning is the
+  // cheap stage) — its failures (CapacityError, cancellation via the
+  // caller's earlier check) are genuine scenario failures and propagate.
+  // The partitioning time it may report is observable through the stage
+  // events but not the result: a cache hit returns zeroed stage times, so
+  // warm results stay byte-identical to memory-tier hits.
+  double partition_seconds = 0.0;
+  std::shared_ptr<const Workload> workload = resolve_workload(
+      workload_key, hw, scenario.label, index, tag, &partition_seconds);
+  (void)partition_seconds;
+  try {
+    CompileResult result = compile_result_from_artifact(
+        hit.entry.artifact, std::move(workload), scenario.options,
+        workload_key);
+    mapping_disk_hits_.fetch_add(1, std::memory_order_relaxed);
+    notify_cache_hit(cache_names::kMapping, scenario.label, index, tag,
+                     mapping_hits_, hit.source);
+    // Promotion: re-store the entry with the decoded result attached. The
+    // memory tier adopts it; the disk tier sees its existing file and
+    // leaves it untouched. Deliberately no on_cache_store event — nothing
+    // new was computed.
+    CacheEntry promoted;
+    promoted.artifact = std::move(hit.entry.artifact);
+    promoted.decoded = std::make_shared<const CompileResult>(result);
+    mapping_store_->store(mapping_key, promoted);
+    return result;
+  } catch (const Error&) {
+    // Corrupt, mismatched, or invariant-violating artifact: evict it and
+    // report a miss so the caller computes. Never a compile failure — the
+    // cache must not be able to break a compilation it could only have
+    // accelerated.
+    mapping_store_->erase(mapping_key);
+    return std::nullopt;
+  }
 }
 
 void CompilerSession::store_mapping(std::uint64_t key,
-                                    const CompileResult& result) {
-  // The copy is made before taking the lock (see find_mapping).
-  auto stored = std::make_shared<const CompileResult>(result);
-  std::lock_guard<std::mutex> lock(mapping_mutex_);
-  // emplace, not overwrite: when two identical scenarios raced (both missed
-  // the cache), their results are bit-identical anyway — keep the first.
-  if (!mappings_.emplace(key, std::move(stored)).second) return;
-  mapping_order_.push_back(key);
-  // FIFO eviction: outstanding shared_ptr copies handed to callers keep
-  // their results alive; only the cache's reference is dropped.
-  while (mapping_order_.size() > kMaxCachedMappings) {
-    mappings_.erase(mapping_order_.front());
-    mapping_order_.pop_front();
+                                    std::uint64_t workload_key,
+                                    const CompileResult& result,
+                                    const std::string& label, int index,
+                                    std::uint64_t tag) {
+  CacheEntry entry;
+  entry.decoded = std::make_shared<const CompileResult>(result);
+  if (mapping_disk_ != nullptr) {
+    // Encoding is only paid when a persistent tier wants the artifact, and
+    // is best-effort: a result that cannot serialize still caches in
+    // memory.
+    try {
+      entry.artifact = compile_result_to_artifact(result, workload_key, key);
+    } catch (const std::exception&) {
+    }
+  }
+  // First writer wins inside the stores (racing identical scenarios carry
+  // bit-identical payloads); the store event fires only when something was
+  // newly persisted, attributed to the deepest tier that took it.
+  if (const char* source = mapping_store_->store(key, entry)) {
+    notify_cache_store(cache_names::kMapping, label, index, tag, source);
   }
 }
 
 void CompilerSession::notify_cache_hit(const char* cache,
                                        const std::string& label, int index,
                                        std::uint64_t tag,
-                                       std::atomic<std::uint64_t>& counter) {
+                                       std::atomic<std::uint64_t>& counter,
+                                       const char* source) {
   // Increment under the observer serialization mutex so the cumulative
   // `hits` values reach the observer in monotonic order even when parallel
   // workers hit the caches simultaneously.
   std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
   const std::uint64_t hits = counter.fetch_add(1) + 1;
   if (observer_ != nullptr) {
-    observer_->on_cache_hit(CacheEvent{cache, label, index, hits, tag});
+    observer_->on_cache_hit(CacheEvent{cache, label, index, hits, tag,
+                                       source});
+  }
+}
+
+void CompilerSession::notify_cache_store(const char* cache,
+                                         const std::string& label, int index,
+                                         std::uint64_t tag,
+                                         const char* source) {
+  std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
+  const std::uint64_t stores = mapping_stores_.fetch_add(1) + 1;
+  if (observer_ != nullptr) {
+    observer_->on_cache_store(CacheEvent{cache, label, index, stores, tag,
+                                         source});
   }
 }
 

@@ -12,13 +12,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/cache_config.hpp"
 #include "common/cancel.hpp"
 #include "core/compiler.hpp"
 #include "core/pipeline.hpp"
 
 namespace pimcomp {
 
-class ThreadPool;  // common/thread_pool.hpp
+class ThreadPool;      // common/thread_pool.hpp
+class CacheStore;      // cache/cache_store.hpp
+class InMemoryStore;   // cache/memory_store.hpp
+class DiskStore;       // cache/disk_store.hpp
+struct CacheHit;       // cache/cache_store.hpp
 
 /// Stable identity of a graph / hardware config, used to key the session's
 /// workload cache. Two equal fingerprints partition identically.
@@ -158,13 +163,23 @@ class CompileJob {
 };
 
 /// Asynchronous compilation front-end over the pluggable pipeline. A session
-/// owns one model, a resident worker pool (set_jobs), and two cache layers:
+/// owns one model, a resident worker pool (set_jobs), and two cache layers
+/// built on the pluggable stores of src/cache/:
 ///
-///  1. the partitioned Workload per distinct hardware fingerprint, so an
-///     N-scenario sweep runs node partitioning once instead of N times;
+///  1. the partitioned Workload per distinct hardware fingerprint (memory
+///     tier only — a Workload points into the session's graph and is cheap
+///     to recompute), so an N-scenario sweep runs node partitioning once
+///     instead of N times;
 ///  2. whole mapping results keyed by (workload fingerprint, options
 ///     fingerprint), so a sweep revisiting an identical configuration skips
-///     the GA (and scheduling) entirely.
+///     the GA (and scheduling) entirely. With a CacheConfig whose dir is
+///     set, this layer is a two-tier read-through/write-through store:
+///     in-memory in front of a disk-persisted artifact store, so identical
+///     compilations are reused across processes and daemon restarts. A
+///     disk-tier hit re-partitions the (cheap) workload, revalidates the
+///     artifact against it, and returns a result byte-identical to an
+///     in-memory hit; a corrupt or foreign artifact is a miss, never an
+///     error.
 ///
 /// The primitive is submit(): every scenario becomes a CompileJob on a
 /// shared priority-aware queue drained by resident workers (they survive
@@ -180,8 +195,10 @@ class CompileJob {
 class CompilerSession {
  public:
   /// Takes ownership of the graph (finalizing it if needed); `hw` is the
-  /// default hardware for scenarios without an override.
-  CompilerSession(Graph graph, HardwareConfig hw);
+  /// default hardware for scenarios without an override. `cache` configures
+  /// the persistent mapping-artifact tier; the default (no directory) keeps
+  /// the session memory-only, byte-identical to its historical behavior.
+  CompilerSession(Graph graph, HardwareConfig hw, CacheConfig cache = {});
 
   /// Cancels every outstanding job, finalizes it (waiters and completion
   /// callbacks observe a cancelled outcome), and joins the workers before
@@ -260,18 +277,26 @@ class CompilerSession {
   /// Simulates a result at the hardware it was compiled for.
   SimReport simulate(const CompileResult& result) const;
 
+  /// The persistent-cache configuration this session was built with.
+  const CacheConfig& cache_config() const { return cache_config_; }
+
   /// Distinct partitioned workloads currently cached (successful entries).
   std::size_t cached_workloads() const;
-  /// Distinct mapping results currently cached.
+  /// Distinct mapping results currently cached in the memory tier.
   std::size_t cached_mappings() const;
 
   /// Session-lifetime cache hit counts (also surfaced per-hit through
-  /// PipelineObserver::on_cache_hit).
+  /// PipelineObserver::on_cache_hit). Mapping hits count both tiers;
+  /// mapping_disk_hits() isolates the persistent tier's share.
   std::uint64_t workload_cache_hits() const { return workload_hits_; }
   std::uint64_t mapping_cache_hits() const { return mapping_hits_; }
+  std::uint64_t mapping_disk_hits() const { return mapping_disk_hits_; }
+  /// Freshly computed mapping results written into the cache (also
+  /// surfaced per-store through PipelineObserver::on_cache_store).
+  std::uint64_t mapping_cache_stores() const { return mapping_stores_; }
 
  private:
-  struct WorkloadEntry;
+  struct WorkloadClaim;
   struct MappingClaim;
   class ObserverGate;
 
@@ -299,14 +324,32 @@ class CompilerSession {
                                                    int index, std::uint64_t tag,
                                                    double* partition_seconds);
 
-  std::optional<CompileResult> find_mapping(std::uint64_t key) const;
-  void store_mapping(std::uint64_t key, const CompileResult& result);
+  /// Turns a mapping-store hit into a usable CompileResult. A memory-tier
+  /// hit copies the decoded result (zeroed stage times, exactly the
+  /// historical behavior); a disk-tier hit resolves the workload,
+  /// revalidates the artifact against it, promotes the decoded result into
+  /// the memory tier, and fires a "disk"-sourced hit event. Returns
+  /// std::nullopt — after evicting the offending entry — when the artifact
+  /// cannot be trusted, in which case the caller computes.
+  std::optional<CompileResult> adopt_mapping_hit(
+      CacheHit hit, const Scenario& scenario, const HardwareConfig& hw,
+      int index, std::uint64_t tag, std::uint64_t workload_key,
+      std::uint64_t mapping_key);
+
+  /// Publishes a freshly computed result: decoded into the memory tier,
+  /// encoded artifact into the disk tier when one is configured, one
+  /// on_cache_store event attributed to the deepest tier that took it.
+  void store_mapping(std::uint64_t key, std::uint64_t workload_key,
+                     const CompileResult& result, const std::string& label,
+                     int index, std::uint64_t tag);
   /// Retires an in-flight mapping claim and wakes its waiting peers.
   void release_mapping_claim(std::uint64_t key,
                              const std::shared_ptr<MappingClaim>& claim);
   void notify_cache_hit(const char* cache, const std::string& label, int index,
-                        std::uint64_t tag,
-                        std::atomic<std::uint64_t>& counter);
+                        std::uint64_t tag, std::atomic<std::uint64_t>& counter,
+                        const char* source);
+  void notify_cache_store(const char* cache, const std::string& label,
+                          int index, std::uint64_t tag, const char* source);
 
   Graph graph_;
   HardwareConfig hw_;
@@ -317,7 +360,7 @@ class CompilerSession {
   // session.compile() — or submit and wait on follow-up jobs — on its own
   // worker thread; cross-thread serialization still holds. Nested compiles
   // from a callback remain unsupported while jobs run on several workers
-  // (the nested call could wait on a WorkloadEntry whose owner is blocked
+  // (the nested call could wait on a WorkloadClaim whose owner is blocked
   // on this mutex). enqueue() and submit() are always safe.
   PipelineObserver* observer_ = nullptr;      // guarded by observer_mutex_
   std::unique_ptr<ObserverGate> gate_;        // serializing forwarder
@@ -333,24 +376,36 @@ class CompilerSession {
   std::vector<Scenario> queue_;               // guarded by queue_mutex_
   mutable std::mutex queue_mutex_;
 
-  std::unordered_map<std::uint64_t, std::shared_ptr<WorkloadEntry>>
-      workloads_;                             // guarded by workload_mutex_
+  // Workload cache: completed partitions live in workload_store_ (decoded
+  // Workloads, memory tier only); in-flight claims coordinate
+  // once-per-fingerprint partitioning. A claim that settled with a
+  // *deterministic* failure (CapacityError/ConfigError) stays in the map as
+  // the negative cache — every retry would fail identically.
+  std::unique_ptr<InMemoryStore> workload_store_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<WorkloadClaim>>
+      workload_claims_;                       // guarded by workload_mutex_
   mutable std::mutex workload_mutex_;
 
-  // Bounded FIFO cache (kMaxCachedMappings): a long-lived session sweeping
-  // many distinct configurations must not retain every result forever.
-  std::unordered_map<std::uint64_t, std::shared_ptr<const CompileResult>>
-      mappings_;                              // guarded by mapping_mutex_
-  std::deque<std::uint64_t> mapping_order_;   // insertion order, same guard
+  // Mapping cache: a bounded-FIFO memory tier (kMaxCachedMappings — a
+  // long-lived session sweeping many distinct configurations must not
+  // retain every result forever), composed with a disk tier into a
+  // TieredStore when cache_config_ enables one. The raw tier pointers are
+  // stable aliases into mapping_store_ for stats/attribution.
+  CacheConfig cache_config_;
+  std::unique_ptr<CacheStore> mapping_store_;
+  InMemoryStore* mapping_memory_ = nullptr;   // always valid
+  DiskStore* mapping_disk_ = nullptr;         // nullptr when disabled
   // In-flight dedup: concurrent identical jobs (same mapping key) wait for
   // the first one instead of mapping twice — the second then reads the
   // cache and reports a mapping cache hit, deterministically.
   std::unordered_map<std::uint64_t, std::shared_ptr<MappingClaim>>
-      inflight_mappings_;                     // same guard
+      inflight_mappings_;                     // guarded by mapping_mutex_
   mutable std::mutex mapping_mutex_;
 
   std::atomic<std::uint64_t> workload_hits_{0};
   std::atomic<std::uint64_t> mapping_hits_{0};
+  std::atomic<std::uint64_t> mapping_disk_hits_{0};
+  std::atomic<std::uint64_t> mapping_stores_{0};
 };
 
 }  // namespace pimcomp

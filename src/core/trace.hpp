@@ -18,30 +18,36 @@ namespace pimcomp {
 /// CLI's --trace flag writes them as a JSON timeline — both with the same
 /// JSON shape, so a trace file and a server event stream are diffable.
 struct PipelineEvent {
-  enum class Kind { kStageBegin, kStageEnd, kCacheHit };
+  enum class Kind { kStageBegin, kStageEnd, kCacheHit, kCacheStore };
 
   Kind kind = Kind::kStageBegin;
   std::string name;          ///< stage name (stage events) or cache name
   std::string scenario;      ///< scenario label ("" when single-shot)
   int scenario_index = -1;   ///< position in the session batch
   double seconds = 0.0;      ///< stage duration (kStageEnd only)
-  std::uint64_t hits = 0;    ///< session-lifetime hit count (kCacheHit only)
+  std::uint64_t hits = 0;    ///< session-lifetime hit/store count (cache
+                             ///< events only)
   std::uint64_t tag = 0;     ///< job tag (JobOptions::tag; 0 = untagged —
                              ///< serialized as "job" only when set)
+  std::string source;        ///< cache tier ("memory"/"disk"; cache events
+                             ///< only — serialized as "source" when set)
 
   static PipelineEvent stage_begin(const StageInfo& info);
   static PipelineEvent stage_end(const StageInfo& info);
   static PipelineEvent cache_hit(const CacheEvent& event);
+  static PipelineEvent cache_store(const CacheEvent& event);
 };
 
-/// Wire names of the three kinds ("stage_begin", "stage_end", "cache_hit").
+/// Wire names of the kinds ("stage_begin", "stage_end", "cache_hit",
+/// "cache_store").
 std::string to_string(PipelineEvent::Kind kind);
 PipelineEvent::Kind event_kind_from_string(const std::string& s);
 
 /// JSON shape (the serving protocol's "event" payload and one --trace row):
 ///   {"event": "stage_end", "stage": "mapping", "scenario": "P=20",
 ///    "index": 1, "seconds": 0.42}
-/// Cache hits carry "cache" instead of "stage" plus a "hits" count.
+/// Cache hits/stores carry "cache" instead of "stage" plus a "hits" count
+/// and the serving tier as "source".
 Json event_to_json(const PipelineEvent& event);
 PipelineEvent event_from_json(const Json& json);
 
@@ -58,6 +64,7 @@ class EventBridge : public PipelineObserver {
   void on_stage_begin(const StageInfo& info) override;
   void on_stage_end(const StageInfo& info) override;
   void on_cache_hit(const CacheEvent& event) override;
+  void on_cache_store(const CacheEvent& event) override;
 
  private:
   Sink sink_;
@@ -75,6 +82,7 @@ class TraceRecorder : public PipelineObserver {
   void on_stage_begin(const StageInfo& info) override;
   void on_stage_end(const StageInfo& info) override;
   void on_cache_hit(const CacheEvent& event) override;
+  void on_cache_store(const CacheEvent& event) override;
 
   /// Appends an already-reified event (e.g. one streamed from a compile
   /// server), stamped at the current wall-clock offset.

@@ -262,6 +262,41 @@ MappingSolution MappingSolution::decode(
   return solution;
 }
 
+Json MappingSolution::to_json() const {
+  Json chromosome = Json::array();
+  for (std::int64_t gene : encode()) chromosome.push_back(gene);
+  Json json = Json::object();
+  json["max_nodes_per_core"] = max_nodes_per_core_;
+  json["chromosome"] = std::move(chromosome);
+  return json;
+}
+
+MappingSolution MappingSolution::from_json(const Workload& workload,
+                                           const Json& json) {
+  const int max_nodes =
+      static_cast<int>(json.at("max_nodes_per_core").as_int());
+  if (max_nodes < 1) {
+    throw JsonError("mapping solution: max_nodes_per_core must be >= 1");
+  }
+  const Json& encoded = json.at("chromosome");
+  if (!encoded.is_array()) {
+    throw JsonError("mapping solution: chromosome must be an array");
+  }
+  std::vector<std::int64_t> chromosome;
+  chromosome.reserve(encoded.size());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    chromosome.push_back(encoded.at(i).as_int());
+  }
+  // decode() throws on length mismatches and infeasible placements (the
+  // crossbar/slot budgets of *this* workload's hardware); validate()
+  // re-proves the replication invariants, so a loaded solution is exactly
+  // as trustworthy as a freshly mapped one.
+  MappingSolution solution =
+      MappingSolution::decode(workload, max_nodes, chromosome);
+  solution.validate();
+  return solution;
+}
+
 std::string MappingSolution::to_string() const {
   std::ostringstream oss;
   oss << "mapping over " << core_count_ << " cores, "

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "mapping/gene.hpp"
 #include "partition/array_group.hpp"
 #include "partition/workload.hpp"
@@ -81,6 +82,20 @@ class MappingSolution {
   static MappingSolution decode(const Workload& workload,
                                 int max_nodes_per_core,
                                 const std::vector<std::int64_t>& chromosome);
+
+  /// Serializes the mapping decision for the persistent artifact cache:
+  /// `{"max_nodes_per_core": N, "chromosome": [...]}` in the paper's
+  /// integer gene format. The workload itself is NOT serialized — it is
+  /// recomputed deterministically from (graph, hardware) and re-attached
+  /// by from_json.
+  Json to_json() const;
+
+  /// Inverse of to_json against an already-partitioned workload. Every
+  /// invariant is re-checked on load (decode rejects infeasible
+  /// placements, then validate() re-proves replication integrality), so a
+  /// corrupt or foreign artifact can never smuggle an invalid mapping into
+  /// the scheduler. Throws JsonError/Error on violation.
+  static MappingSolution from_json(const Workload& workload, const Json& json);
 
   std::string to_string() const;
 

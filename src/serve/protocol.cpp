@@ -305,6 +305,7 @@ CompileRequest request_from_json(const Json& json) {
                       "input_size", "cores", "hardware", "simulate",
                       "priority", "scenarios"});
   CompileRequest request;
+  request.protocol_version = version;
   request.id = require_id(json);
   request.model = json.get("model", std::string());
   if (json.contains("graph")) request.graph = json.at("graph");

@@ -15,10 +15,14 @@
 namespace pimcomp::serve {
 
 /// Bumped when a message shape changes incompatibly. The server rejects
-/// requests declaring a newer version than it speaks. v2 adds the
+/// requests declaring a newer version than it speaks. v2 added the
 /// machine-readable `error_kind` on failed outcomes and the request-level
-/// `priority` hint; v1 requests are still accepted.
-inline constexpr int kProtocolVersion = 2;
+/// `priority` hint; v3 added the cache tier attribution ("source") on
+/// cache events plus the `cache_store` event kind — the server keeps
+/// `cache_store` frames away from requests declaring v1/v2, whose
+/// event parsers would reject the unknown kind. Older requests are still
+/// accepted.
+inline constexpr int kProtocolVersion = 3;
 
 // ---------------------------------------------------------------------------
 // Field (de)serialization shared by requests and tooling.
@@ -73,6 +77,10 @@ struct CompileRequest {
   /// sooner on the shared session; ties are FIFO). Default 0.
   int priority = 0;
   std::vector<ScenarioSpec> scenarios;
+  /// Version the requester declared (parsed from the wire; defaults to
+  /// ours). The server tailors advisory frames to it — pre-v3 parsers
+  /// never see a `cache_store` event.
+  int protocol_version = kProtocolVersion;
 };
 
 /// Parses one scenario entry ({"label": ..., "options": {...},

@@ -103,8 +103,8 @@ struct CompileServer::RequestState {
 /// One shared CompilerSession plus the event router that attributes its
 /// merged observer stream. `next_tag` mints the session-unique job tags.
 struct CompileServer::SessionEntry {
-  SessionEntry(Graph graph, HardwareConfig hw)
-      : session(std::move(graph), hw) {
+  SessionEntry(Graph graph, HardwareConfig hw, CacheConfig cache)
+      : session(std::move(graph), hw, std::move(cache)) {
     session.set_observer(&router);
   }
 
@@ -136,9 +136,10 @@ struct CompileServer::Reader {
 
 void CompileServer::JobRouter::add(std::uint64_t tag,
                                    std::weak_ptr<Connection> connection,
-                                   std::int64_t request_id) {
+                                   std::int64_t request_id,
+                                   int protocol_version) {
   std::lock_guard<std::mutex> lock(mutex_);
-  routes_[tag] = Route{std::move(connection), request_id};
+  routes_[tag] = Route{std::move(connection), request_id, protocol_version};
 }
 
 void CompileServer::JobRouter::remove(std::uint64_t tag) {
@@ -158,6 +159,10 @@ void CompileServer::JobRouter::on_cache_hit(const CacheEvent& event) {
   route(PipelineEvent::cache_hit(event));
 }
 
+void CompileServer::JobRouter::on_cache_store(const CacheEvent& event) {
+  route(PipelineEvent::cache_store(event));
+}
+
 void CompileServer::JobRouter::route(const PipelineEvent& event) {
   if (event.tag == 0) return;  // not one of our jobs (direct session use)
   std::shared_ptr<Connection> connection;
@@ -166,6 +171,12 @@ void CompileServer::JobRouter::route(const PipelineEvent& event) {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = routes_.find(event.tag);
     if (it == routes_.end()) return;  // request already finished/unroutable
+    if (event.kind == PipelineEvent::Kind::kCacheStore &&
+        it->second.protocol_version < 3) {
+      // A pre-v3 event parser rejects the cache_store kind outright; the
+      // frame is advisory, so an old client simply doesn't get it.
+      return;
+    }
     connection = it->second.connection.lock();
     request_id = it->second.request_id;
   }
@@ -593,6 +604,7 @@ void CompileServer::handle_compile(
     std::vector<Scenario> batch;
     bool simulate = true;
     int priority = 0;
+    int protocol_version = serve::kProtocolVersion;
   };
   Prepared prepared;
   try {
@@ -627,6 +639,7 @@ void CompileServer::handle_compile(
     }
     prepared.simulate = request.simulate;
     prepared.priority = request.priority;
+    prepared.protocol_version = request.protocol_version;
     prepared.entry = resolve_session(std::move(graph), hw);
   } catch (const std::exception& e) {
     enqueue_frame(*connection, to_json(ErrorMessage{id, e.what()}),
@@ -662,7 +675,8 @@ void CompileServer::handle_compile(
     const std::uint64_t tag = prepared.entry->next_tag.fetch_add(1);
     // Route before submit: the first observer event may fire before
     // submit() even returns.
-    prepared.entry->router.add(tag, connection, id);
+    prepared.entry->router.add(tag, connection, id,
+                               prepared.protocol_version);
 
     JobOptions job_options;
     job_options.index = static_cast<int>(i);
@@ -837,7 +851,8 @@ std::shared_ptr<CompileServer::SessionEntry> CompileServer::resolve_session(
   const auto it = sessions_.find(key);
   if (it != sessions_.end()) return it->second;
 
-  auto entry = std::make_shared<SessionEntry>(std::move(graph), hw);
+  auto entry =
+      std::make_shared<SessionEntry>(std::move(graph), hw, options_.cache);
   entry->session.set_jobs(options_.jobs);
   sessions_.emplace(key, entry);
   session_order_.push_back(key);
@@ -896,7 +911,8 @@ int run_daemon(int argc, char** argv, const std::string& program) {
   const auto usage = [&program]() -> int {
     std::cerr << "usage: " << program
               << " (--unix PATH | --port N [--host ADDR])\n"
-                 "       [--jobs N|auto] [--readers N] [--max-sessions N]\n";
+                 "       [--jobs N|auto] [--readers N] [--max-sessions N]\n"
+                 "       [--cache-dir PATH]\n";
     return 2;
   };
   const auto parse_int_flag = [&program](const std::string& flag,
@@ -942,6 +958,11 @@ int run_daemon(int argc, char** argv, const std::string& program) {
           parse_int_flag(arg, argv[++i], 1, 1 << 16);
       if (!max.has_value()) return 2;
       options.max_sessions = static_cast<std::size_t>(*max);
+    } else if (arg == "--cache-dir" && has_next) {
+      // Persistent mapping cache: previously compiled configurations —
+      // including ones from before a restart, or from another daemon on
+      // the same directory — are served from disk instead of re-mapped.
+      options.cache.dir = argv[++i];
     } else {
       return usage();
     }

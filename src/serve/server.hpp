@@ -50,6 +50,13 @@ struct ServerOptions {
   /// performed by the reader pool, so a stalled peer never blocks a
   /// session worker for even a moment.)
   int send_timeout_seconds = 30;
+
+  /// Persistent mapping-artifact cache shared by every session this daemon
+  /// creates (`--cache-dir`). With a directory set, a restarted daemon
+  /// serves previously compiled configurations from disk (`cache_hit`
+  /// frames with source "disk") instead of re-running the GA; several
+  /// daemons may point at one directory (writes are atomic renames).
+  CacheConfig cache;
 };
 
 /// The compile-server daemon core: accepts connections, reads
@@ -120,18 +127,23 @@ class CompileServer {
   /// reader can never stall the pipeline.
   class JobRouter final : public PipelineObserver {
    public:
+    /// `protocol_version` is the requester's declared version: pre-v3
+    /// parsers reject the `cache_store` event kind, so those frames are
+    /// filtered per route instead of sent.
     void add(std::uint64_t tag, std::weak_ptr<Connection> connection,
-             std::int64_t request_id);
+             std::int64_t request_id, int protocol_version);
     void remove(std::uint64_t tag);
 
     void on_stage_begin(const StageInfo& info) override;
     void on_stage_end(const StageInfo& info) override;
     void on_cache_hit(const CacheEvent& event) override;
+    void on_cache_store(const CacheEvent& event) override;
 
    private:
     struct Route {
       std::weak_ptr<Connection> connection;
       std::int64_t request_id = 0;
+      int protocol_version = 0;
     };
     void route(const PipelineEvent& event);
 
@@ -242,7 +254,8 @@ int parse_jobs_flag(const std::string& value);
 /// The complete daemon frontend shared by `pimcompd` and
 /// `pimcomp_cli serve` — one flag grammar, one lifecycle, two binaries that
 /// cannot drift. Parses `--unix PATH | --port N [--host ADDR]`,
-/// `[--jobs N|auto] [--readers N] [--max-sessions N]` from argv (NOT
+/// `[--jobs N|auto] [--readers N] [--max-sessions N] [--cache-dir PATH]`
+/// from argv (NOT
 /// including the program/subcommand name), masks SIGINT/SIGTERM, starts a
 /// CompileServer, prints "<program> listening on <endpoint>" on stdout,
 /// blocks until a shutdown signal, and stops gracefully. Returns the

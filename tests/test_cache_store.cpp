@@ -1,0 +1,447 @@
+// Unit tests of the src/cache/ stores: the extracted in-memory tier, the
+// persistent disk tier (atomic writes, corrupt-entry self-healing, LRU
+// eviction, read-only mode), and their read-through/write-through
+// composition. These run under the CI ThreadSanitizer job like every other
+// test, which keeps the concurrent store paths race-free.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "cache/disk_store.hpp"
+#include "cache/memory_store.hpp"
+#include "cache/tiered_store.hpp"
+
+namespace pimcomp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// RAII temp directory for disk-store tests.
+struct TempDir {
+  TempDir() {
+    std::string pattern = (fs::temp_directory_path() /
+                           "pimcomp-cache-test-XXXXXX")
+                              .string();
+    char* made = ::mkdtemp(pattern.data());
+    EXPECT_NE(made, nullptr);
+    path = pattern;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+Json payload(int value) {
+  Json json = Json::object();
+  json["value"] = value;
+  return json;
+}
+
+CacheEntry artifact_entry(int value) {
+  CacheEntry entry;
+  entry.artifact = payload(value);
+  return entry;
+}
+
+CacheEntry decoded_entry(int value) {
+  CacheEntry entry;
+  entry.decoded = std::make_shared<const int>(value);
+  return entry;
+}
+
+int decoded_value(const CacheEntry& entry) {
+  return *std::static_pointer_cast<const int>(entry.decoded);
+}
+
+// ---------------------------------------------------------------------------
+// Hex keys.
+// ---------------------------------------------------------------------------
+
+TEST(CacheKeyHex, RoundTripsAndRejectsGarbage) {
+  for (std::uint64_t key :
+       {0ull, 1ull, 0xdeadbeefull, 0xffffffffffffffffull,
+        0x0123456789abcdefull}) {
+    const std::string hex = cache_key_hex(key);
+    EXPECT_EQ(hex.size(), 16u);
+    ASSERT_TRUE(cache_key_from_hex(hex).has_value());
+    EXPECT_EQ(*cache_key_from_hex(hex), key);
+  }
+  EXPECT_EQ(cache_key_hex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_FALSE(cache_key_from_hex("").has_value());
+  EXPECT_FALSE(cache_key_from_hex("deadbeef").has_value());          // short
+  EXPECT_FALSE(cache_key_from_hex("00000000DEADBEEF").has_value());  // upper
+  EXPECT_FALSE(cache_key_from_hex("00000000deadbeeg").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// InMemoryStore.
+// ---------------------------------------------------------------------------
+
+TEST(InMemoryStoreTest, MissThenStoreThenHit) {
+  InMemoryStore store;
+  EXPECT_FALSE(store.load(1).has_value());
+  EXPECT_STREQ(store.store(1, decoded_entry(42)), cache_sources::kMemory);
+  const auto hit = store.load(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_STREQ(hit->source, cache_sources::kMemory);
+  EXPECT_EQ(decoded_value(hit->entry), 42);
+  const CacheStoreStats stats = store.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(InMemoryStoreTest, FirstWriterWins) {
+  InMemoryStore store;
+  EXPECT_NE(store.store(7, decoded_entry(1)), nullptr);
+  EXPECT_EQ(store.store(7, decoded_entry(2)), nullptr);  // kept the first
+  EXPECT_EQ(decoded_value(store.load(7)->entry), 1);
+}
+
+TEST(InMemoryStoreTest, FifoEvictionRespectsBound) {
+  InMemoryStore store(/*max_entries=*/2);
+  store.store(1, decoded_entry(1));
+  store.store(2, decoded_entry(2));
+  store.store(3, decoded_entry(3));  // evicts key 1
+  EXPECT_FALSE(store.load(1).has_value());
+  EXPECT_TRUE(store.load(2).has_value());
+  EXPECT_TRUE(store.load(3).has_value());
+  EXPECT_EQ(store.stats().entries, 2u);
+  EXPECT_EQ(store.stats().evictions, 1u);
+}
+
+TEST(InMemoryStoreTest, DropsRedundantArtifactWhenDecodedPresent) {
+  InMemoryStore store;
+  CacheEntry both = artifact_entry(5);
+  both.decoded = std::make_shared<const int>(5);
+  store.store(1, both);
+  const auto hit = store.load(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->entry.has_artifact());  // decoded-only in memory
+  EXPECT_EQ(decoded_value(hit->entry), 5);
+
+  // Artifact-only entries are kept as-is (pure-JSON store still works).
+  store.store(2, artifact_entry(9));
+  ASSERT_TRUE(store.load(2).has_value());
+  EXPECT_EQ(store.load(2)->entry.artifact.get("value", 0), 9);
+}
+
+TEST(InMemoryStoreTest, EraseAndPurge) {
+  InMemoryStore store;
+  store.store(1, decoded_entry(1));
+  store.store(2, decoded_entry(2));
+  store.erase(1);
+  EXPECT_FALSE(store.load(1).has_value());
+  EXPECT_EQ(store.purge(), 1u);
+  EXPECT_EQ(store.stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DiskStore.
+// ---------------------------------------------------------------------------
+
+CacheConfig disk_config(const std::string& dir,
+                        std::uint64_t max_bytes = 0) {
+  CacheConfig config;
+  config.dir = dir;
+  config.max_bytes = max_bytes;
+  return config;
+}
+
+TEST(DiskStoreTest, StoreThenLoadRoundTripsThroughTheFilesystem) {
+  TempDir dir;
+  DiskStore store(disk_config(dir.path));
+  EXPECT_FALSE(store.load(0xabcdef).has_value());
+  EXPECT_STREQ(store.store(0xabcdef, artifact_entry(42)),
+               cache_sources::kDisk);
+
+  // A fresh store instance (a new process, conceptually) sees the entry.
+  DiskStore reopened(disk_config(dir.path));
+  const auto hit = reopened.load(0xabcdef);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_STREQ(hit->source, cache_sources::kDisk);
+  EXPECT_EQ(hit->entry.artifact.get("value", 0), 42);
+  EXPECT_EQ(hit->entry.decoded, nullptr);
+  // The envelope was stamped on the way in.
+  EXPECT_EQ(hit->entry.artifact.get("schema", -1), kCacheSchemaVersion);
+  EXPECT_EQ(hit->entry.artifact.get("key", std::string()),
+            cache_key_hex(0xabcdef));
+}
+
+TEST(DiskStoreTest, NeverRewritesAnExistingArtifact) {
+  TempDir dir;
+  DiskStore store(disk_config(dir.path));
+  EXPECT_NE(store.store(1, artifact_entry(1)), nullptr);
+  EXPECT_EQ(store.store(1, artifact_entry(2)), nullptr);
+  EXPECT_EQ(store.load(1)->entry.artifact.get("value", 0), 1);
+}
+
+TEST(DiskStoreTest, DecodedOnlyEntriesAreNotPersisted) {
+  TempDir dir;
+  DiskStore store(disk_config(dir.path));
+  EXPECT_EQ(store.store(1, decoded_entry(1)), nullptr);
+  EXPECT_FALSE(store.load(1).has_value());
+}
+
+TEST(DiskStoreTest, CorruptArtifactIsAMissAndSelfHeals) {
+  TempDir dir;
+  DiskStore store(disk_config(dir.path));
+  store.store(1, artifact_entry(42));
+
+  // Truncate the artifact mid-file, as a crashed writer without the atomic
+  // rename discipline would have.
+  const std::string path = store.artifact_path(1);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "{\"schema\": 1, \"ke";
+  }
+  EXPECT_FALSE(store.load(1).has_value());
+  EXPECT_FALSE(fs::exists(path));  // the garbage was unlinked...
+  EXPECT_NE(store.store(1, artifact_entry(42)), nullptr);  // ...so a fresh
+  EXPECT_TRUE(store.load(1).has_value());                  // store heals it
+}
+
+TEST(DiskStoreTest, WrongSchemaOrForeignKeyIsAMiss) {
+  TempDir dir;
+  DiskStore store(disk_config(dir.path));
+  store.store(1, artifact_entry(42));
+
+  // Rewrite the artifact under key 2's path: the envelope still says key 1,
+  // so serving it for key 2 would be path aliasing — must be a miss.
+  const std::string source_path = store.artifact_path(1);
+  const std::string target_path = store.artifact_path(2);
+  fs::create_directories(fs::path(target_path).parent_path());
+  fs::copy_file(source_path, target_path);
+  EXPECT_FALSE(store.load(2).has_value());
+  EXPECT_TRUE(store.load(1).has_value());
+}
+
+TEST(DiskStoreTest, ReadOnlyModeNeverWrites) {
+  TempDir dir;
+  {
+    DiskStore writer(disk_config(dir.path));
+    writer.store(1, artifact_entry(42));
+  }
+  CacheConfig config = disk_config(dir.path);
+  config.read_only = true;
+  DiskStore store(config);
+  EXPECT_TRUE(store.load(1).has_value());
+  EXPECT_EQ(store.store(2, artifact_entry(2)), nullptr);
+  EXPECT_FALSE(store.load(2).has_value());
+  store.erase(1);
+  EXPECT_TRUE(store.load(1).has_value());  // erase was a no-op
+  EXPECT_EQ(store.purge(), 0u);
+  EXPECT_TRUE(store.load(1).has_value());
+}
+
+TEST(DiskStoreTest, EvictsOldestWhenOverBudget) {
+  TempDir dir;
+  // Budget of one artifact-ish: every store pushes the total over and
+  // evicts back down to the newest entries that fit.
+  DiskStore probe(disk_config(dir.path));
+  probe.store(1, artifact_entry(1));
+  const std::uint64_t one_artifact = probe.stats().bytes;
+  ASSERT_GT(one_artifact, 0u);
+  probe.purge();
+
+  DiskStore store(disk_config(dir.path, /*max_bytes=*/one_artifact * 2));
+  store.store(1, artifact_entry(1));
+  // mtime granularity on some filesystems is coarse; force distinct ages.
+  fs::last_write_time(store.artifact_path(1),
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(2));
+  store.store(2, artifact_entry(2));
+  fs::last_write_time(store.artifact_path(2),
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(1));
+  store.store(3, artifact_entry(3));  // over budget: key 1 (oldest) goes
+  EXPECT_FALSE(store.load(1).has_value());
+  EXPECT_TRUE(store.load(2).has_value());
+  EXPECT_TRUE(store.load(3).has_value());
+  EXPECT_GE(store.stats().evictions, 1u);
+}
+
+TEST(DiskStoreTest, LoadBumpsRecencySoHotEntriesSurviveEviction) {
+  TempDir dir;
+  DiskStore probe(disk_config(dir.path));
+  probe.store(1, artifact_entry(1));
+  const std::uint64_t one_artifact = probe.stats().bytes;
+  probe.purge();
+
+  DiskStore store(disk_config(dir.path, /*max_bytes=*/one_artifact * 2));
+  store.store(1, artifact_entry(1));
+  store.store(2, artifact_entry(2));
+  // Age both, then touch key 1 via a load: key 2 becomes the LRU victim.
+  for (std::uint64_t key : {1ull, 2ull}) {
+    fs::last_write_time(store.artifact_path(key),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(key + 1));
+  }
+  ASSERT_TRUE(store.load(1).has_value());
+  store.store(3, artifact_entry(3));
+  EXPECT_TRUE(store.load(1).has_value());
+  EXPECT_FALSE(store.load(2).has_value());
+  EXPECT_TRUE(store.load(3).has_value());
+}
+
+TEST(DiskStoreTest, PurgeRemovesEverythingStatsReflectIt) {
+  TempDir dir;
+  DiskStore store(disk_config(dir.path));
+  store.store(1, artifact_entry(1));
+  store.store(2, artifact_entry(2));
+  EXPECT_EQ(store.stats().entries, 2u);
+  EXPECT_GT(store.stats().bytes, 0u);
+  EXPECT_EQ(store.purge(), 2u);
+  EXPECT_EQ(store.stats().entries, 0u);
+  EXPECT_EQ(store.stats().bytes, 0u);
+}
+
+TEST(DiskStoreTest, DestructiveOperationsNeverTouchForeignFiles) {
+  // A --cache-dir pointed at a populated directory must be harmless: only
+  // files matching the store's own layout (v<N>/<2-hex>/<16-hex>.json and
+  // its temp pattern) are eligible for purge or eviction.
+  TempDir dir;
+  const fs::path root(dir.path);
+  fs::create_directories(root / "data");
+  const std::vector<fs::path> foreign = {
+      root / "report.json",                // .json, but not in the layout
+      root / "data" / "results.json",      // nested foreign .json
+      root / "data" / "notes.txt",         // old non-json file
+      root / "v1" / "ab" / "readme.txt",   // inside the layout dirs, wrong
+  };                                       // name shape
+  fs::create_directories(root / "v1" / "ab");
+  for (const fs::path& path : foreign) {
+    std::ofstream out(path);
+    out << "precious";
+    // Old enough that an unscoped temp sweep would have taken it.
+    out.close();
+    fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                  std::chrono::hours(48));
+  }
+
+  DiskStore store(disk_config(dir.path, /*max_bytes=*/1));  // evict always
+  store.store(1, artifact_entry(1));
+  store.store(2, artifact_entry(2));  // budget of 1 byte: eviction runs
+  EXPECT_EQ(store.stats().entries, 0u);
+  EXPECT_EQ(store.purge(), 0u);
+  for (const fs::path& path : foreign) {
+    EXPECT_TRUE(fs::exists(path)) << path;
+  }
+}
+
+TEST(DiskStoreTest, ConcurrentStoresAndLoadsAreSafe) {
+  TempDir dir;
+  DiskStore store(disk_config(dir.path));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 16; ++i) {
+        const auto key = static_cast<std::uint64_t>(i % 8);
+        store.store(key, artifact_entry(static_cast<int>(key)));
+        const auto hit = store.load(key);
+        if (hit.has_value()) {
+          EXPECT_EQ(hit->entry.artifact.get("value", -1),
+                    static_cast<int>(key));
+        }
+      }
+      (void)t;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(store.stats().entries, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// TieredStore.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<TieredStore> memory_over_disk(const std::string& dir,
+                                              InMemoryStore** memory_out,
+                                              DiskStore** disk_out) {
+  auto memory = std::make_unique<InMemoryStore>();
+  auto disk = std::make_unique<DiskStore>(disk_config(dir));
+  *memory_out = memory.get();
+  *disk_out = disk.get();
+  std::vector<std::unique_ptr<CacheStore>> tiers;
+  tiers.push_back(std::move(memory));
+  tiers.push_back(std::move(disk));
+  return std::make_unique<TieredStore>(std::move(tiers));
+}
+
+TEST(TieredStoreTest, WritesThroughAndReportsDeepestTier) {
+  TempDir dir;
+  InMemoryStore* memory = nullptr;
+  DiskStore* disk = nullptr;
+  auto tiered = memory_over_disk(dir.path, &memory, &disk);
+
+  CacheEntry entry = artifact_entry(42);
+  entry.decoded = std::make_shared<const int>(42);
+  EXPECT_STREQ(tiered->store(1, entry), cache_sources::kDisk);
+  EXPECT_TRUE(memory->load(1).has_value());
+  EXPECT_TRUE(disk->load(1).has_value());
+
+  // Decoded-only entries only land in memory — the deepest acceptor is
+  // then the memory tier.
+  EXPECT_STREQ(tiered->store(2, decoded_entry(2)), cache_sources::kMemory);
+}
+
+TEST(TieredStoreTest, ReadsThroughInTierOrder) {
+  TempDir dir;
+  InMemoryStore* memory = nullptr;
+  DiskStore* disk = nullptr;
+  auto tiered = memory_over_disk(dir.path, &memory, &disk);
+
+  CacheEntry entry = artifact_entry(42);
+  entry.decoded = std::make_shared<const int>(42);
+  tiered->store(1, entry);
+
+  // Served by the memory tier while it holds the key...
+  EXPECT_STREQ(tiered->load(1)->source, cache_sources::kMemory);
+
+  // ...and by the disk tier once memory forgets (a restart, conceptually).
+  memory->purge();
+  const auto hit = tiered->load(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_STREQ(hit->source, cache_sources::kDisk);
+  // No auto-promotion: the caller decodes and re-stores.
+  EXPECT_FALSE(memory->load(1).has_value());
+  CacheEntry promoted;
+  promoted.artifact = hit->entry.artifact;
+  promoted.decoded = std::make_shared<const int>(42);
+  tiered->store(1, promoted);
+  EXPECT_STREQ(tiered->load(1)->source, cache_sources::kMemory);
+}
+
+TEST(TieredStoreTest, EraseAndPurgeCoverEveryTier) {
+  TempDir dir;
+  InMemoryStore* memory = nullptr;
+  DiskStore* disk = nullptr;
+  auto tiered = memory_over_disk(dir.path, &memory, &disk);
+  CacheEntry entry = artifact_entry(1);
+  entry.decoded = std::make_shared<const int>(1);
+  tiered->store(1, entry);
+  tiered->store(2, entry);
+
+  tiered->erase(1);
+  EXPECT_FALSE(memory->load(1).has_value());
+  EXPECT_FALSE(disk->load(1).has_value());
+  EXPECT_EQ(tiered->purge(), 2u);  // one memory + one disk entry
+  EXPECT_FALSE(tiered->load(2).has_value());
+}
+
+}  // namespace
+}  // namespace pimcomp

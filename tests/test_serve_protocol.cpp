@@ -217,6 +217,23 @@ TEST(ServeProtocol, EventRoundTripsAllKinds) {
   EXPECT_EQ(parsed.name, cache_names::kWorkload);
   EXPECT_EQ(parsed.hits, 9u);
 
+  // v3: cache events carry their serving tier, and stores are events too.
+  hit.source = cache_sources::kDisk;
+  parsed = event_from_json(wire(event_to_json(hit)));
+  EXPECT_EQ(parsed.source, cache_sources::kDisk);
+
+  PipelineEvent store;
+  store.kind = PipelineEvent::Kind::kCacheStore;
+  store.name = cache_names::kMapping;
+  store.scenario = "P=1";
+  store.hits = 2;
+  store.source = cache_sources::kDisk;
+  parsed = event_from_json(wire(event_to_json(store)));
+  EXPECT_EQ(parsed.kind, PipelineEvent::Kind::kCacheStore);
+  EXPECT_EQ(parsed.name, cache_names::kMapping);
+  EXPECT_EQ(parsed.hits, 2u);
+  EXPECT_EQ(parsed.source, cache_sources::kDisk);
+
   PipelineEvent begin;
   begin.kind = PipelineEvent::Kind::kStageBegin;
   begin.name = "partitioning";

@@ -1,0 +1,195 @@
+// Cross-restart warm start of pimcompd: a daemon with --cache-dir compiles
+// a batch, is torn down completely, and a brand-new daemon on the same
+// directory serves the identical request from the disk tier — the client
+// sees a `cache_hit` frame whose source is "disk", no mapping stage ever
+// runs, and the wire results are byte-identical modulo stage times.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "core/session.hpp"
+#include "core/trace.hpp"
+#include "graph/builder.hpp"
+#include "graph/serialize.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace pimcomp {
+namespace {
+
+using serve::CompileClient;
+using serve::CompileReply;
+using serve::CompileRequest;
+using serve::CompileServer;
+using serve::ScenarioSpec;
+using serve::ServerOptions;
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  TempDir() {
+    std::string pattern =
+        (fs::temp_directory_path() / "pimcomp-serve-cache-XXXXXX").string();
+    char* made = ::mkdtemp(pattern.data());
+    EXPECT_NE(made, nullptr);
+    path = pattern;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+Graph small_cnn() {
+  GraphBuilder b("restart-cnn", {3, 16, 16});
+  NodeId x = b.input();
+  x = b.conv_relu(x, 8, 3, /*stride=*/1, /*padding=*/1, "conv1");
+  x = b.fc(b.flatten(x, "flatten"), 10, "classifier");
+  b.softmax(x, "prob");
+  return b.build();
+}
+
+CompileRequest request_for(std::vector<int> parallelisms) {
+  CompileRequest request;
+  request.graph = graph_to_json(small_cnn());
+  for (int p : parallelisms) {
+    ScenarioSpec spec;
+    spec.label = "P=" + std::to_string(p);
+    spec.options.mode = PipelineMode::kLowLatency;
+    spec.options.parallelism_degree = p;
+    spec.options.ga.population = 6;
+    spec.options.ga.generations = 3;
+    request.scenarios.push_back(std::move(spec));
+  }
+  return request;
+}
+
+std::string socket_path(const std::string& tag) {
+  return "/tmp/pimcomp-restart-" + tag + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+Json strip_stage_times(const Json& compile) {
+  Json out = Json::object();
+  for (const auto& [key, value] : compile.items()) {
+    if (key != "stage_times") out[key] = value;
+  }
+  return out;
+}
+
+int count_events(const std::vector<PipelineEvent>& events,
+                 PipelineEvent::Kind kind, const std::string& name,
+                 const std::string& source = "") {
+  return static_cast<int>(std::count_if(
+      events.begin(), events.end(), [&](const PipelineEvent& event) {
+        return event.kind == kind && event.name == name &&
+               (source.empty() || event.source == source);
+      }));
+}
+
+TEST(ServeRestart, FirstRequestAfterRestartIsServedFromTheDiskTier) {
+  TempDir cache_dir;
+
+  // --- First daemon lifetime: populate the cache over the wire. -----------
+  CompileReply cold;
+  {
+    ServerOptions options;
+    options.unix_path = socket_path("cold");
+    options.cache.dir = cache_dir.path;
+    CompileServer server(options);
+    server.start();
+    CompileClient client = CompileClient::connect(server.endpoint());
+    cold = client.submit(request_for({2, 3}));
+    server.stop();
+  }  // daemon gone; only the cache directory survives
+  ASSERT_EQ(cold.outcomes.size(), 2u);
+  ASSERT_TRUE(cold.all_ok());
+  // The cold batch computed: mapping stages ran, artifacts were persisted
+  // (cache_store frames with source "disk" streamed to the client).
+  EXPECT_GE(count_events(cold.events, PipelineEvent::Kind::kStageBegin,
+                         stage_names::kMapping),
+            1);
+  EXPECT_EQ(count_events(cold.events, PipelineEvent::Kind::kCacheStore,
+                         cache_names::kMapping, cache_sources::kDisk),
+            2);
+
+  // --- Second daemon lifetime: same directory, fresh everything. ----------
+  ServerOptions options;
+  options.unix_path = socket_path("warm");
+  options.cache.dir = cache_dir.path;
+  CompileServer server(options);
+  server.start();
+  CompileClient client = CompileClient::connect(server.endpoint());
+  const CompileReply warm = client.submit(request_for({2, 3}));
+  server.stop();
+
+  ASSERT_EQ(warm.outcomes.size(), 2u);
+  ASSERT_TRUE(warm.all_ok());
+
+  // The acceptance frame: a cache_hit whose source is "disk".
+  EXPECT_EQ(count_events(warm.events, PipelineEvent::Kind::kCacheHit,
+                         cache_names::kMapping, cache_sources::kDisk),
+            2);
+  // And the mapping stage never ran after the restart.
+  EXPECT_EQ(count_events(warm.events, PipelineEvent::Kind::kStageBegin,
+                         stage_names::kMapping),
+            0);
+
+  // Wire results byte-identical to the cold run's, modulo stage times
+  // (the warm ones are zero — nothing ran).
+  for (std::size_t i = 0; i < warm.outcomes.size(); ++i) {
+    SCOPED_TRACE(warm.outcomes[i].label);
+    EXPECT_EQ(strip_stage_times(warm.outcomes[i].compile).dump(2),
+              strip_stage_times(cold.outcomes[i].compile).dump(2));
+    EXPECT_EQ(warm.outcomes[i].simulation.dump(2),
+              cold.outcomes[i].simulation.dump(2));
+    EXPECT_EQ(warm.outcomes[i].compile.at("stage_times").get("mapping_s",
+                                                             -1.0),
+              0.0);
+  }
+}
+
+TEST(ServeRestart, DaemonWithoutCacheDirStaysCold) {
+  // Control: no --cache-dir, a restart forgets everything (guards against
+  // the cache accidentally becoming non-optional).
+  CompileReply first;
+  {
+    ServerOptions options;
+    options.unix_path = socket_path("nocache-a");
+    CompileServer server(options);
+    server.start();
+    CompileClient client = CompileClient::connect(server.endpoint());
+    first = client.submit(request_for({2}));
+    server.stop();
+  }
+  ServerOptions options;
+  options.unix_path = socket_path("nocache-b");
+  CompileServer server(options);
+  server.start();
+  CompileClient client = CompileClient::connect(server.endpoint());
+  const CompileReply second = client.submit(request_for({2}));
+  server.stop();
+
+  EXPECT_EQ(count_events(second.events, PipelineEvent::Kind::kCacheHit,
+                         cache_names::kMapping),
+            0);
+  EXPECT_GE(count_events(second.events, PipelineEvent::Kind::kStageBegin,
+                         stage_names::kMapping),
+            1);
+  // Determinism across processes even without the cache: equal seeds.
+  ASSERT_TRUE(first.all_ok());
+  ASSERT_TRUE(second.all_ok());
+  EXPECT_EQ(strip_stage_times(second.outcomes[0].compile).dump(2),
+            strip_stage_times(first.outcomes[0].compile).dump(2));
+}
+
+}  // namespace
+}  // namespace pimcomp
