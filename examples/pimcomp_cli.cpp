@@ -1,6 +1,7 @@
 // Command-line driver: the end-to-end toolchain in one binary.
 //
 //   pimcomp_cli <model> [options]          compile locally (default)
+//   pimcomp_cli lower <model> [options]    lower to an instruction stream
 //   pimcomp_cli serve ...                  run the compile-server daemon
 //   pimcomp_cli submit --server E ...      submit a batch to a daemon
 //   pimcomp_cli cache stats|purge ...      inspect / empty a --cache-dir
@@ -16,6 +17,9 @@
 //   --jobs N|auto        worker threads for the batch ('auto' = one per
 //                        hardware thread)                (default 1)
 //   --mapper KEY         a MapperRegistry key            (default ga)
+//   --scheduler KEY      a SchedulerRegistry key         (default: the mode's)
+//   --backend KEY        lower through a BackendRegistry key (local mode:
+//                        adds the lowering stage; reports stay unchanged)
 //   --policy naive|add|ag                                (default ag)
 //   --input N            zoo input resolution            (default 64/96)
 //   --cores N            core count (default: auto-fit with 3x headroom)
@@ -29,6 +33,17 @@
 //                        across runs instead of re-running the GA
 //   --list-mappers       print the registered mapper keys
 //   --list-schedulers    print the registered scheduler keys
+//   --list-backends      print the registered backend keys
+//
+// Lowering (see docs/backends.md for the artifact schema):
+//   pimcomp_cli lower <model|graph.json> [compile options]
+//                     [--backend KEY] [--out FILE] [--run] [--json]
+//     --backend KEY      which backend emits the stream  (default isa-json)
+//     --out FILE         write the artifact JSON to FILE
+//     --run              execute the stream on the backend (needs an
+//                        executing backend, e.g. 'sim') and report
+//     --json             one JSON object on stdout: "stream" (when no
+//                        --out) and "simulation" (with --run)
 //
 // Cache maintenance (the on-disk artifact store a --cache-dir run or a
 // `pimcompd --cache-dir` daemon fills):
@@ -62,6 +77,8 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
+#include "backend/instruction_stream.hpp"
 #include "cache/disk_store.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
@@ -83,10 +100,15 @@ using namespace pimcomp;
   std::cerr
       << "usage: " << argv0
       << " <model|graph.json> [--mode ht|ll] [--parallelism N[,N...]]\n"
-         "       [--jobs N|auto] [--mapper KEY] [--policy naive|add|ag]\n"
+         "       [--jobs N|auto] [--mapper KEY] [--scheduler KEY]\n"
+         "       [--backend KEY] [--policy naive|add|ag]\n"
          "       [--input N] [--cores N] [--pop N] [--gens N]\n"
          "       [--seed N] [--dump-stream CORE] [--trace FILE] [--json]\n"
          "       [--cache-dir PATH] [--list-mappers] [--list-schedulers]\n"
+         "       [--list-backends]\n"
+         "   or: " << argv0
+      << " lower <model|graph.json> [compile options] [--backend KEY]\n"
+         "       [--out FILE] [--run] [--json] [--cache-dir PATH]\n"
          "   or: " << argv0
       << " serve (--unix PATH | --port N [--host ADDR])\n"
          "       [--jobs N|auto] [--max-sessions N] [--cache-dir PATH]\n"
@@ -188,33 +210,43 @@ CompileOptions default_cli_options() {
   return options;
 }
 
-void list_mappers() {
-  std::cout << "mappers:";
-  for (const std::string& key : MapperRegistry::keys()) {
-    std::cout << ' ' << key;
-  }
+/// The one registry-listing shape every --list-* flag prints ("name: k1
+/// k2 ..."), so the three registries can never drift apart in format.
+void list_keys(const char* name, const std::vector<std::string>& keys) {
+  std::cout << name << ':';
+  for (const std::string& key : keys) std::cout << ' ' << key;
   std::cout << '\n';
 }
 
-void list_schedulers() {
-  std::cout << "schedulers:";
-  for (const std::string& key : SchedulerRegistry::keys()) {
-    std::cout << ' ' << key;
-  }
-  std::cout << '\n';
-}
+void list_mappers() { list_keys("mappers", MapperRegistry::keys()); }
+void list_schedulers() { list_keys("schedulers", SchedulerRegistry::keys()); }
+void list_backends() { list_keys("backends", BackendRegistry::keys()); }
 
 void list_registries() {
   list_mappers();
   list_schedulers();
+  list_backends();
 }
 
-/// The compile-options flag surface shared verbatim by local compilation
-/// and `submit` (one copy, so the two modes cannot drift): --mode,
-/// --parallelism, --mapper, --policy, --input, --cores, --pop, --gens,
-/// --seed. Returns true when `arg` was consumed. Mapper keys are validated
-/// against the local registry in both modes (the daemon ships the same
-/// strategy set).
+/// Fail-fast validation of a registry-keyed flag: an unknown key prints
+/// every registered key of every registry and exits 2, so a typo'd
+/// --mapper/--scheduler/--backend never reaches the (expensive) pipeline.
+std::string require_registry_key(const char* what, const std::string& key,
+                                 bool (*contains)(const std::string&)) {
+  if (!contains(key)) {
+    std::cerr << "pimcomp: unknown " << what << " '" << key << "'\n";
+    list_registries();
+    std::exit(2);
+  }
+  return key;
+}
+
+/// The compile-options flag surface shared verbatim by local compilation,
+/// `lower`, and `submit` (one copy, so the modes cannot drift): --mode,
+/// --parallelism, --mapper, --scheduler, --backend, --policy, --input,
+/// --cores, --pop, --gens, --seed. Returns true when `arg` was consumed.
+/// Registry keys are validated against the local registries in every mode
+/// (the daemon ships the same strategy set).
 bool parse_compile_flag(const std::string& arg,
                         const std::function<std::string()>& next,
                         const char* argv0, CompileOptions& options,
@@ -229,13 +261,14 @@ bool parse_compile_flag(const std::string& arg,
     parallelism_sweep = parse_parallelism_list(arg, next());
     options.parallelism_degree = parallelism_sweep.front();
   } else if (arg == "--mapper") {
-    const std::string v = next();
-    if (!MapperRegistry::contains(v)) {
-      std::cerr << "pimcomp: unknown mapper '" << v << "'\n";
-      list_registries();
-      std::exit(2);
-    }
-    options.mapper = v;
+    options.mapper =
+        require_registry_key("mapper", next(), &MapperRegistry::contains);
+  } else if (arg == "--scheduler") {
+    options.scheduler = require_registry_key("scheduler", next(),
+                                             &SchedulerRegistry::contains);
+  } else if (arg == "--backend") {
+    options.backend =
+        require_registry_key("backend", next(), &BackendRegistry::contains);
   } else if (arg == "--policy") {
     const std::string v = next();
     if (v == "naive") options.memory_policy = MemoryPolicy::kNaive;
@@ -458,6 +491,111 @@ int run_submit(int argc, char** argv, const char* argv0) {
 }
 
 // ---------------------------------------------------------------------------
+// `pimcomp_cli lower` — compile and emit the lowered instruction stream.
+// ---------------------------------------------------------------------------
+
+int run_lower(int argc, char** argv, const char* argv0) {
+  std::string model;
+  std::string out_path;
+  CompileOptions options = default_cli_options();
+  options.backend = "isa-json";  // the reference emitter, unless overridden
+  std::vector<int> parallelism_sweep;
+  int input_size = 0;
+  int cores = 0;
+  bool run_stream = false;
+  bool emit_json = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv0);
+      return argv[++i];
+    };
+    if (parse_compile_flag(arg, next, argv0, options, parallelism_sweep,
+                           input_size, cores)) {
+      continue;
+    }
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--run") {
+      run_stream = true;
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else if (arg == "--cache-dir") {
+      options.cache.dir = next();
+    } else if (arg == "--list-backends") {
+      list_backends();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && model.empty()) {
+      model = arg;
+    } else {
+      usage(argv0);
+    }
+  }
+  if (model.empty()) fail("lower needs a model name or graph.json path");
+  if (parallelism_sweep.size() > 1) {
+    fail("lower takes a single --parallelism value");
+  }
+
+  try {
+    Graph graph = is_zoo_model(model)
+                      ? zoo::build(model, input_size != 0
+                                              ? input_size
+                                              : default_zoo_input(model))
+                      : load_graph(model);
+    HardwareConfig hw = HardwareConfig::puma_default();
+    if (cores > 0) {
+      hw.core_count = cores;
+    } else {
+      hw = fit_core_count(graph, hw, 3.0);
+    }
+
+    CompilerSession session(std::move(graph), hw, options.cache);
+    const CompileResult result = session.compile(options);
+    PIMCOMP_CHECK(result.stream != nullptr,
+                  "backend '" + options.backend +
+                      "' produced no instruction stream");
+    const InstructionStream& stream = *result.stream;
+    const Json artifact = stream.to_json();
+
+    if (!out_path.empty()) {
+      json_to_file(artifact, out_path);
+      std::cerr << "pimcomp: wrote instruction stream ("
+                << stream.total_ops << " ops over " << stream.core_count()
+                << " cores) to " << out_path << '\n';
+    }
+
+    Json report = Json::object();
+    if (run_stream) {
+      // Re-instantiate the backend that lowered the stream to execute it;
+      // a pure emitter (isa-json) refuses with a pointer at 'sim'.
+      const SimReport sim = BackendRegistry::create(options.backend)
+                                ->execute(stream, hw);
+      report["simulation"] = sim_report_to_json(sim);
+      if (!emit_json) std::cout << sim.to_string() << '\n';
+    }
+
+    if (emit_json) {
+      Json out = Json::object();
+      if (out_path.empty()) out["stream"] = artifact;
+      for (const auto& [key, value] : report.items()) out[key] = value;
+      std::cout << out.dump(2) << '\n';
+    } else if (out_path.empty()) {
+      std::cout << "lowered '" << model << "' via " << stream.backend
+                << ": " << stream.total_ops << " ops over "
+                << stream.core_count() << " cores (isa v" << kIsaVersion
+                << ", fingerprint "
+                << cache_key_hex(stream.content_fingerprint())
+                << "); use --out FILE or --json to capture the artifact\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "pimcomp: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // `pimcomp_cli cache` — maintenance of a persistent --cache-dir.
 // ---------------------------------------------------------------------------
 
@@ -534,6 +672,10 @@ int run_local(int argc, char** argv) {
     list_schedulers();
     return 0;
   }
+  if (argc == 2 && std::string(argv[1]) == "--list-backends") {
+    list_backends();
+    return 0;
+  }
   if (argc < 2) usage(argv0);
   const std::string model = argv[1];
 
@@ -571,6 +713,9 @@ int run_local(int argc, char** argv) {
       return 0;
     } else if (arg == "--list-schedulers") {
       list_schedulers();
+      return 0;
+    } else if (arg == "--list-backends") {
+      list_backends();
       return 0;
     } else {
       usage(argv0);
@@ -719,6 +864,9 @@ int run_local(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2) {
     const std::string subcommand = argv[1];
+    if (subcommand == "lower") {
+      return run_lower(argc - 2, argv + 2, argv[0]);
+    }
     if (subcommand == "serve") {
       return run_serve(argc - 2, argv + 2, argv[0]);
     }

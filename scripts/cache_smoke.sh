@@ -7,7 +7,9 @@
 #   3. produces byte-identical reports modulo wall-clock stage times
 #      (a cache hit reports zeroed times by convention; the cold run's are
 #      real — everything else must match exactly),
-# then checks `pimcomp_cli cache stats`/`purge` round-trip the directory.
+# then checks `pimcomp_cli cache stats`/`purge` round-trip the directory,
+# and finally that a lowered instruction stream (`pimcomp_cli lower`)
+# rides the disk tier byte-identically across processes.
 # Run from the repo root after a build:
 #
 #   scripts/cache_smoke.sh [build-dir]
@@ -19,10 +21,13 @@ COLD_JSON=$(mktemp /tmp/pimcomp-cache-cold-XXXXXX.json)
 WARM_JSON=$(mktemp /tmp/pimcomp-cache-warm-XXXXXX.json)
 COLD_TRACE=$(mktemp /tmp/pimcomp-cache-coldtrace-XXXXXX.json)
 WARM_TRACE=$(mktemp /tmp/pimcomp-cache-warmtrace-XXXXXX.json)
+COLD_STREAM=$(mktemp /tmp/pimcomp-cache-coldstream-XXXXXX.json)
+WARM_STREAM=$(mktemp /tmp/pimcomp-cache-warmstream-XXXXXX.json)
 
 cleanup() {
   rm -rf "$CACHE_DIR"
-  rm -f "$COLD_JSON" "$WARM_JSON" "$COLD_TRACE" "$WARM_TRACE"
+  rm -f "$COLD_JSON" "$WARM_JSON" "$COLD_TRACE" "$WARM_TRACE" \
+    "$COLD_STREAM" "$WARM_STREAM"
 }
 trap cleanup EXIT
 
@@ -79,3 +84,21 @@ echo "$STATS" | grep -q "2 artifact(s)" || {
   exit 1
 }
 echo "cache purge OK"
+
+# Lowered artifacts ride the same disk tier: a cold `lower` persists the
+# instruction stream inside its cache artifact, and a warm re-run in a
+# fresh process (in-memory tier gone) replays it byte-identically.
+LOWER=(lower squeezenet --input 32 --parallelism 4 --pop 6 --gens 3
+       --backend isa-json --cache-dir "$CACHE_DIR")
+"$BUILD"/examples/pimcomp_cli "${LOWER[@]}" --out "$COLD_STREAM" 2>/dev/null
+"$BUILD"/examples/pimcomp_cli "${LOWER[@]}" --out "$WARM_STREAM" 2>/dev/null
+cmp -s "$COLD_STREAM" "$WARM_STREAM" || {
+  echo "lowered artifact differs between cold and warm runs" >&2
+  exit 1
+}
+"$BUILD"/examples/pimcomp_cli cache stats --cache-dir "$CACHE_DIR" \
+  | grep -q "1 artifact(s)" || {
+  echo "lower legs should leave exactly 1 cached artifact" >&2
+  exit 1
+}
+echo "lower cache OK: warm instruction stream byte-identical to cold"

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate a lowered PIMCOMP instruction-stream artifact.
+
+Usage: check_isa_artifact.py ARTIFACT.json [SCHEMA.json]
+
+SCHEMA.json defaults to isa_artifact_schema.json next to this script.
+
+The CI image carries no jsonschema package, so this is a deliberately
+small validator covering exactly the JSON Schema subset the ISA schema
+uses: type, const, enum, pattern, minimum, required, properties,
+additionalProperties, items, prefixItems, minItems, maxItems. After the
+structural pass it cross-checks what a schema cannot express: total_ops
+must equal the instruction row count, and the per-core byte arrays must
+line up with the core list.
+"""
+
+import json
+import os
+import re
+import sys
+
+
+class ValidationError(Exception):
+    pass
+
+
+def type_ok(value, kind):
+    if kind == "object":
+        return isinstance(value, dict)
+    if kind == "array":
+        return isinstance(value, list)
+    if kind == "string":
+        return isinstance(value, str)
+    if kind == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if kind == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    if kind == "boolean":
+        return isinstance(value, bool)
+    raise ValidationError(f"schema uses unsupported type '{kind}'")
+
+
+def validate(value, schema, path="$"):
+    if "const" in schema and value != schema["const"]:
+        raise ValidationError(
+            f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        raise ValidationError(
+            f"{path}: {value!r} not one of {schema['enum']}")
+    if "type" in schema and not type_ok(value, schema["type"]):
+        raise ValidationError(
+            f"{path}: expected {schema['type']}, got {type(value).__name__}")
+    if "pattern" in schema and not re.search(schema["pattern"], value):
+        raise ValidationError(
+            f"{path}: {value!r} does not match /{schema['pattern']}/")
+    if "minimum" in schema and value < schema["minimum"]:
+        raise ValidationError(
+            f"{path}: {value} is below the minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                raise ValidationError(f"{path}: missing required key '{key}'")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}")
+        if schema.get("additionalProperties") is False:
+            extra = sorted(set(value) - set(properties))
+            if extra:
+                raise ValidationError(f"{path}: unexpected keys {extra}")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            raise ValidationError(
+                f"{path}: {len(value)} items, need >= {schema['minItems']}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            raise ValidationError(
+                f"{path}: {len(value)} items, allow <= {schema['maxItems']}")
+        prefix = schema.get("prefixItems", [])
+        for i, sub in enumerate(prefix):
+            if i < len(value):
+                validate(value[i], sub, f"{path}[{i}]")
+        if "items" in schema:
+            for i, item in enumerate(value[len(prefix):], start=len(prefix)):
+                validate(item, schema["items"], f"{path}[{i}]")
+
+
+def cross_check(artifact):
+    cores = artifact["cores"]
+    rows = sum(len(program) for program in cores)
+    if rows != artifact["total_ops"]:
+        raise ValidationError(
+            f"total_ops says {artifact['total_ops']} but the cores "
+            f"section holds {rows} instruction row(s)")
+    for key in ("spill_bytes", "peak_local_bytes"):
+        if len(artifact[key]) != len(cores):
+            raise ValidationError(
+                f"{key} has {len(artifact[key])} entries for "
+                f"{len(cores)} core(s)")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    artifact_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.abspath(argv[0])),
+        "isa_artifact_schema.json")
+    with open(artifact_path) as f:
+        artifact = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        validate(artifact, schema)
+        cross_check(artifact)
+    except ValidationError as error:
+        print(f"{artifact_path}: INVALID: {error}", file=sys.stderr)
+        return 1
+    print(f"{artifact_path}: valid isa v{artifact['isa']} artifact — "
+          f"backend '{artifact['backend']}', {artifact['total_ops']} ops "
+          f"over {len(artifact['cores'])} core(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

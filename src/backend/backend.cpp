@@ -1,0 +1,44 @@
+#include "backend/backend.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/registry.hpp"
+
+namespace pimcomp {
+
+namespace {
+
+detail::RegistryStore<BackendRegistry::Factory>& backend_store() {
+  static detail::RegistryStore<BackendRegistry::Factory> store;
+  return store;
+}
+
+}  // namespace
+
+SimReport Backend::execute(const InstructionStream& stream,
+                           const HardwareConfig& hw) const {
+  (void)stream;
+  (void)hw;
+  throw ConfigError("backend '" + name() +
+                    "' emits artifacts but cannot execute them; use the "
+                    "'sim' backend to run an instruction stream");
+}
+
+bool BackendRegistry::add(const std::string& key, Factory factory) {
+  return backend_store().add("backend", key, std::move(factory));
+}
+
+std::unique_ptr<Backend> BackendRegistry::create(const std::string& key) {
+  return backend_store().get("backend", key)();
+}
+
+bool BackendRegistry::contains(const std::string& key) {
+  return backend_store().contains(key);
+}
+
+std::vector<std::string> BackendRegistry::keys() {
+  return backend_store().keys();
+}
+
+}  // namespace pimcomp

@@ -1,7 +1,9 @@
 #include "cache/artifact.hpp"
 
+#include <optional>
 #include <utility>
 
+#include "backend/instruction_stream.hpp"
 #include "cache/cache_store.hpp"
 
 namespace pimcomp {
@@ -165,6 +167,12 @@ Json compile_result_to_artifact(const CompileResult& result,
   artifact["solution"] = result.solution.to_json();
   artifact["ga_stats"] = ga_stats_to_json(result.ga_stats);
   artifact["schedule"] = schedule_to_json(result.schedule);
+  if (result.stream != nullptr) {
+    // Lowered instruction streams ride the mapping artifact: the backend
+    // key is part of fingerprint(CompileOptions), so an artifact under this
+    // key either always or never carries a stream for its requesters.
+    artifact["stream"] = result.stream->to_json();
+  }
   return artifact;
 }
 
@@ -204,6 +212,37 @@ CompileResult compile_result_from_artifact(
   };
   result.schedule = schedule_from_json(artifact.at("schedule"),
                                        result.solution.core_count());
+
+  if (!options.backend.empty()) {
+    // The requester compiled with a lowering backend, so a servable
+    // artifact must carry the lowered stream — an older artifact without
+    // one is a miss (the caller recomputes and re-stores), never a
+    // silently stream-less result.
+    if (!artifact.contains("stream")) {
+      throw CacheArtifactError(
+          "artifact has no lowered instruction stream but the requesting "
+          "compilation selected backend '" + options.backend + "'");
+    }
+    const std::optional<std::uint64_t> key =
+        cache_key_from_hex(artifact.get("key", std::string()));
+    if (!key.has_value()) {
+      throw CacheArtifactError("artifact cache key is not a 16-digit hex "
+                               "fingerprint");
+    }
+    try {
+      InstructionStream stream =
+          InstructionStream::from_json(artifact.at("stream"), *key);
+      if (stream.backend != options.backend) {
+        throw CacheArtifactError(
+            "artifact stream was emitted by backend '" + stream.backend +
+            "', requester wants '" + options.backend + "'");
+      }
+      result.stream =
+          std::make_shared<const InstructionStream>(std::move(stream));
+    } catch (const InstructionStreamError& e) {
+      throw CacheArtifactError(e.what());
+    }
+  }
   return result;
 }
 

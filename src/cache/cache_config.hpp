@@ -13,7 +13,9 @@ namespace pimcomp {
 /// the fingerprint-golden tests (tests/test_fingerprint_goldens.cpp) exist
 /// to force that decision to be explicit: if they fail, either revert the
 /// drift or bump this constant alongside new goldens.
-inline constexpr int kCacheSchemaVersion = 1;
+/// v2: fingerprint(CompileOptions) hashes the lowering backend key, and
+/// artifacts optionally carry a lowered "stream" section.
+inline constexpr int kCacheSchemaVersion = 2;
 
 /// Where a cache hit or store landed, as reported to observers
 /// (CacheEvent::source) and on the wire. The memory tier is the session's

@@ -69,6 +69,7 @@ Json compile_result_to_json(const CompileResult& result) {
   times["partitioning_s"] = result.stage_times.partitioning;
   times["mapping_s"] = result.stage_times.mapping;
   times["scheduling_s"] = result.stage_times.scheduling;
+  times["lowering_s"] = result.stage_times.lowering;
   root["stage_times"] = std::move(times);
   return root;
 }

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "core/pipeline.hpp"
+#include "core/session.hpp"
 
 namespace pimcomp {
 
@@ -40,6 +41,14 @@ CompileResult Compiler::compile(const CompileOptions& options,
   ctx.graph = &graph_;
   ctx.hardware = &hw_;
   ctx.options = &options;
+  if (!options.backend.empty()) {
+    // Bind the lowered stream to the same cache identity a CompilerSession
+    // would file this compilation under, so artifacts emitted through the
+    // low-level Compiler and through a cached session are interchangeable.
+    ctx.stream_binding = combine_fingerprints(
+        combine_fingerprints(fingerprint(graph_), fingerprint(hw_)),
+        fingerprint(options));
+  }
   return run_pipeline(std::move(ctx), observer);
 }
 

@@ -17,7 +17,8 @@
 
 namespace pimcomp {
 
-class PipelineObserver;  // core/pipeline.hpp
+class PipelineObserver;     // core/pipeline.hpp
+struct InstructionStream;   // backend/instruction_stream.hpp
 
 /// Legacy names of the three built-in stage-2+3 strategies. New code selects
 /// strategies through the string keys of MapperRegistry (core/pipeline.hpp);
@@ -48,6 +49,13 @@ struct CompileOptions {
   /// `mode` ("ht" / "ll").
   std::string scheduler;
 
+  /// BackendRegistry key of the lowering backend ("isa-json", "sim", ...).
+  /// Empty (the default) skips the lowering stage entirely: the compile
+  /// stops at the internal Schedule, exactly as before backends existed.
+  /// Non-empty keys add a fourth pipeline stage whose InstructionStream
+  /// artifact rides CompileResult::stream (and the persistent cache).
+  std::string backend;
+
   GaConfig ga;                 ///< GA hyperparameters (mapper == "ga" only)
   int max_nodes_per_core = 8;  ///< chromosome bound max_node_num_in_core
   int ht_flush_windows = 2;    ///< HT global-memory flush period
@@ -72,7 +80,10 @@ struct StageTimes {
   double partitioning = 0.0;
   double mapping = 0.0;  ///< replicating + core mapping
   double scheduling = 0.0;
-  double total() const { return partitioning + mapping + scheduling; }
+  double lowering = 0.0;  ///< backend lowering (0 when no backend selected)
+  double total() const {
+    return partitioning + mapping + scheduling + lowering;
+  }
 };
 
 /// The output of one compilation: the mapping decision, the per-core
@@ -87,6 +98,11 @@ struct CompileResult {
   double estimated_fitness = 0.0;  ///< mapper objective (ps, lower = better)
   std::string mapper_name;
   GaStats ga_stats;  ///< populated when the mapper reports convergence
+
+  /// The lowered instruction-stream artifact, when options.backend selected
+  /// a lowering backend (nullptr otherwise). Shared: cache tiers and wire
+  /// frames hand out the same immutable stream without copying it.
+  std::shared_ptr<const InstructionStream> stream;
 };
 
 /// PIMCOMP's compiler driver: node partitioning -> weight replicating +

@@ -2,94 +2,27 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
-#include <mutex>
-#include <sstream>
 #include <utility>
 
+#include "backend/backend.hpp"
 #include "common/error.hpp"
+#include "core/registry.hpp"
 
 namespace pimcomp {
 
 namespace {
 
-/// Shared registry plumbing: an ordered map behind a Meyers singleton, so
-/// registration from static initializers is order-independent and keys()
-/// comes out sorted. Lookups are mutex-guarded: a parallel CompilerSession
-/// resolves strategies from worker threads.
-template <typename Factory>
-class RegistryStore {
- public:
-  bool add(const std::string& kind, const std::string& key, Factory factory) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!factories_.emplace(key, std::move(factory)).second) {
-      // add() runs from static initializers, where a throw terminates the
-      // process before main() with no usable message. Record the conflict
-      // instead; the first get()/keys() call reports it (first
-      // registration wins and stays in effect).
-      if (!conflicts_.empty()) conflicts_ += "; ";
-      conflicts_ += kind + " '" + key + "' is already registered";
-    }
-    return true;
-  }
+// The registry plumbing itself (ordered map behind a Meyers singleton,
+// static-init-safe conflict recording) lives in core/registry.hpp so
+// BackendRegistry (src/backend/) shares it verbatim.
 
-  const Factory& get(const std::string& kind, const std::string& key) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    report_conflicts();
-    const auto it = factories_.find(key);
-    if (it == factories_.end()) {
-      std::ostringstream oss;
-      oss << "unknown " << kind << " '" << key << "'; registered: ";
-      bool first = true;
-      for (const auto& [k, factory] : factories_) {
-        oss << (first ? "" : ", ") << k;
-        first = false;
-      }
-      throw ConfigError(oss.str());
-    }
-    // References into the map stay valid after unlock: entries are never
-    // erased, and std::map never relocates nodes.
-    return it->second;
-  }
-
-  bool contains(const std::string& key) const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return factories_.count(key) != 0;
-  }
-
-  std::vector<std::string> keys() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    report_conflicts();
-    std::vector<std::string> out;
-    out.reserve(factories_.size());
-    for (const auto& [key, factory] : factories_) out.push_back(key);
-    return out;
-  }
-
- private:
-  /// Requires mutex_ held. Throws (once) if static initialization recorded
-  /// duplicate registrations; the store stays usable afterwards.
-  void report_conflicts() {
-    if (conflicts_.empty()) return;
-    const std::string message =
-        "duplicate registration at static initialization: " + conflicts_ +
-        " (first registration wins)";
-    conflicts_.clear();
-    throw ConfigError(message);
-  }
-
-  std::map<std::string, Factory> factories_;
-  std::string conflicts_;
-  mutable std::mutex mutex_;
-};
-
-RegistryStore<MapperRegistry::Factory>& mapper_store() {
-  static RegistryStore<MapperRegistry::Factory> store;
+detail::RegistryStore<MapperRegistry::Factory>& mapper_store() {
+  static detail::RegistryStore<MapperRegistry::Factory> store;
   return store;
 }
 
-RegistryStore<SchedulerRegistry::Factory>& scheduler_store() {
-  static RegistryStore<SchedulerRegistry::Factory> store;
+detail::RegistryStore<SchedulerRegistry::Factory>& scheduler_store() {
+  static detail::RegistryStore<SchedulerRegistry::Factory> store;
   return store;
 }
 
@@ -165,6 +98,33 @@ class ScheduleStage : public Stage {
   std::shared_ptr<const Scheduler> scheduler_;
 };
 
+/// Stage 5 (optional): lower the schedule into the instruction-stream
+/// artifact through the registered backend.
+class LoweringStage : public Stage {
+ public:
+  explicit LoweringStage(std::unique_ptr<Backend> backend)
+      : backend_(std::move(backend)) {}
+
+  std::string name() const override { return stage_names::kLowering; }
+
+  void run(PipelineContext& ctx) override {
+    PIMCOMP_CHECK(ctx.solution.has_value(),
+                  "lowering stage needs a mapping solution");
+    LowerInput input;
+    input.schedule = &ctx.schedule;
+    input.solution = &*ctx.solution;
+    input.graph = ctx.graph;
+    input.hardware = ctx.hardware;
+    input.options = ctx.options;
+    input.mapping_key = ctx.stream_binding;
+    ctx.stream = std::make_shared<const InstructionStream>(
+        backend_->lower(input));
+  }
+
+ private:
+  std::unique_ptr<Backend> backend_;
+};
+
 void record_stage_time(StageTimes& times, const std::string& stage,
                        double seconds) {
   if (stage == stage_names::kPartitioning) {
@@ -173,6 +133,8 @@ void record_stage_time(StageTimes& times, const std::string& stage,
     times.mapping += seconds;
   } else if (stage == stage_names::kScheduling) {
     times.scheduling += seconds;
+  } else if (stage == stage_names::kLowering) {
+    times.lowering += seconds;
   }
 }
 
@@ -212,10 +174,18 @@ std::vector<std::string> SchedulerRegistry::keys() {
 }
 
 void validate_strategies(const CompileOptions& options) {
-  // Resolve both keys without invoking the factories: same error messages
+  // Resolve every key without invoking the factories: same error messages
   // as build_stages(), none of the instantiation cost.
   mapper_store().get("mapper", options.mapper);
   scheduler_store().get("scheduler", options.scheduler_key());
+  if (!options.backend.empty()) {
+    // BackendRegistry::create would instantiate; contains() + create() in
+    // build_stages shares the same store, so reuse its error message by
+    // resolving through the registry here.
+    if (!BackendRegistry::contains(options.backend)) {
+      BackendRegistry::create(options.backend);  // throws with the key list
+    }
+  }
 }
 
 std::vector<std::unique_ptr<Stage>> build_stages(const PipelineContext& ctx) {
@@ -230,11 +200,21 @@ std::vector<std::unique_ptr<Stage>> build_stages(const PipelineContext& ctx) {
   std::shared_ptr<const Scheduler> scheduler =
       SchedulerRegistry::create(ctx.options->scheduler_key());
 
+  // The optional lowering backend resolves up front too: a bad --backend
+  // key must fail before partitioning, like any other bad key.
+  std::unique_ptr<Backend> backend;
+  if (!ctx.options->backend.empty()) {
+    backend = BackendRegistry::create(ctx.options->backend);
+  }
+
   std::vector<std::unique_ptr<Stage>> stages;
   if (!ctx.workload) stages.push_back(std::make_unique<PartitionStage>());
   stages.push_back(
       std::make_unique<MappingStage>(std::move(mapper), scheduler));
   stages.push_back(std::make_unique<ScheduleStage>(scheduler));
+  if (backend) {
+    stages.push_back(std::make_unique<LoweringStage>(std::move(backend)));
+  }
   return stages;
 }
 
@@ -268,7 +248,7 @@ CompileResult run_pipeline(PipelineContext ctx, PipelineObserver* observer) {
   return CompileResult{std::move(ctx.workload), std::move(*ctx.solution),
                        std::move(ctx.schedule), *ctx.options, ctx.stage_times,
                        ctx.fitness, std::move(ctx.mapper_name),
-                       std::move(ctx.ga_stats)};
+                       std::move(ctx.ga_stats), std::move(ctx.stream)};
 }
 
 }  // namespace pimcomp

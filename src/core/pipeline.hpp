@@ -23,6 +23,7 @@ namespace stage_names {
 inline constexpr const char kPartitioning[] = "partitioning";
 inline constexpr const char kMapping[] = "mapping";
 inline constexpr const char kScheduling[] = "scheduling";
+inline constexpr const char kLowering[] = "lowering";  ///< backend lowering
 }  // namespace stage_names
 
 /// Wall-clock seconds elapsed since `start` — shared by every place that
@@ -123,6 +124,13 @@ struct PipelineContext {
   // Stage 4 output.
   Schedule schedule;
 
+  /// Fingerprint binding stamped into the lowered stream (the session's
+  /// mapping cache key; 0 when the caller carries no cache identity).
+  std::uint64_t stream_binding = 0;
+
+  /// Stage 5 output (only when options->backend selects a backend).
+  std::shared_ptr<const InstructionStream> stream;
+
   StageTimes stage_times;
 };
 
@@ -206,11 +214,14 @@ class SchedulerRegistry {
 
 /// Composes the stage list for `ctx`: partitioning (skipped when
 /// ctx.workload is pre-seeded), then mapping and scheduling resolved from
-/// the registries. Throws ConfigError for unknown registry keys.
+/// the registries, then — when options->backend is non-empty — the
+/// lowering stage resolved from BackendRegistry. Throws ConfigError for
+/// unknown registry keys.
 std::vector<std::unique_ptr<Stage>> build_stages(const PipelineContext& ctx);
 
-/// Resolves both registry keys of `options` without instantiating anything:
-/// the fail-fast check build_stages() performs, callable before paying for
+/// Resolves every registry key of `options` (mapper, scheduler, and the
+/// backend when one is selected) without instantiating anything: the
+/// fail-fast check build_stages() performs, callable before paying for
 /// node partitioning. Throws ConfigError for unknown keys (and reports any
 /// duplicate registrations recorded at static initialization).
 void validate_strategies(const CompileOptions& options);

@@ -1,0 +1,88 @@
+#ifndef PIMCOMP_CORE_REGISTRY_HPP
+#define PIMCOMP_CORE_REGISTRY_HPP
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pimcomp::detail {
+
+/// Shared registry plumbing behind MapperRegistry / SchedulerRegistry /
+/// BackendRegistry: an ordered map behind a Meyers singleton, so
+/// registration from static initializers is order-independent and keys()
+/// comes out sorted. Lookups are mutex-guarded: a parallel CompilerSession
+/// resolves strategies from worker threads.
+template <typename Factory>
+class RegistryStore {
+ public:
+  bool add(const std::string& kind, const std::string& key, Factory factory) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!factories_.emplace(key, std::move(factory)).second) {
+      // add() runs from static initializers, where a throw terminates the
+      // process before main() with no usable message. Record the conflict
+      // instead; the first get()/keys() call reports it (first
+      // registration wins and stays in effect).
+      if (!conflicts_.empty()) conflicts_ += "; ";
+      conflicts_ += kind + " '" + key + "' is already registered";
+    }
+    return true;
+  }
+
+  const Factory& get(const std::string& kind, const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    report_conflicts();
+    const auto it = factories_.find(key);
+    if (it == factories_.end()) {
+      std::ostringstream oss;
+      oss << "unknown " << kind << " '" << key << "'; registered: ";
+      bool first = true;
+      for (const auto& [k, factory] : factories_) {
+        oss << (first ? "" : ", ") << k;
+        first = false;
+      }
+      throw ConfigError(oss.str());
+    }
+    // References into the map stay valid after unlock: entries are never
+    // erased, and std::map never relocates nodes.
+    return it->second;
+  }
+
+  bool contains(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.count(key) != 0;
+  }
+
+  std::vector<std::string> keys() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    report_conflicts();
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [key, factory] : factories_) out.push_back(key);
+    return out;
+  }
+
+ private:
+  /// Requires mutex_ held. Throws (once) if static initialization recorded
+  /// duplicate registrations; the store stays usable afterwards.
+  void report_conflicts() {
+    if (conflicts_.empty()) return;
+    const std::string message =
+        "duplicate registration at static initialization: " + conflicts_ +
+        " (first registration wins)";
+    conflicts_.clear();
+    throw ConfigError(message);
+  }
+
+  std::map<std::string, Factory> factories_;
+  std::string conflicts_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace pimcomp::detail
+
+#endif  // PIMCOMP_CORE_REGISTRY_HPP

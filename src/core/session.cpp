@@ -159,6 +159,7 @@ std::uint64_t fingerprint(const CompileOptions& options) {
   h = fnv1a_value(h, options.memory_policy);
   h = fnv1a_string(h, options.mapper);
   h = fnv1a_string(h, options.scheduler_key());
+  h = fnv1a_string(h, options.backend);
   h = fnv1a_value(h, options.ga.population);
   h = fnv1a_value(h, options.ga.generations);
   h = fnv1a_value(h, options.ga.elite);
@@ -601,6 +602,7 @@ CompileResult CompilerSession::compile_scenario(const Scenario& scenario,
     ctx.cancel = cancel;
     ctx.workload = std::move(workload);  // pre-seeded => partitioning skipped
     ctx.stage_times.partitioning = partition_seconds;
+    ctx.stream_binding = mapping_key;  // lowered streams carry their cache key
 
     CompileResult result = run_pipeline(std::move(ctx), gate_.get());
     store_mapping(mapping_key, workload_key, result, scenario.label, index,

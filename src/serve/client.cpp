@@ -75,6 +75,12 @@ CompileReply CompileClient::submit(const CompileRequest& request,
       reply.outcomes.push_back(std::move(*outcome));
       continue;
     }
+    if (auto* artifact = std::get_if<ArtifactMessage>(&message)) {
+      if (artifact->id != sent.id) continue;
+      reply.frame_order.push_back("artifact");
+      reply.artifacts.push_back(std::move(*artifact));
+      continue;
+    }
     if (auto* done = std::get_if<DoneMessage>(&message)) {
       if (done->id != sent.id) continue;
       reply.frame_order.push_back("done");

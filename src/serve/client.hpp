@@ -16,6 +16,10 @@ struct CompileReply {
   std::int64_t id = 0;
   std::vector<OutcomeMessage> outcomes;  ///< one per scenario, index order
   std::vector<PipelineEvent> events;     ///< progress stream, arrival order
+  /// Lowered instruction streams (v4), arrival order — one per scenario
+  /// whose options selected a backend. ArtifactMessage::index says which
+  /// scenario each belongs to.
+  std::vector<ArtifactMessage> artifacts;
   int ok_count = 0;
   int error_count = 0;
 

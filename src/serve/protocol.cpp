@@ -102,6 +102,9 @@ Json options_to_json(const CompileOptions& options) {
   json["memory_policy"] = policy_to_string(options.memory_policy);
   json["mapper"] = options.mapper;
   if (!options.scheduler.empty()) json["scheduler"] = options.scheduler;
+  // Emitted only when selected (like "scheduler"): a pre-v4 server rejects
+  // the key, and requests that don't lower shouldn't declare it.
+  if (!options.backend.empty()) json["backend"] = options.backend;
   json["max_nodes_per_core"] = options.max_nodes_per_core;
   json["ht_flush_windows"] = options.ht_flush_windows;
   json["seed"] = static_cast<std::int64_t>(options.seed);
@@ -126,8 +129,8 @@ CompileOptions options_from_json(const Json& json,
                                  const CompileOptions& base) {
   require_known_keys(json, "options",
                      {"mode", "parallelism", "memory_policy", "mapper",
-                      "scheduler", "max_nodes_per_core", "ht_flush_windows",
-                      "seed", "ga"});
+                      "scheduler", "backend", "max_nodes_per_core",
+                      "ht_flush_windows", "seed", "ga"});
   CompileOptions options = base;
   if (json.contains("mode")) {
     options.mode = mode_from_string(json.at("mode").as_string());
@@ -141,6 +144,7 @@ CompileOptions options_from_json(const Json& json,
   }
   options.mapper = json.get("mapper", options.mapper);
   options.scheduler = json.get("scheduler", options.scheduler);
+  options.backend = json.get("backend", options.backend);
   options.max_nodes_per_core =
       bounded_int(json, "max_nodes_per_core", options.max_nodes_per_core, 1,
                   1 << 12, "options");
@@ -387,12 +391,28 @@ Json to_json(const OutcomeMessage& message) {
   return json;
 }
 
+Json to_json(const ArtifactMessage& message) {
+  Json json = Json::object();
+  json["type"] = "artifact";
+  json["id"] = message.id;
+  json["scenario"] = message.label;
+  json["index"] = message.index;
+  json["artifact"] = message.artifact;
+  return json;
+}
+
 Json to_json(const DoneMessage& message) {
   Json json = Json::object();
   json["type"] = "done";
   json["id"] = message.id;
   json["ok"] = message.ok_count;
   json["errors"] = message.error_count;
+  if (message.protocol_version >= 4) {
+    // Advisory v4 fields, withheld from older requesters so their done
+    // frames stay byte-identical to what v3 servers emitted.
+    json["version"] = kProtocolVersion;
+    json["artifacts"] = message.artifact_count;
+  }
   return json;
 }
 
@@ -437,11 +457,22 @@ ServerMessage server_message_from_json(const Json& json) {
     }
     return message;
   }
+  if (type == "artifact") {
+    ArtifactMessage message;
+    message.id = require_id(json);
+    message.label = json.get("scenario", std::string());
+    message.index = json.get("index", -1);
+    if (json.contains("artifact")) message.artifact = json.at("artifact");
+    return message;
+  }
   if (type == "done") {
     DoneMessage message;
     message.id = require_id(json);
     message.ok_count = json.get("ok", 0);
     message.error_count = json.get("errors", 0);
+    // Tolerant reads: v3 servers emit neither field.
+    message.artifact_count = json.get("artifacts", 0);
+    message.protocol_version = json.get("version", 3);
     return message;
   }
   if (type == "error") {
@@ -463,7 +494,7 @@ double stage_seconds_from_json(const Json& compile) {
   if (!compile.is_object() || !compile.contains("stage_times")) return 0.0;
   const Json& times = compile.at("stage_times");
   return times.get("partitioning_s", 0.0) + times.get("mapping_s", 0.0) +
-         times.get("scheduling_s", 0.0);
+         times.get("scheduling_s", 0.0) + times.get("lowering_s", 0.0);
 }
 
 }  // namespace pimcomp::serve

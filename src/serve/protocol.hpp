@@ -20,9 +20,11 @@ namespace pimcomp::serve {
 /// `priority` hint; v3 added the cache tier attribution ("source") on
 /// cache events plus the `cache_store` event kind — the server keeps
 /// `cache_store` frames away from requests declaring v1/v2, whose
-/// event parsers would reject the unknown kind. Older requests are still
-/// accepted.
-inline constexpr int kProtocolVersion = 3;
+/// event parsers would reject the unknown kind; v4 added the `backend`
+/// options key and `artifact` frames carrying lowered instruction streams
+/// — both withheld from pre-v4 requesters, plus the advisory `version`
+/// and `artifacts` fields on `done`. Older requests are still accepted.
+inline constexpr int kProtocolVersion = 4;
 
 // ---------------------------------------------------------------------------
 // Field (de)serialization shared by requests and tooling.
@@ -132,11 +134,29 @@ struct OutcomeMessage {
   Json simulation;         ///< ok && request.simulate only
 };
 
+/// One lowered instruction stream (v4+): emitted right after the outcome
+/// of a scenario whose options selected a lowering backend, carrying the
+/// backend/instruction_stream.hpp artifact JSON verbatim. Never sent to
+/// requests declaring v1..v3 — their dispatchers would reject the unknown
+/// frame type.
+struct ArtifactMessage {
+  std::int64_t id = 0;
+  std::string label;
+  int index = -1;
+  Json artifact;  ///< InstructionStream::to_json()
+};
+
 /// End of a request: every scenario has reported its outcome.
+/// `protocol_version` is the *requester's* declared version (not
+/// serialized as-is): to_json emits the advisory "version" and
+/// "artifacts" fields only when it is >= 4, keeping the frame
+/// byte-identical for older requesters.
 struct DoneMessage {
   std::int64_t id = 0;
   int ok_count = 0;
   int error_count = 0;
+  int artifact_count = 0;  ///< artifact frames that preceded this done
+  int protocol_version = kProtocolVersion;
 };
 
 /// Request-level failure (malformed JSON, unknown model, bad hardware):
@@ -153,13 +173,15 @@ struct PongMessage {
 
 Json to_json(const EventMessage& message);
 Json to_json(const OutcomeMessage& message);
+Json to_json(const ArtifactMessage& message);
 Json to_json(const DoneMessage& message);
 Json to_json(const ErrorMessage& message);
 Json to_json(const PongMessage& message);
 
 /// Any server-to-client message, for client-side dispatch.
-using ServerMessage = std::variant<EventMessage, OutcomeMessage, DoneMessage,
-                                   ErrorMessage, PongMessage>;
+using ServerMessage = std::variant<EventMessage, OutcomeMessage,
+                                   ArtifactMessage, DoneMessage, ErrorMessage,
+                                   PongMessage>;
 
 /// Parses one server line; throws ServeError on unknown/missing "type".
 ServerMessage server_message_from_json(const Json& json);

@@ -12,6 +12,7 @@
 #include <optional>
 #include <utility>
 
+#include "backend/instruction_stream.hpp"
 #include "common/string_util.hpp"
 #include "core/compile_report.hpp"
 #include "core/compiler.hpp"
@@ -83,14 +84,23 @@ struct CompileServer::RequestState {
   std::int64_t id = 0;
   bool simulate = true;
   std::size_t total = 0;
+  /// Version the requester declared. Artifact frames (and the advisory v4
+  /// done fields) are only emitted when this is >= 4 — an older dispatcher
+  /// would reject the unknown frame type.
+  int protocol_version = kProtocolVersion;
 
   std::mutex mutex;  // guards everything below
   std::vector<CompileJob> jobs;
   std::map<std::size_t, OutcomeMessage> ready;  ///< finished, awaiting turn
+  /// Lowered instruction streams keyed like `ready`; emitted immediately
+  /// after their scenario's outcome frame so the wire contract stays
+  /// "events*, (outcome artifact?)* in index order, done".
+  std::map<std::size_t, Json> ready_artifacts;
   std::size_t next_emit = 0;
   std::size_t completed = 0;
   int ok_count = 0;
   int error_count = 0;
+  int artifact_count = 0;
   bool done_handled = false;
 
   /// Serializes the pop-and-write sequence so two workers finishing jobs
@@ -659,6 +669,7 @@ void CompileServer::handle_compile(
   request_state->id = id;
   request_state->simulate = prepared.simulate;
   request_state->total = prepared.batch.size();
+  request_state->protocol_version = prepared.protocol_version;
   {
     std::lock_guard<std::mutex> lock(connection->mutex);
     connection->requests.erase(
@@ -706,6 +717,7 @@ void CompileServer::on_job_complete(
   message.id = request->id;
   message.label = outcome.label;
   message.index = outcome.index;
+  std::optional<Json> artifact;
   // This runs on a session pool worker, where an escaping exception would
   // terminate the whole daemon (ThreadPool's documented task contract) —
   // so serialization failures of any type degrade to an error outcome.
@@ -713,6 +725,10 @@ void CompileServer::on_job_complete(
     if (outcome.ok()) {
       message.ok = true;
       message.compile = compile_result_to_json(*outcome.result);
+      if (request->protocol_version >= 4 &&
+          outcome.result->stream != nullptr) {
+        artifact = outcome.result->stream->to_json();
+      }
       // Simulation is skipped for a broken connection: nobody will receive
       // the frame, and the cycles belong to live clients.
       if (request->simulate && !request->connection->broken.load()) {
@@ -741,6 +757,12 @@ void CompileServer::on_job_complete(
   {
     std::lock_guard<std::mutex> lock(request->mutex);
     (message.ok ? request->ok_count : request->error_count) += 1;
+    if (message.ok && artifact.has_value()) {
+      // An artifact never accompanies an error outcome (a late simulation
+      // failure downgrades the scenario after lowering succeeded).
+      request->ready_artifacts.emplace(static_cast<std::size_t>(outcome.index),
+                                       std::move(*artifact));
+    }
     request->ready.emplace(static_cast<std::size_t>(outcome.index),
                            std::move(message));
     ++request->completed;
@@ -753,15 +775,23 @@ void CompileServer::flush_outcomes(
   std::lock_guard<std::mutex> emit_lock(request->emit_mutex);
   for (;;) {
     std::optional<OutcomeMessage> message;
+    std::optional<Json> artifact;
     bool emit_done = false;
     int ok_count = 0;
     int error_count = 0;
+    int artifact_count = 0;
     {
       std::lock_guard<std::mutex> lock(request->mutex);
       const auto it = request->ready.find(request->next_emit);
       if (it != request->ready.end()) {
         message = std::move(it->second);
         request->ready.erase(it);
+        const auto art = request->ready_artifacts.find(request->next_emit);
+        if (art != request->ready_artifacts.end()) {
+          artifact = std::move(art->second);
+          request->ready_artifacts.erase(art);
+          ++request->artifact_count;
+        }
         ++request->next_emit;
       } else if (request->completed == request->total &&
                  request->next_emit == request->total &&
@@ -770,6 +800,7 @@ void CompileServer::flush_outcomes(
         emit_done = true;
         ok_count = request->ok_count;
         error_count = request->error_count;
+        artifact_count = request->artifact_count;
       } else {
         return;  // the next frame in order is still compiling
       }
@@ -782,7 +813,15 @@ void CompileServer::flush_outcomes(
     Connection& connection = *request->connection;
     if (message.has_value()) {
       if (!connection.broken.load()) {
+        const std::string label = message->label;
+        const int index = message->index;
         enqueue_frame(connection, to_json(*message), /*advisory=*/false);
+        if (artifact.has_value()) {
+          enqueue_frame(connection,
+                        to_json(ArtifactMessage{request->id, label, index,
+                                                std::move(*artifact)}),
+                        /*advisory=*/false);
+        }
       }
       continue;  // keep draining frames that are already in order
     }
@@ -796,7 +835,9 @@ void CompileServer::flush_outcomes(
     if (!connection.broken.load()) {
       ++requests_served_;
       enqueue_frame(connection,
-                    to_json(DoneMessage{request->id, ok_count, error_count}),
+                    to_json(DoneMessage{request->id, ok_count, error_count,
+                                        artifact_count,
+                                        request->protocol_version}),
                     /*advisory=*/false);
     }
     return;

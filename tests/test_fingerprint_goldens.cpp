@@ -41,8 +41,10 @@ TEST(FingerprintGoldens, DefaultHardwareIsPinned) {
 }
 
 TEST(FingerprintGoldens, DefaultOptionsArePinned) {
+  // v2: the lowering backend key joined the hash (schema bump recorded in
+  // kCacheSchemaVersion).
   EXPECT_EQ(hex_fingerprint(fingerprint(CompileOptions{})),
-            "a4b8b49f6d9ea30c");
+            "92a3cfaac7a8156c");
 
   // The persistent-cache config is execution environment, not identity: a
   // cache-enabled run must reuse artifacts a cache-less run produced.
@@ -55,6 +57,13 @@ TEST(FingerprintGoldens, DefaultOptionsArePinned) {
   CompileOptions reseeded;
   reseeded.seed = 2;
   EXPECT_NE(fingerprint(reseeded), fingerprint(CompileOptions{}));
+
+  // The lowering backend is identity too: an artifact with a stream must
+  // never be served to a requester that asked for a different backend
+  // (or none at all).
+  CompileOptions lowered;
+  lowered.backend = "isa-json";
+  EXPECT_NE(fingerprint(lowered), fingerprint(CompileOptions{}));
 }
 
 TEST(FingerprintGoldens, ZooModelGraphsArePinned) {
@@ -78,7 +87,7 @@ TEST(FingerprintGoldens, ComposedCacheKeysArePinned) {
   const std::uint64_t mapping_key =
       combine_fingerprints(workload_fp, fingerprint(CompileOptions{}));
   EXPECT_EQ(hex_fingerprint(workload_fp), "8eed0b2275a84a85");
-  EXPECT_EQ(hex_fingerprint(mapping_key), "5d6bb7133652d3c6");
+  EXPECT_EQ(hex_fingerprint(mapping_key), "a8e31de876d96829");
 }
 
 }  // namespace

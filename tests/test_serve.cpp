@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "backend/instruction_stream.hpp"
 #include "core/compile_report.hpp"
 #include "core/session.hpp"
 #include "graph/builder.hpp"
@@ -223,6 +224,54 @@ TEST(ServeEndToEnd, InfeasibleScenarioReportsErrorWithoutKillingConnection) {
   EXPECT_EQ(again.error_count, 0);
 
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// v4 artifact frames: lowered streams ride the wire next to their outcomes.
+// ---------------------------------------------------------------------------
+
+TEST(ServeEndToEnd, LoweredScenariosStreamArtifactFramesInOrder) {
+  ServerOptions options;
+  options.unix_path = unique_socket_path("artifact");
+  CompileServer server(options);
+  server.start();
+
+  // Three scenarios: two lowered (by different backends), one not.
+  CompileRequest request = inline_graph_request({2, 3, 4});
+  request.scenarios[0].options.backend = "isa-json";
+  request.scenarios[2].options.backend = "sim";
+
+  CompileClient client = CompileClient::connect(server.endpoint());
+  const CompileReply reply = client.submit(request);
+  server.stop();
+
+  ASSERT_EQ(reply.outcomes.size(), 3u);
+  EXPECT_EQ(reply.error_count, 0);
+  ASSERT_EQ(reply.artifacts.size(), 2u);
+
+  // Each artifact names its scenario and parses back into a validated
+  // stream emitted by the backend that scenario asked for.
+  EXPECT_EQ(reply.artifacts[0].index, 0);
+  EXPECT_EQ(reply.artifacts[0].label, "P=2");
+  EXPECT_EQ(reply.artifacts[1].index, 2);
+  EXPECT_EQ(reply.artifacts[1].label, "P=4");
+  const InstructionStream first =
+      InstructionStream::from_json(reply.artifacts[0].artifact);
+  EXPECT_EQ(first.backend, "isa-json");
+  EXPECT_GT(first.total_ops, 0u);
+  const InstructionStream second =
+      InstructionStream::from_json(reply.artifacts[1].artifact);
+  EXPECT_EQ(second.backend, "sim");
+
+  // Wire order: each artifact frame follows its scenario's outcome, and
+  // the un-lowered scenario contributes no artifact frame.
+  std::vector<std::string> tail;
+  for (const std::string& kind : reply.frame_order) {
+    if (kind != "event") tail.push_back(kind);
+  }
+  const std::vector<std::string> expected = {"outcome", "artifact", "outcome",
+                                             "outcome", "artifact", "done"};
+  EXPECT_EQ(tail, expected);
 }
 
 TEST(ServeEndToEnd, RequestHardwareCoreCountIsNotRefitAway) {

@@ -10,6 +10,7 @@
 namespace pimcomp {
 namespace {
 
+using serve::ArtifactMessage;
 using serve::CompileRequest;
 using serve::DoneMessage;
 using serve::ErrorMessage;
@@ -411,6 +412,65 @@ TEST(ServeProtocol, ErrorKindRoundTripsEveryValue) {
   legacy["error"] = "old server";
   const ServerMessage from_v1 = serve::server_message_from_json(legacy);
   EXPECT_TRUE(std::get<OutcomeMessage>(from_v1).error_kind.empty());
+}
+
+TEST(ServeProtocol, BackendOptionsKeyIsOptInOnTheWire) {
+  // No backend selected: the key is absent, so the serialized options are
+  // byte-compatible with what a pre-v4 server's known-key check accepts.
+  EXPECT_FALSE(serve::options_to_json(CompileOptions{}).contains("backend"));
+
+  CompileOptions lowered;
+  lowered.backend = "isa-json";
+  const Json json = wire(serve::options_to_json(lowered));
+  EXPECT_EQ(json.get("backend", std::string()), "isa-json");
+  const CompileOptions parsed = serve::options_from_json(json);
+  EXPECT_EQ(parsed.backend, "isa-json");
+  EXPECT_EQ(fingerprint(parsed), fingerprint(lowered));
+}
+
+TEST(ServeProtocol, ArtifactFrameRoundTrips) {
+  ArtifactMessage message;
+  message.id = 21;
+  message.label = "P=4";
+  message.index = 2;
+  Json payload = Json::object();
+  payload["isa"] = 1;
+  message.artifact = payload;
+
+  const ServerMessage parsed =
+      serve::server_message_from_json(wire(serve::to_json(message)));
+  const ArtifactMessage& artifact = std::get<ArtifactMessage>(parsed);
+  EXPECT_EQ(artifact.id, 21);
+  EXPECT_EQ(artifact.label, "P=4");
+  EXPECT_EQ(artifact.index, 2);
+  EXPECT_EQ(artifact.artifact.get("isa", 0), 1);
+}
+
+TEST(ServeProtocol, DoneFrameGatesV4FieldsOnRequesterVersion) {
+  DoneMessage done;
+  done.id = 5;
+  done.ok_count = 2;
+  done.error_count = 1;
+  done.artifact_count = 2;
+
+  // A v3 requester's done frame is byte-identical to the historical shape.
+  done.protocol_version = 3;
+  const Json v3 = serve::to_json(done);
+  EXPECT_FALSE(v3.contains("version"));
+  EXPECT_FALSE(v3.contains("artifacts"));
+  // A v3 frame parses with the tolerant defaults.
+  const DoneMessage from_v3 =
+      std::get<DoneMessage>(serve::server_message_from_json(wire(v3)));
+  EXPECT_EQ(from_v3.ok_count, 2);
+  EXPECT_EQ(from_v3.artifact_count, 0);
+
+  done.protocol_version = 4;
+  const Json v4 = serve::to_json(done);
+  EXPECT_EQ(v4.get("version", 0), serve::kProtocolVersion);
+  EXPECT_EQ(v4.get("artifacts", 0), 2);
+  const DoneMessage from_v4 =
+      std::get<DoneMessage>(serve::server_message_from_json(wire(v4)));
+  EXPECT_EQ(from_v4.artifact_count, 2);
 }
 
 TEST(ServeProtocol, RequestPriorityRoundTripsAndIsBounded) {
