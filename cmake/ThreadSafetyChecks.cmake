@@ -1,0 +1,58 @@
+# Negative compile tests for the Clang Thread Safety annotations
+# (src/common/thread_annotations.hpp). Run at configure time when
+# PIMCOMP_THREAD_SAFETY=ON:
+#
+#   1. A positive control that uses the vocabulary correctly must compile
+#      cleanly — otherwise the header itself is broken and the negative
+#      results below would be meaningless.
+#   2. Each negative case must FAIL to compile, and its diagnostic output
+#      must mention "-Wthread-safety" — so an unrelated error (missing
+#      header, syntax slip) cannot masquerade as the analysis firing.
+#
+# Uses the classic try_compile signature (works on CMake 3.16+).
+
+function(pimcomp_ts_try_compile result_var source)
+  try_compile(
+    ${result_var}
+    ${CMAKE_BINARY_DIR}/ts_checks
+    ${source}
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=20"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    COMPILE_DEFINITIONS "-Wthread-safety" "-Werror=thread-safety"
+    OUTPUT_VARIABLE ${result_var}_output
+  )
+  set(${result_var} ${${result_var}} PARENT_SCOPE)
+  set(${result_var}_output "${${result_var}_output}" PARENT_SCOPE)
+endfunction()
+
+function(pimcomp_thread_safety_checks)
+  set(negative_dir ${CMAKE_CURRENT_SOURCE_DIR}/tests/negative)
+
+  pimcomp_ts_try_compile(ts_positive
+      ${negative_dir}/ts_positive_control.cpp)
+  if(NOT ts_positive)
+    message(FATAL_ERROR
+        "thread-safety positive control failed to compile — the annotation "
+        "header is broken, so the negative tests would prove nothing:\n"
+        "${ts_positive_output}")
+  endif()
+  message(STATUS "thread-safety positive control: compiles clean")
+
+  foreach(case ts_unguarded_access ts_unlock_without_lock)
+    pimcomp_ts_try_compile(${case} ${negative_dir}/${case}.cpp)
+    if(${case})
+      message(FATAL_ERROR
+          "negative compile test ${case}.cpp compiled when it must be "
+          "rejected — -Wthread-safety is not catching the seeded defect")
+    endif()
+    if(NOT ${case}_output MATCHES "Wthread-safety")
+      message(FATAL_ERROR
+          "negative compile test ${case}.cpp failed for the wrong reason "
+          "(diagnostics do not mention -Wthread-safety):\n"
+          "${${case}_output}")
+    endif()
+    message(STATUS "negative compile test ${case}: rejected as expected")
+  endforeach()
+endfunction()

@@ -10,6 +10,7 @@ namespace pimcomp {
 namespace {
 
 detail::RegistryStore<BackendRegistry::Factory>& backend_store() {
+  // pimcomp-lint: internally-synchronized (RegistryStore owns a Mutex)
   static detail::RegistryStore<BackendRegistry::Factory> store;
   return store;
 }

@@ -3,7 +3,7 @@
 namespace pimcomp {
 
 std::string cache_key_hex(std::uint64_t key) {
-  static const char* digits = "0123456789abcdef";
+  static constexpr const char* digits = "0123456789abcdef";
   std::string hex(16, '0');
   for (int i = 15; i >= 0; --i) {
     hex[static_cast<std::size_t>(i)] = digits[key & 0xf];

@@ -114,7 +114,7 @@ std::string DiskStore::artifact_path(std::uint64_t key) const {
 std::optional<CacheHit> DiskStore::load(std::uint64_t key) {
   const fs::path path = artifact_path(key);
   const auto miss = [this]() -> std::optional<CacheHit> {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++counters_.misses;
     return std::nullopt;
   };
@@ -161,7 +161,7 @@ std::optional<CacheHit> DiskStore::load(std::uint64_t key) {
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++counters_.hits;
   }
   CacheEntry entry;
@@ -210,7 +210,7 @@ const char* DiskStore::store(std::uint64_t key, const CacheEntry& entry) {
     return nullptr;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++counters_.stores;
   }
   evict_to_budget();
@@ -269,7 +269,7 @@ void DiskStore::evict_to_budget() {
     ++evicted;
   }
   if (evicted != 0) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     counters_.evictions += evicted;
   }
 }
@@ -277,7 +277,7 @@ void DiskStore::evict_to_budget() {
 CacheStoreStats DiskStore::stats() const {
   CacheStoreStats stats;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats = counters_;
   }
   stats.entries = 0;

@@ -2,10 +2,10 @@
 #define PIMCOMP_CACHE_DISK_STORE_HPP
 
 #include <atomic>
-#include <mutex>
 #include <string>
 
 #include "cache/cache_store.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace pimcomp {
 
@@ -61,8 +61,11 @@ class DiskStore final : public CacheStore {
   const CacheConfig config_;
   std::atomic<std::uint64_t> tmp_counter_{0};  ///< unique temp-file names
 
-  mutable std::mutex stats_mutex_;
-  CacheStoreStats counters_;  ///< hit/miss/store/eviction counters only
+  mutable Mutex stats_mutex_;
+  /// hit/miss/store/eviction counters only; the artifacts themselves are
+  /// deliberately lock-free — rename(2) discipline keeps multi-process
+  /// sharing safe (see class comment).
+  CacheStoreStats counters_ PIMCOMP_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace pimcomp

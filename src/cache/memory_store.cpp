@@ -7,7 +7,7 @@ namespace pimcomp {
 std::optional<CacheHit> InMemoryStore::load(std::uint64_t key) {
   std::shared_ptr<const CacheEntry> found;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it == entries_.end()) {
       ++stats_.misses;
@@ -31,7 +31,7 @@ const char* InMemoryStore::store(std::uint64_t key, const CacheEntry& entry) {
     kept = entry;
   }
   auto stored = std::make_shared<const CacheEntry>(std::move(kept));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!entries_.emplace(key, std::move(stored)).second) return nullptr;
   ++stats_.stores;
   order_.push_back(key);
@@ -46,7 +46,7 @@ const char* InMemoryStore::store(std::uint64_t key, const CacheEntry& entry) {
 }
 
 void InMemoryStore::erase(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (entries_.erase(key) == 0) return;
   // O(entries) scan, but erase() only runs on the rare undecodable-artifact
   // path; leaving the stale key would make FIFO eviction over-evict later.
@@ -59,7 +59,7 @@ void InMemoryStore::erase(std::uint64_t key) {
 }
 
 std::uint64_t InMemoryStore::purge() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t dropped = entries_.size();
   entries_.clear();
   order_.clear();
@@ -67,7 +67,7 @@ std::uint64_t InMemoryStore::purge() {
 }
 
 CacheStoreStats InMemoryStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CacheStoreStats stats = stats_;
   stats.entries = entries_.size();
   stats.bytes = 0;

@@ -2,10 +2,10 @@
 #define PIMCOMP_CACHE_MEMORY_STORE_HPP
 
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 
 #include "cache/cache_store.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace pimcomp {
 
@@ -35,13 +35,14 @@ class InMemoryStore final : public CacheStore {
  private:
   const std::size_t max_entries_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // shared_ptr values so a hit only copies a pointer under the lock; the
   // (potentially large) payload copy happens in the caller, outside it.
   std::unordered_map<std::uint64_t, std::shared_ptr<const CacheEntry>>
-      entries_;
-  std::deque<std::uint64_t> order_;  ///< insertion order for FIFO eviction
-  CacheStoreStats stats_;            ///< counters, guarded by mutex_
+      entries_ PIMCOMP_GUARDED_BY(mutex_);
+  /// insertion order for FIFO eviction
+  std::deque<std::uint64_t> order_ PIMCOMP_GUARDED_BY(mutex_);
+  CacheStoreStats stats_ PIMCOMP_GUARDED_BY(mutex_);  ///< counters only
 };
 
 }  // namespace pimcomp

@@ -4,14 +4,19 @@
 
 namespace pimcomp {
 
-LogLevel Logger::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Logger::level_{LogLevel::kWarn};
 
-void Logger::set_level(LogLevel level) { level_ = level; }
+void Logger::set_level(LogLevel level) {
+  level_.store(level, std::memory_order_relaxed);
+}
 
-LogLevel Logger::level() { return level_; }
+LogLevel Logger::level() { return level_.load(std::memory_order_relaxed); }
 
 void Logger::log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (static_cast<int>(level) <
+      static_cast<int>(level_.load(std::memory_order_relaxed))) {
+    return;
+  }
   const char* tag = "?";
   switch (level) {
     case LogLevel::kDebug: tag = "DEBUG"; break;
@@ -20,7 +25,13 @@ void Logger::log(LogLevel level, const std::string& message) {
     case LogLevel::kError: tag = "ERROR"; break;
     case LogLevel::kOff: return;
   }
-  std::cerr << "[pimcomp " << tag << "] " << message << '\n';
+  // Compose the full line first and write it with a single stream insertion:
+  // piecewise `<<` from concurrent threads interleaves fragments mid-line.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line.append("[pimcomp ").append(tag).append("] ").append(message).append(
+      "\n");
+  std::cerr << line;
 }
 
 }  // namespace pimcomp

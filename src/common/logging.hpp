@@ -1,6 +1,7 @@
 #ifndef PIMCOMP_COMMON_LOGGING_HPP
 #define PIMCOMP_COMMON_LOGGING_HPP
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -21,7 +22,10 @@ class Logger {
   static void log(LogLevel level, const std::string& message);
 
  private:
-  static LogLevel level_;
+  // Atomic: set_level() may race with log()/level() calls from session
+  // workers and pimcompd reader threads (relaxed is enough — the threshold
+  // is advisory, no data is published through it).
+  static std::atomic<LogLevel> level_;
 };
 
 namespace detail {

@@ -23,31 +23,35 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (Thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::submit(std::function<void()> task, int priority) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(Entry{priority, next_seq_++, std::move(task)});
   }
   work_available_.notify_one();
 }
 
 bool ThreadPool::run_one() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (tasks_.empty()) return false;
-  run_entry_locked(lock);
+  std::function<void()> task;
+  {
+    MutexLock lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = take_task_locked();
+  }
+  finish_task(std::move(task));
   return true;
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!tasks_.empty() || active_ != 0) idle_.wait(mutex_);
 }
 
 const ThreadPool* ThreadPool::current() { return tl_current_pool; }
@@ -57,14 +61,17 @@ int ThreadPool::hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-void ThreadPool::run_entry_locked(std::unique_lock<std::mutex>& lock) {
+std::function<void()> ThreadPool::take_task_locked() {
   // priority_queue::top() is const; the task is moved out via const_cast,
   // which is safe because pop() removes the node before anyone else can
   // observe it.
   std::function<void()> task = std::move(const_cast<Entry&>(tasks_.top()).task);
   tasks_.pop();
   ++active_;
-  lock.unlock();
+  return task;
+}
+
+void ThreadPool::finish_task(std::function<void()> task) {
   task();
   // Destroy the closure (and everything it captured) *before* the pool
   // counts the task as done: after wait_idle() returns, no task state —
@@ -72,7 +79,7 @@ void ThreadPool::run_entry_locked(std::unique_lock<std::mutex>& lock) {
   // worker. CompileServer's teardown relies on this to never run a session
   // destructor on that session's own worker thread.
   task = nullptr;
-  lock.lock();
+  MutexLock lock(mutex_);
   --active_;
   if (tasks_.empty() && active_ == 0) idle_.notify_all();
 }
@@ -80,11 +87,14 @@ void ThreadPool::run_entry_locked(std::unique_lock<std::mutex>& lock) {
 void ThreadPool::worker_loop() {
   tl_current_pool = this;
   for (;;) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    work_available_.wait(lock,
-                         [this] { return stopping_ || !tasks_.empty(); });
-    if (tasks_.empty()) return;  // stopping_ with a drained queue
-    run_entry_locked(lock);
+    std::function<void()> task;
+    {
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) work_available_.wait(mutex_);
+      if (tasks_.empty()) return;  // stopping_ with a drained queue
+      task = take_task_locked();
+    }
+    finish_task(std::move(task));
   }
 }
 

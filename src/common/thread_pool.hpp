@@ -1,13 +1,12 @@
 #ifndef PIMCOMP_COMMON_THREAD_POOL_HPP
 #define PIMCOMP_COMMON_THREAD_POOL_HPP
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
-#include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace pimcomp {
 
@@ -39,17 +38,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Higher `priority` is dequeued first; ties run FIFO.
-  void submit(std::function<void()> task, int priority = 0);
+  void submit(std::function<void()> task, int priority = 0)
+      PIMCOMP_EXCLUDES(mutex_);
 
   /// Runs the best queued task inline on the calling thread; returns false
   /// without blocking when the queue is empty. This is how a worker that
   /// must wait for another task's completion (a nested batch submitted from
   /// inside a running task) makes progress instead of deadlocking on
   /// itself — see CompileJob::wait().
-  bool run_one();
+  bool run_one() PIMCOMP_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished and the queue is empty.
-  void wait_idle();
+  void wait_idle() PIMCOMP_EXCLUDES(mutex_);
 
   int size() const { return static_cast<int>(workers_.size()); }
 
@@ -75,19 +75,23 @@ class ThreadPool {
     }
   };
 
-  void worker_loop();
-  /// Pops the best entry (mutex_ held by the caller through `lock`),
-  /// runs it unlocked, and re-locks to update the active count.
-  void run_entry_locked(std::unique_lock<std::mutex>& lock);
+  void worker_loop() PIMCOMP_EXCLUDES(mutex_);
+  /// Pops the best entry and counts it active; the caller runs it unlocked
+  /// and hands it to finish_task().
+  std::function<void()> take_task_locked() PIMCOMP_REQUIRES(mutex_);
+  /// Runs `task` (lock NOT held), then re-locks to retire it from the
+  /// active count and signal idleness.
+  void finish_task(std::function<void()> task) PIMCOMP_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> tasks_;
-  std::uint64_t next_seq_ = 0;
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  int active_ = 0;
-  bool stopping_ = false;
+  std::vector<Thread> workers_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> tasks_
+      PIMCOMP_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ PIMCOMP_GUARDED_BY(mutex_) = 0;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  CondVar idle_;
+  int active_ PIMCOMP_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PIMCOMP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pimcomp

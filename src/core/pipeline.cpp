@@ -17,11 +17,13 @@ namespace {
 // BackendRegistry (src/backend/) shares it verbatim.
 
 detail::RegistryStore<MapperRegistry::Factory>& mapper_store() {
+  // pimcomp-lint: internally-synchronized (RegistryStore owns a Mutex)
   static detail::RegistryStore<MapperRegistry::Factory> store;
   return store;
 }
 
 detail::RegistryStore<SchedulerRegistry::Factory>& scheduler_store() {
+  // pimcomp-lint: internally-synchronized (RegistryStore owns a Mutex)
   static detail::RegistryStore<SchedulerRegistry::Factory> store;
   return store;
 }

@@ -2,13 +2,13 @@
 #define PIMCOMP_CORE_REGISTRY_HPP
 
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace pimcomp::detail {
 
@@ -21,7 +21,7 @@ template <typename Factory>
 class RegistryStore {
  public:
   bool add(const std::string& kind, const std::string& key, Factory factory) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!factories_.emplace(key, std::move(factory)).second) {
       // add() runs from static initializers, where a throw terminates the
       // process before main() with no usable message. Record the conflict
@@ -34,8 +34,8 @@ class RegistryStore {
   }
 
   const Factory& get(const std::string& kind, const std::string& key) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    report_conflicts();
+    MutexLock lock(mutex_);
+    report_conflicts_locked();
     const auto it = factories_.find(key);
     if (it == factories_.end()) {
       std::ostringstream oss;
@@ -53,13 +53,13 @@ class RegistryStore {
   }
 
   bool contains(const std::string& key) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return factories_.count(key) != 0;
   }
 
   std::vector<std::string> keys() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    report_conflicts();
+    MutexLock lock(mutex_);
+    report_conflicts_locked();
     std::vector<std::string> out;
     out.reserve(factories_.size());
     for (const auto& [key, factory] : factories_) out.push_back(key);
@@ -67,9 +67,9 @@ class RegistryStore {
   }
 
  private:
-  /// Requires mutex_ held. Throws (once) if static initialization recorded
-  /// duplicate registrations; the store stays usable afterwards.
-  void report_conflicts() {
+  /// Throws (once) if static initialization recorded duplicate
+  /// registrations; the store stays usable afterwards.
+  void report_conflicts_locked() PIMCOMP_REQUIRES(mutex_) {
     if (conflicts_.empty()) return;
     const std::string message =
         "duplicate registration at static initialization: " + conflicts_ +
@@ -78,9 +78,9 @@ class RegistryStore {
     throw ConfigError(message);
   }
 
-  std::map<std::string, Factory> factories_;
-  std::string conflicts_;
-  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_ PIMCOMP_GUARDED_BY(mutex_);
+  std::string conflicts_ PIMCOMP_GUARDED_BY(mutex_);
+  mutable Mutex mutex_;
 };
 
 }  // namespace pimcomp::detail

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <thread>
 #include <type_traits>
@@ -194,10 +193,15 @@ struct CompileJob::State {
   CancelToken token;
   ThreadPool* owner_pool = nullptr;  ///< helping-wait identity; see wait()
 
-  mutable std::mutex mutex;
-  mutable std::condition_variable cv;
+  mutable Mutex mutex;
+  mutable CondVar cv;
   std::atomic<JobStatus> status{JobStatus::kQueued};
-  ScenarioOutcome outcome;  ///< written once, before status turns terminal
+  /// Deliberately not GUARDED_BY(mutex): protected by publication, not the
+  /// lock — written exactly once (under `mutex`) before the release-store
+  /// that turns `status` terminal, and only read after terminal() observed
+  /// that store (wait()'s return, the completion callback, compile_all()'s
+  /// move-out).
+  ScenarioOutcome outcome;
 
   bool terminal() const {
     const JobStatus s = status.load(std::memory_order_acquire);
@@ -230,8 +234,8 @@ const ScenarioOutcome& CompileJob::wait() const {
     while (!state.terminal() && state.owner_pool->run_one()) {
     }
   }
-  std::unique_lock<std::mutex> lock(state.mutex);
-  state.cv.wait(lock, [&state] { return state.terminal(); });
+  MutexLock lock(state.mutex);
+  while (!state.terminal()) state.cv.wait(state.mutex);
   return state.outcome;
 }
 
@@ -267,11 +271,14 @@ std::uint64_t CompileJob::tag() const { return require_state(state_).tag; }
 /// the negative cache; successful claims retire once the store is
 /// populated.
 struct CompilerSession::WorkloadClaim {
-  std::mutex mutex;
-  std::condition_variable published;
-  bool done = false;
-  std::exception_ptr failure;
-  std::thread::id owner;  ///< claimant; set under workload_mutex_ at claim
+  Mutex mutex;
+  CondVar published;
+  bool done PIMCOMP_GUARDED_BY(mutex) = false;
+  std::exception_ptr failure PIMCOMP_GUARDED_BY(mutex);
+  /// Claimant; written once under workload_mutex_ at claim time, before the
+  /// shared_ptr is published to any peer — immutable (and safe to read
+  /// without `mutex`) afterwards.
+  std::thread::id owner;
 };
 
 /// Serializing forwarder placed between the pipeline and the user observer:
@@ -282,22 +289,22 @@ class CompilerSession::ObserverGate final : public PipelineObserver {
   explicit ObserverGate(CompilerSession* session) : session_(session) {}
 
   void on_stage_begin(const StageInfo& info) override {
-    std::lock_guard<std::recursive_mutex> lock(session_->observer_mutex_);
+    RecursiveMutexLock lock(session_->observer_mutex_);
     if (session_->observer_ != nullptr) session_->observer_->on_stage_begin(info);
   }
 
   void on_stage_end(const StageInfo& info) override {
-    std::lock_guard<std::recursive_mutex> lock(session_->observer_mutex_);
+    RecursiveMutexLock lock(session_->observer_mutex_);
     if (session_->observer_ != nullptr) session_->observer_->on_stage_end(info);
   }
 
   void on_cache_hit(const CacheEvent& event) override {
-    std::lock_guard<std::recursive_mutex> lock(session_->observer_mutex_);
+    RecursiveMutexLock lock(session_->observer_mutex_);
     if (session_->observer_ != nullptr) session_->observer_->on_cache_hit(event);
   }
 
   void on_cache_store(const CacheEvent& event) override {
-    std::lock_guard<std::recursive_mutex> lock(session_->observer_mutex_);
+    RecursiveMutexLock lock(session_->observer_mutex_);
     if (session_->observer_ != nullptr) {
       session_->observer_->on_cache_store(event);
     }
@@ -340,7 +347,7 @@ CompilerSession::~CompilerSession() {
   cancel_all_jobs();
   std::unique_ptr<ThreadPool> pool;
   {
-    std::lock_guard<std::mutex> lock(job_mutex_);
+    MutexLock lock(job_mutex_);
     shutting_down_ = true;  // submit() from a draining callback must not
                             // resurrect a pool over dying session state
     pool = std::move(pool_);
@@ -354,7 +361,7 @@ std::uint64_t CompilerSession::fingerprint() const {
 }
 
 void CompilerSession::set_observer(PipelineObserver* observer) {
-  std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
+  RecursiveMutexLock lock(observer_mutex_);
   observer_ = observer;
 }
 
@@ -381,7 +388,7 @@ CompileJob CompilerSession::submit(Scenario scenario, JobOptions options) {
   state->on_complete = std::move(options.on_complete);
   bool rejected = false;
   {
-    std::lock_guard<std::mutex> lock(job_mutex_);
+    MutexLock lock(job_mutex_);
     if (shutting_down_) {
       // ~CompilerSession is draining: a follow-up submitted from a dying
       // job's completion callback is finalized as cancelled on the spot —
@@ -430,7 +437,7 @@ std::size_t CompilerSession::outstanding_jobs() const {
 std::size_t CompilerSession::cancel_all_jobs() {
   std::vector<std::shared_ptr<CompileJob::State>> states;
   {
-    std::lock_guard<std::mutex> lock(job_mutex_);
+    MutexLock lock(job_mutex_);
     states.reserve(job_registry_.size());
     for (const std::weak_ptr<CompileJob::State>& weak : job_registry_) {
       if (std::shared_ptr<CompileJob::State> state = weak.lock()) {
@@ -451,7 +458,7 @@ std::size_t CompilerSession::cancel_all_jobs() {
 void CompilerSession::wait_jobs_idle() {
   ThreadPool* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(job_mutex_);
+    MutexLock lock(job_mutex_);
     pool = pool_.get();
   }
   if (pool != nullptr) pool->wait_idle();
@@ -488,7 +495,7 @@ void CompilerSession::run_job(const std::shared_ptr<CompileJob::State>& state) {
                                  : JobStatus::kDone;
   std::function<void(const ScenarioOutcome&)> callback;
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     state->outcome = std::move(outcome);
     state->status.store(terminal, std::memory_order_release);
     callback = std::move(state->on_complete);
@@ -501,7 +508,7 @@ void CompilerSession::run_job(const std::shared_ptr<CompileJob::State>& state) {
 }
 
 int CompilerSession::enqueue(Scenario scenario) {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(queue_mutex_);
   queue_.push_back(std::move(scenario));
   return static_cast<int>(queue_.size()) - 1;
 }
@@ -511,7 +518,7 @@ int CompilerSession::enqueue(CompileOptions options, std::string label) {
 }
 
 int CompilerSession::pending() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(queue_mutex_);
   return static_cast<int>(queue_.size());
 }
 
@@ -520,7 +527,7 @@ std::vector<ScenarioOutcome> CompilerSession::compile_all() {
   // scenarios for a later batch without invalidating this loop.
   std::vector<Scenario> batch;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     batch = std::move(queue_);
     queue_.clear();
   }
@@ -564,10 +571,13 @@ CompileResult CompilerSession::compile(const Scenario& scenario, int index) {
 /// mapping cache hit) — or re-claim if the owner failed without publishing
 /// (e.g. it was cancelled: cancellation must never leak to innocent peers).
 struct CompilerSession::MappingClaim {
-  std::mutex mutex;
-  std::condition_variable settled;
-  bool done = false;
-  std::thread::id owner;  ///< claimant; set under mapping_mutex_ at claim
+  Mutex mutex;
+  CondVar settled;
+  bool done PIMCOMP_GUARDED_BY(mutex) = false;
+  /// Claimant; written once under mapping_mutex_ at claim time, before the
+  /// shared_ptr is published to any peer — immutable (and safe to read
+  /// without `mutex`) afterwards.
+  std::thread::id owner;
 };
 
 CompileResult CompilerSession::compile_scenario(const Scenario& scenario,
@@ -625,7 +635,7 @@ CompileResult CompilerSession::compile_scenario(const Scenario& scenario,
     std::shared_ptr<MappingClaim> claim;
     bool owner = false;
     {
-      std::lock_guard<std::mutex> lock(mapping_mutex_);
+      MutexLock lock(mapping_mutex_);
       std::shared_ptr<MappingClaim>& slot = inflight_mappings_[mapping_key];
       if (slot == nullptr) {
         slot = std::make_shared<MappingClaim>();
@@ -642,9 +652,9 @@ CompileResult CompilerSession::compile_scenario(const Scenario& scenario,
         // compute privately (store_mapping keeps the first publisher).
         return run_stages();
       }
-      std::unique_lock<std::mutex> lock(claim->mutex);
+      MutexLock lock(claim->mutex);
       while (!claim->done) {
-        claim->settled.wait_for(lock, std::chrono::milliseconds(50));
+        claim->settled.wait_for(claim->mutex, std::chrono::milliseconds(50));
         // A cancelled waiter leaves promptly instead of riding out the
         // owner's whole GA run.
         if (cancel != nullptr && cancel->cancelled()) {
@@ -678,14 +688,14 @@ CompileResult CompilerSession::compile_scenario(const Scenario& scenario,
 void CompilerSession::release_mapping_claim(
     std::uint64_t key, const std::shared_ptr<MappingClaim>& claim) {
   {
-    std::lock_guard<std::mutex> lock(mapping_mutex_);
+    MutexLock lock(mapping_mutex_);
     const auto it = inflight_mappings_.find(key);
     if (it != inflight_mappings_.end() && it->second == claim) {
       inflight_mappings_.erase(it);
     }
   }
   {
-    std::lock_guard<std::mutex> lock(claim->mutex);
+    MutexLock lock(claim->mutex);
     claim->done = true;
   }
   claim->settled.notify_all();
@@ -726,7 +736,7 @@ std::shared_ptr<const Workload> CompilerSession::resolve_workload(
     std::shared_ptr<WorkloadClaim> claim;
     bool owner = false;
     {
-      std::lock_guard<std::mutex> lock(workload_mutex_);
+      MutexLock lock(workload_mutex_);
       std::shared_ptr<WorkloadClaim>& slot = workload_claims_[key];
       if (slot == nullptr) {
         slot = std::make_shared<WorkloadClaim>();
@@ -760,13 +770,13 @@ std::shared_ptr<const Workload> CompilerSession::resolve_workload(
         entry.decoded = workload;
         workload_store_->store(key, entry);
         {
-          std::lock_guard<std::mutex> claim_lock(claim->mutex);
+          MutexLock claim_lock(claim->mutex);
           claim->done = true;
         }
         claim->published.notify_all();
         {
           // Success retires the claim — the store is the cache now.
-          std::lock_guard<std::mutex> lock(workload_mutex_);
+          MutexLock lock(workload_mutex_);
           const auto it = workload_claims_.find(key);
           if (it != workload_claims_.end() && it->second == claim) {
             workload_claims_.erase(it);
@@ -796,13 +806,13 @@ std::shared_ptr<const Workload> CompilerSession::resolve_workload(
         } catch (...) {
         }
         {
-          std::lock_guard<std::mutex> claim_lock(claim->mutex);
+          MutexLock claim_lock(claim->mutex);
           claim->failure = failure;
           claim->done = true;
         }
         claim->published.notify_all();
         if (!deterministic) {
-          std::lock_guard<std::mutex> lock(workload_mutex_);
+          MutexLock lock(workload_mutex_);
           const auto it = workload_claims_.find(key);
           if (it != workload_claims_.end() && it->second == claim) {
             workload_claims_.erase(it);
@@ -814,7 +824,7 @@ std::shared_ptr<const Workload> CompilerSession::resolve_workload(
     }
 
     {
-      std::unique_lock<std::mutex> claim_lock(claim->mutex);
+      MutexLock claim_lock(claim->mutex);
       if (!claim->done && claim->owner == std::this_thread::get_id()) {
         // Re-entrant compile of the same fingerprint from inside this
         // thread's own partitioning observer callback: waiting would be
@@ -826,7 +836,7 @@ std::shared_ptr<const Workload> CompilerSession::resolve_workload(
         *partition_seconds = seconds_since(t0);
         return private_workload;
       }
-      claim->published.wait(claim_lock, [&claim] { return claim->done; });
+      while (!claim->done) claim->published.wait(claim->mutex);
       if (claim->failure != nullptr) std::rethrow_exception(claim->failure);
     }
     // The owner settled successfully: loop around and take the store hit
@@ -921,7 +931,7 @@ void CompilerSession::notify_cache_hit(const char* cache,
   // Increment under the observer serialization mutex so the cumulative
   // `hits` values reach the observer in monotonic order even when parallel
   // workers hit the caches simultaneously.
-  std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
+  RecursiveMutexLock lock(observer_mutex_);
   const std::uint64_t hits = counter.fetch_add(1) + 1;
   if (observer_ != nullptr) {
     observer_->on_cache_hit(CacheEvent{cache, label, index, hits, tag,
@@ -933,7 +943,7 @@ void CompilerSession::notify_cache_store(const char* cache,
                                          const std::string& label, int index,
                                          std::uint64_t tag,
                                          const char* source) {
-  std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
+  RecursiveMutexLock lock(observer_mutex_);
   const std::uint64_t stores = mapping_stores_.fetch_add(1) + 1;
   if (observer_ != nullptr) {
     observer_->on_cache_store(CacheEvent{cache, label, index, stores, tag,

@@ -6,7 +6,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -14,6 +13,7 @@
 
 #include "cache/cache_config.hpp"
 #include "common/cancel.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/compiler.hpp"
 #include "core/pipeline.hpp"
 
@@ -307,8 +307,7 @@ class CompilerSession {
                                  std::uint64_t tag, const CancelToken* cancel);
 
   /// Creates (or, when idle and resized, re-creates) the resident pool.
-  /// Requires job_mutex_ held.
-  void ensure_pool_locked();
+  void ensure_pool_locked() PIMCOMP_REQUIRES(job_mutex_);
 
   /// Executes one job on a worker (or a helping waiter): runs the compile,
   /// classifies failures, finalizes the state, fires the callback.
@@ -356,25 +355,27 @@ class CompilerSession {
   std::uint64_t graph_fingerprint_ = 0;
   int jobs_ = 1;
 
-  // recursive_mutex: an observer callback may legally re-enter
+  // RecursiveMutex: an observer callback may legally re-enter
   // session.compile() — or submit and wait on follow-up jobs — on its own
   // worker thread; cross-thread serialization still holds. Nested compiles
   // from a callback remain unsupported while jobs run on several workers
   // (the nested call could wait on a WorkloadClaim whose owner is blocked
   // on this mutex). enqueue() and submit() are always safe.
-  PipelineObserver* observer_ = nullptr;      // guarded by observer_mutex_
+  PipelineObserver* observer_ PIMCOMP_GUARDED_BY(observer_mutex_) = nullptr;
   std::unique_ptr<ObserverGate> gate_;        // serializing forwarder
-  mutable std::recursive_mutex observer_mutex_;
+  mutable RecursiveMutex observer_mutex_;
 
   // Resident job workers plus the registry destruction/cancel_all walk.
-  std::unique_ptr<ThreadPool> pool_;          // guarded by job_mutex_
-  std::vector<std::weak_ptr<CompileJob::State>> job_registry_;  // same guard
-  bool shutting_down_ = false;                // same guard; set by ~CompilerSession
-  mutable std::mutex job_mutex_;
+  std::unique_ptr<ThreadPool> pool_ PIMCOMP_GUARDED_BY(job_mutex_);
+  std::vector<std::weak_ptr<CompileJob::State>> job_registry_
+      PIMCOMP_GUARDED_BY(job_mutex_);
+  /// set by ~CompilerSession
+  bool shutting_down_ PIMCOMP_GUARDED_BY(job_mutex_) = false;
+  mutable Mutex job_mutex_;
   std::atomic<std::size_t> outstanding_jobs_{0};
 
-  std::vector<Scenario> queue_;               // guarded by queue_mutex_
-  mutable std::mutex queue_mutex_;
+  std::vector<Scenario> queue_ PIMCOMP_GUARDED_BY(queue_mutex_);
+  mutable Mutex queue_mutex_;
 
   // Workload cache: completed partitions live in workload_store_ (decoded
   // Workloads, memory tier only); in-flight claims coordinate
@@ -383,8 +384,8 @@ class CompilerSession {
   // the negative cache — every retry would fail identically.
   std::unique_ptr<InMemoryStore> workload_store_;
   std::unordered_map<std::uint64_t, std::shared_ptr<WorkloadClaim>>
-      workload_claims_;                       // guarded by workload_mutex_
-  mutable std::mutex workload_mutex_;
+      workload_claims_ PIMCOMP_GUARDED_BY(workload_mutex_);
+  mutable Mutex workload_mutex_;
 
   // Mapping cache: a bounded-FIFO memory tier (kMaxCachedMappings — a
   // long-lived session sweeping many distinct configurations must not
@@ -399,8 +400,8 @@ class CompilerSession {
   // the first one instead of mapping twice — the second then reads the
   // cache and reports a mapping cache hit, deterministically.
   std::unordered_map<std::uint64_t, std::shared_ptr<MappingClaim>>
-      inflight_mappings_;                     // guarded by mapping_mutex_
-  mutable std::mutex mapping_mutex_;
+      inflight_mappings_ PIMCOMP_GUARDED_BY(mapping_mutex_);
+  mutable Mutex mapping_mutex_;
 
   std::atomic<std::uint64_t> workload_hits_{0};
   std::atomic<std::uint64_t> mapping_hits_{0};

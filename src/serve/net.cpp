@@ -256,7 +256,7 @@ std::optional<std::string> LineChannel::read_line() {
 }
 
 void LineChannel::write_line(const std::string& line) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(write_mutex_);
   write_locked(line);
 }
 

@@ -2,11 +2,11 @@
 #define PIMCOMP_SERVE_NET_HPP
 
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace pimcomp::serve {
 
@@ -102,7 +102,7 @@ class LineChannel {
   /// Writes `line` plus a trailing '\n' atomically with respect to other
   /// write_line() callers. Throws ServeError when the peer is gone (or,
   /// with a send timeout set, has stopped reading).
-  void write_line(const std::string& line);
+  void write_line(const std::string& line) PIMCOMP_EXCLUDES(write_mutex_);
 
   /// Unblocks a read_line() in progress on another thread.
   void shutdown_both() { socket_.shutdown_both(); }
@@ -114,11 +114,14 @@ class LineChannel {
   static constexpr std::size_t kMaxLineBytes = 64u << 20;
 
  private:
-  void write_locked(const std::string& line);  // write_mutex_ held
+  void write_locked(const std::string& line) PIMCOMP_REQUIRES(write_mutex_);
 
   Socket socket_;
+  /// Read-side accumulation. Deliberately unguarded: reads are owned by a
+  /// single thread at a time (the connection's reader), per the class
+  /// contract above — only writes are cross-thread.
   std::string buffer_;
-  std::mutex write_mutex_;
+  Mutex write_mutex_;
 };
 
 }  // namespace pimcomp::serve

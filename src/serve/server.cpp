@@ -53,17 +53,18 @@ struct CompileServer::Connection {
   std::atomic<bool> broken{false};
   Reader* reader = nullptr;  ///< pinned reader, for outbound wakeups
 
-  std::mutex mutex;  // guards `requests`
-  std::vector<std::weak_ptr<RequestState>> requests;
+  Mutex mutex;
+  std::vector<std::weak_ptr<RequestState>> requests PIMCOMP_GUARDED_BY(mutex);
 
-  // Outbound frame queue (guards everything below). Frames carry their
-  // trailing '\n'; `offset` is how much of the front frame already went
-  // out; `last_progress` drives the stall timeout.
-  std::mutex out_mutex;
-  std::deque<std::string> outbound;
-  std::size_t out_bytes = 0;
-  std::size_t offset = 0;
-  std::chrono::steady_clock::time_point last_progress{};
+  // Outbound frame queue. Frames carry their trailing '\n'; `offset` is how
+  // much of the front frame already went out; `last_progress` drives the
+  // stall timeout.
+  Mutex out_mutex;
+  std::deque<std::string> outbound PIMCOMP_GUARDED_BY(out_mutex);
+  std::size_t out_bytes PIMCOMP_GUARDED_BY(out_mutex) = 0;
+  std::size_t offset PIMCOMP_GUARDED_BY(out_mutex) = 0;
+  std::chrono::steady_clock::time_point last_progress
+      PIMCOMP_GUARDED_BY(out_mutex){};
 
   /// Advisory frames (progress events) are dropped once this much output
   /// is already queued — a slow reader loses progress, never outcomes.
@@ -89,25 +90,26 @@ struct CompileServer::RequestState {
   /// would reject the unknown frame type.
   int protocol_version = kProtocolVersion;
 
-  std::mutex mutex;  // guards everything below
-  std::vector<CompileJob> jobs;
-  std::map<std::size_t, OutcomeMessage> ready;  ///< finished, awaiting turn
+  Mutex mutex;
+  std::vector<CompileJob> jobs PIMCOMP_GUARDED_BY(mutex);
+  /// finished, awaiting turn
+  std::map<std::size_t, OutcomeMessage> ready PIMCOMP_GUARDED_BY(mutex);
   /// Lowered instruction streams keyed like `ready`; emitted immediately
   /// after their scenario's outcome frame so the wire contract stays
   /// "events*, (outcome artifact?)* in index order, done".
-  std::map<std::size_t, Json> ready_artifacts;
-  std::size_t next_emit = 0;
-  std::size_t completed = 0;
-  int ok_count = 0;
-  int error_count = 0;
-  int artifact_count = 0;
-  bool done_handled = false;
+  std::map<std::size_t, Json> ready_artifacts PIMCOMP_GUARDED_BY(mutex);
+  std::size_t next_emit PIMCOMP_GUARDED_BY(mutex) = 0;
+  std::size_t completed PIMCOMP_GUARDED_BY(mutex) = 0;
+  int ok_count PIMCOMP_GUARDED_BY(mutex) = 0;
+  int error_count PIMCOMP_GUARDED_BY(mutex) = 0;
+  int artifact_count PIMCOMP_GUARDED_BY(mutex) = 0;
+  bool done_handled PIMCOMP_GUARDED_BY(mutex) = false;
 
   /// Serializes the pop-and-write sequence so two workers finishing jobs
   /// back-to-back cannot interleave their in-order frame runs. Never held
   /// together with `mutex` across a write (writes block up to the send
   /// timeout; `mutex` must stay cheap for cancellation paths).
-  std::mutex emit_mutex;
+  Mutex emit_mutex;
 };
 
 /// One shared CompilerSession plus the event router that attributes its
@@ -132,12 +134,12 @@ struct CompileServer::Reader {
     if (wake_write >= 0) ::close(wake_write);
   }
 
-  std::thread thread;
+  Thread thread;
   int wake_read = -1;
   int wake_write = -1;
 
-  std::mutex mutex;  // guards `incoming`
-  std::vector<std::shared_ptr<Connection>> incoming;
+  Mutex mutex;
+  std::vector<std::shared_ptr<Connection>> incoming PIMCOMP_GUARDED_BY(mutex);
 };
 
 // ---------------------------------------------------------------------------
@@ -148,12 +150,12 @@ void CompileServer::JobRouter::add(std::uint64_t tag,
                                    std::weak_ptr<Connection> connection,
                                    std::int64_t request_id,
                                    int protocol_version) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   routes_[tag] = Route{std::move(connection), request_id, protocol_version};
 }
 
 void CompileServer::JobRouter::remove(std::uint64_t tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   routes_.erase(tag);
 }
 
@@ -178,7 +180,7 @@ void CompileServer::JobRouter::route(const PipelineEvent& event) {
   std::shared_ptr<Connection> connection;
   std::int64_t request_id = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = routes_.find(event.tag);
     if (it == routes_.end()) return;  // request already finished/unroutable
     if (event.kind == PipelineEvent::Kind::kCacheStore &&
@@ -224,7 +226,7 @@ void CompileServer::enqueue_frame(Connection& connection, const Json& json,
 
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(connection.out_mutex);
+    MutexLock lock(connection.out_mutex);
     if (connection.broken.load(std::memory_order_relaxed)) return;
     if (advisory && connection.out_bytes > Connection::kAdvisoryBudget) {
       return;  // slow reader: drop progress, keep outcomes
@@ -245,7 +247,7 @@ void CompileServer::enqueue_frame(Connection& connection, const Json& json,
 }
 
 void CompileServer::pump_outbound(Connection& connection) {
-  std::lock_guard<std::mutex> lock(connection.out_mutex);
+  MutexLock lock(connection.out_mutex);
   while (!connection.outbound.empty()) {
     const std::string& front = connection.outbound.front();
     const ssize_t n =
@@ -271,7 +273,7 @@ void CompileServer::pump_outbound(Connection& connection) {
 }
 
 bool CompileServer::outbound_stalled(Connection& connection) const {
-  std::lock_guard<std::mutex> lock(connection.out_mutex);
+  MutexLock lock(connection.out_mutex);
   if (connection.outbound.empty()) return false;
   const double stalled_s = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() -
@@ -294,7 +296,7 @@ CompileServer::CompileServer(ServerOptions options)
 CompileServer::~CompileServer() { stop(); }
 
 void CompileServer::start() {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  MutexLock lock(lifecycle_mutex_);
   if (running_) throw ServeError("compile server is already running");
   if (!options_.unix_path.empty()) {
     listener_ = listen_unix(options_.unix_path);
@@ -332,21 +334,21 @@ void CompileServer::start() {
     reader->wake_read = fds[0];
     reader->wake_write = fds[1];
     Reader* raw = reader.get();
-    reader->thread = std::thread([this, raw] { reader_loop(*raw); });
+    reader->thread = Thread([this, raw] { reader_loop(*raw); });
     readers_.push_back(std::move(reader));
   }
 
   running_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  accept_thread_ = Thread([this] { accept_loop(); });
 }
 
 void CompileServer::stop() {
   {
-    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     if (!running_) return;
     if (stop_requested_) {
       // Another thread is tearing down; wait for it to finish.
-      stopped_.wait(lock, [this] { return !running_; });
+      while (running_) stopped_.wait(lifecycle_mutex_);
       return;
     }
     stop_requested_ = true;
@@ -366,7 +368,7 @@ void CompileServer::stop() {
   }
   std::vector<std::shared_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     for (const std::weak_ptr<Connection>& weak : connections_) {
       if (std::shared_ptr<Connection> connection = weak.lock()) {
         connections.push_back(std::move(connection));
@@ -387,7 +389,7 @@ void CompileServer::stop() {
   // on this thread.
   std::vector<std::shared_ptr<SessionEntry>> entries;
   {
-    std::lock_guard<std::mutex> lock(session_mutex_);
+    MutexLock lock(session_mutex_);
     for (const auto& [key, entry] : sessions_) entries.push_back(entry);
     for (const std::shared_ptr<SessionEntry>& entry : retired_) {
       entries.push_back(entry);
@@ -400,7 +402,7 @@ void CompileServer::stop() {
     entry->session.wait_jobs_idle();
   }
   {
-    std::lock_guard<std::mutex> lock(session_mutex_);
+    MutexLock lock(session_mutex_);
     sessions_.clear();
     session_order_.clear();
     retired_.clear();
@@ -412,15 +414,15 @@ void CompileServer::stop() {
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 
   {
-    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    MutexLock lock(lifecycle_mutex_);
     running_ = false;
   }
   stopped_.notify_all();
 }
 
 void CompileServer::wait() {
-  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
-  stopped_.wait(lock, [this] { return !running_; });
+  MutexLock lock(lifecycle_mutex_);
+  while (running_) stopped_.wait(lifecycle_mutex_);
 }
 
 std::string CompileServer::endpoint() const {
@@ -429,7 +431,7 @@ std::string CompileServer::endpoint() const {
 }
 
 std::size_t CompileServer::session_count() const {
-  std::lock_guard<std::mutex> lock(session_mutex_);
+  MutexLock lock(session_mutex_);
   return sessions_.size();
 }
 
@@ -450,7 +452,7 @@ void CompileServer::accept_loop() {
 
     auto connection = std::make_shared<Connection>(std::move(*socket));
     {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
+      MutexLock lock(conn_mutex_);
       connections_.erase(
           std::remove_if(connections_.begin(), connections_.end(),
                          [](const std::weak_ptr<Connection>& weak) {
@@ -465,7 +467,7 @@ void CompileServer::accept_loop() {
     Reader& reader = *readers_[next_reader_++ % readers_.size()];
     connection->reader = &reader;
     {
-      std::lock_guard<std::mutex> lock(reader.mutex);
+      MutexLock lock(reader.mutex);
       reader.incoming.push_back(std::move(connection));
     }
     wake_reader(reader);
@@ -483,7 +485,7 @@ void CompileServer::reader_loop(Reader& reader) {
   std::vector<pollfd> fds;
   while (!reader_stop_.load()) {
     {
-      std::lock_guard<std::mutex> lock(reader.mutex);
+      MutexLock lock(reader.mutex);
       for (std::shared_ptr<Connection>& incoming : reader.incoming) {
         connections.push_back(std::move(incoming));
       }
@@ -510,7 +512,7 @@ void CompileServer::reader_loop(Reader& reader) {
     for (const std::shared_ptr<Connection>& connection : connections) {
       short events = POLLIN;
       {
-        std::lock_guard<std::mutex> lock(connection->out_mutex);
+        MutexLock lock(connection->out_mutex);
         if (!connection->outbound.empty()) events |= POLLOUT;
       }
       fds.push_back(pollfd{connection->channel.fd(), events, 0});
@@ -671,7 +673,7 @@ void CompileServer::handle_compile(
   request_state->total = prepared.batch.size();
   request_state->protocol_version = prepared.protocol_version;
   {
-    std::lock_guard<std::mutex> lock(connection->mutex);
+    MutexLock lock(connection->mutex);
     connection->requests.erase(
         std::remove_if(connection->requests.begin(),
                        connection->requests.end(),
@@ -699,7 +701,7 @@ void CompileServer::handle_compile(
         };
     CompileJob job = prepared.entry->session.submit(
         std::move(prepared.batch[i]), std::move(job_options));
-    std::lock_guard<std::mutex> lock(request_state->mutex);
+    MutexLock lock(request_state->mutex);
     request_state->jobs.push_back(std::move(job));
   }
 
@@ -755,7 +757,7 @@ void CompileServer::on_job_complete(
   }
 
   {
-    std::lock_guard<std::mutex> lock(request->mutex);
+    MutexLock lock(request->mutex);
     (message.ok ? request->ok_count : request->error_count) += 1;
     if (message.ok && artifact.has_value()) {
       // An artifact never accompanies an error outcome (a late simulation
@@ -772,7 +774,7 @@ void CompileServer::on_job_complete(
 
 void CompileServer::flush_outcomes(
     const std::shared_ptr<RequestState>& request) {
-  std::lock_guard<std::mutex> emit_lock(request->emit_mutex);
+  MutexLock emit_lock(request->emit_mutex);
   for (;;) {
     std::optional<OutcomeMessage> message;
     std::optional<Json> artifact;
@@ -781,7 +783,7 @@ void CompileServer::flush_outcomes(
     int error_count = 0;
     int artifact_count = 0;
     {
-      std::lock_guard<std::mutex> lock(request->mutex);
+      MutexLock lock(request->mutex);
       const auto it = request->ready.find(request->next_emit);
       if (it != request->ready.end()) {
         message = std::move(it->second);
@@ -848,7 +850,7 @@ void CompileServer::cancel_request_jobs(
     const std::shared_ptr<RequestState>& request) {
   std::vector<CompileJob> jobs;
   {
-    std::lock_guard<std::mutex> lock(request->mutex);
+    MutexLock lock(request->mutex);
     jobs = request->jobs;
   }
   // cancel() outside the request lock: a still-queued job may finalize (and
@@ -864,7 +866,7 @@ void CompileServer::disconnect(const std::shared_ptr<Connection>& connection) {
   connection->channel.shutdown_both();
   std::vector<std::shared_ptr<RequestState>> requests;
   {
-    std::lock_guard<std::mutex> lock(connection->mutex);
+    MutexLock lock(connection->mutex);
     for (const std::weak_ptr<RequestState>& weak : connection->requests) {
       if (std::shared_ptr<RequestState> request = weak.lock()) {
         requests.push_back(std::move(request));
@@ -887,7 +889,7 @@ std::shared_ptr<CompileServer::SessionEntry> CompileServer::resolve_session(
   const std::uint64_t key =
       combine_fingerprints(fingerprint(graph), fingerprint(hw));
 
-  std::lock_guard<std::mutex> lock(session_mutex_);
+  MutexLock lock(session_mutex_);
   prune_retired_locked();
   const auto it = sessions_.find(key);
   if (it != sessions_.end()) return it->second;

@@ -2,17 +2,15 @@
 #define PIMCOMP_SERVE_SERVER_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/session.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
@@ -147,8 +145,9 @@ class CompileServer {
     };
     void route(const PipelineEvent& event);
 
-    std::mutex mutex_;
-    std::unordered_map<std::uint64_t, Route> routes_;
+    Mutex mutex_;
+    std::unordered_map<std::uint64_t, Route> routes_
+        PIMCOMP_GUARDED_BY(mutex_);
   };
 
   void accept_loop();
@@ -196,36 +195,44 @@ class CompileServer {
   /// path only.
   std::shared_ptr<SessionEntry> resolve_session(Graph&& graph,
                                                 const HardwareConfig& hw);
-  /// Destroys retired sessions nobody references anymore (registry lock
-  /// held). Keeps session destruction off the sessions' own workers.
-  void prune_retired_locked();
+  /// Destroys retired sessions nobody references anymore. Keeps session
+  /// destruction off the sessions' own workers.
+  void prune_retired_locked() PIMCOMP_REQUIRES(session_mutex_);
 
   ServerOptions options_;
+  // listener_, bound_port_, readers_ are deliberately unannotated: they are
+  // written only inside start() (before any thread that reads them exists)
+  // and torn down only by the single winning stopper of stop() — the
+  // stop_requested_ latch below serializes stoppers, so no mutex guards
+  // these between start and that stopper.
   Socket listener_;
   int bound_port_ = 0;
-  std::thread accept_thread_;
+  Thread accept_thread_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> accept_stop_{false};
   std::atomic<bool> reader_stop_{false};
-  bool stop_requested_ = false;  // guarded by lifecycle_mutex_
-  mutable std::mutex lifecycle_mutex_;
-  std::condition_variable stopped_;
+  bool stop_requested_ PIMCOMP_GUARDED_BY(lifecycle_mutex_) = false;
+  mutable Mutex lifecycle_mutex_;
+  CondVar stopped_;
 
   std::vector<std::unique_ptr<Reader>> readers_;
   std::size_t next_reader_ = 0;  // accept-thread only: round-robin pinning
 
   // Every live connection, so stop() can shut them all down.
-  std::vector<std::weak_ptr<Connection>> connections_;  // guarded by
-  std::mutex conn_mutex_;                               // conn_mutex_
+  std::vector<std::weak_ptr<Connection>> connections_
+      PIMCOMP_GUARDED_BY(conn_mutex_);
+  Mutex conn_mutex_;
 
   // Session registry: fingerprint -> shared session, plus creation order
   // for FIFO eviction. Evicted entries move to retired_ until their last
   // outstanding job finishes (see prune_retired_locked).
-  std::unordered_map<std::uint64_t, std::shared_ptr<SessionEntry>> sessions_;
-  std::deque<std::uint64_t> session_order_;
-  std::vector<std::shared_ptr<SessionEntry>> retired_;
-  mutable std::mutex session_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<SessionEntry>> sessions_
+      PIMCOMP_GUARDED_BY(session_mutex_);
+  std::deque<std::uint64_t> session_order_ PIMCOMP_GUARDED_BY(session_mutex_);
+  std::vector<std::shared_ptr<SessionEntry>> retired_
+      PIMCOMP_GUARDED_BY(session_mutex_);
+  mutable Mutex session_mutex_;
 
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};

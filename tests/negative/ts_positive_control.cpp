@@ -1,0 +1,38 @@
+// Positive control for the thread-safety negative compile tests: this file
+// uses the annotation vocabulary correctly and MUST compile cleanly under
+// -Wthread-safety -Werror=thread-safety. If it stops compiling, the
+// negative tests below it prove nothing (a broken header would "fail" them
+// for the wrong reason), so CMake requires this one to succeed first.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() PIMCOMP_EXCLUDES(mutex_) {
+    pimcomp::MutexLock lock(mutex_);
+    ++value_;
+    changed_.notify_all();
+  }
+
+  int wait_until_at_least(int threshold) PIMCOMP_EXCLUDES(mutex_) {
+    pimcomp::MutexLock lock(mutex_);
+    while (value_ < threshold) {
+      changed_.wait(mutex_);
+    }
+    return value_;
+  }
+
+ private:
+  mutable pimcomp::Mutex mutex_;
+  pimcomp::CondVar changed_;
+  int value_ PIMCOMP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.wait_until_at_least(1) == 1 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Negative compile test: touching a PIMCOMP_GUARDED_BY field without its
+// mutex must be rejected by -Wthread-safety. CMake builds this expecting
+// FAILURE and additionally asserts the diagnostic text mentions
+// "-Wthread-safety" so an unrelated compile error cannot masquerade as a
+// pass.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_without_lock() {
+    ++value_;  // BUG (intentional): value_ requires mutex_.
+  }
+
+ private:
+  mutable pimcomp::Mutex mutex_;
+  int value_ PIMCOMP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment_without_lock();
+  return 0;
+}

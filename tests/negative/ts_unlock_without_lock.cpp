@@ -1,0 +1,10 @@
+// Negative compile test: releasing a capability that is not held must be
+// rejected by -Wthread-safety (unlock() is annotated
+// PIMCOMP_RELEASE, so the analysis knows the caller must own the mutex).
+#include "common/thread_annotations.hpp"
+
+int main() {
+  pimcomp::Mutex mu;
+  mu.unlock();  // BUG (intentional): mu is not held here.
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Unit tests for the capability-annotated wrappers
+// (src/common/thread_annotations.hpp). Two layers:
+//
+//   * behavioral: MutexLock scoping (including mid-scope unlock/relock),
+//     try_lock semantics, CondVar wakeups and wait_for timeouts;
+//   * concurrent hammers, which are the interesting part under the TSan
+//     CI leg — if the adopt/release trick inside CondVar::wait ever
+//     mishandled ownership, the guarded-counter race would surface here.
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.hpp"
+
+namespace pimcomp {
+namespace {
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  Thread prober([&mu] {
+    EXPECT_FALSE(mu.try_lock());  // held by the main thread
+  });
+  prober.join();
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexLockTest, ReleasesOnScopeExit) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    Thread prober([&mu] { EXPECT_FALSE(mu.try_lock()); });
+    prober.join();
+  }
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexLockTest, MidScopeUnlockAndRelock) {
+  // The escape hatch used by the session's private-workload path: a
+  // MutexLock that is released mid-scope, then reacquired before the
+  // destructor runs (which must not double-unlock).
+  Mutex mu;
+  MutexLock lock(mu);
+  lock.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+  lock.lock();
+  Thread prober([&mu] { EXPECT_FALSE(mu.try_lock()); });
+  prober.join();
+}
+
+TEST(RecursiveMutexTest, Reenters) {
+  RecursiveMutex mu;
+  RecursiveMutexLock outer(mu);
+  RecursiveMutexLock inner(mu);  // must not deadlock
+}
+
+TEST(CondVarTest, WaitObservesNotifiedPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // guarded by mu (local, so no annotation target)
+  Thread notifier([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) {
+      cv.wait(mu);
+    }
+    EXPECT_TRUE(ready);
+  }
+  notifier.join();
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  auto status = cv.wait_for(mu, std::chrono::milliseconds(5));
+  EXPECT_EQ(status, std::cv_status::timeout);
+  // The lock must still be held after the timeout path.
+  Thread prober([&mu] { EXPECT_FALSE(mu.try_lock()); });
+  prober.join();
+}
+
+TEST(ConcurrencyHammer, GuardedCounterStaysExact) {
+  // 8 threads x 5000 guarded increments: any ownership slip inside
+  // Mutex/MutexLock shows up as a lost update (and as a TSan report on
+  // the sanitizer CI leg).
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  Mutex mu;
+  int counter = 0;
+  std::vector<Thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (Thread& thread : threads) {
+    thread.join();
+  }
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(ConcurrencyHammer, CondVarHandoffChain) {
+  // A token passed around a ring of waiters: exercises wait() ownership
+  // transfer (adopt_lock in, release out) under real contention.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  Mutex mu;
+  CondVar cv;
+  int turn = 0;
+  std::vector<Thread> threads;
+  threads.reserve(kThreads);
+  for (int id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      for (int round = 0; round < kRounds; ++round) {
+        MutexLock lock(mu);
+        while (turn % kThreads != id) {
+          cv.wait(mu);
+        }
+        ++turn;
+        cv.notify_all();
+      }
+    });
+  }
+  for (Thread& thread : threads) {
+    thread.join();
+  }
+  MutexLock lock(mu);
+  EXPECT_EQ(turn, kThreads * kRounds);
+}
+
+}  // namespace
+}  // namespace pimcomp
