@@ -50,14 +50,20 @@
 //   pimcomp_cli cache stats --cache-dir PATH [--json]
 //   pimcomp_cli cache purge --cache-dir PATH
 //
-// Serving (see docs/serving.md for the wire protocol):
+// Live cache counters (per-tier memory/disk/remote hit/miss/store numbers
+// from a running daemon, or per-backend counters from a router):
+//   pimcomp_cli cache stats --server ENDPOINT [--auth-token TOKEN] [--json]
+//
+// Serving (see docs/serving.md for the wire protocol and fleet topology):
 //   pimcomp_cli serve (--unix PATH | --port N [--host ADDR])
-//                     [--jobs N|auto] [--max-sessions N]
+//                     [--jobs N|auto] [--max-sessions N] [--cache-dir PATH]
+//                     [--peer ENDPOINT]... [--auth-token TOKEN]
 //   pimcomp_cli submit --server (unix:PATH | HOST:PORT) <model|graph.json>
 //                     [compile options: --mode --parallelism --mapper
 //                      --policy --input --cores --pop --gens --seed]
 //                     [--scenarios FILE] [--no-simulate] [--timeout SEC]
-//                     [--priority N] [--trace FILE] [--json]
+//                     [--priority N] [--deadline-ms N] [--auth-token TOKEN]
+//                     [--trace FILE] [--json]
 //
 //   submit exit codes: 0 = every scenario compiled, 1 = some scenario
 //   failed (or a simulation did), 2 = request/connection failure —
@@ -112,12 +118,17 @@ using namespace pimcomp;
          "   or: " << argv0
       << " serve (--unix PATH | --port N [--host ADDR])\n"
          "       [--jobs N|auto] [--max-sessions N] [--cache-dir PATH]\n"
+         "       [--peer ENDPOINT]... [--auth-token TOKEN]\n"
          "   or: " << argv0
       << " submit --server (unix:PATH | HOST:PORT) <model|graph.json>\n"
          "       [compile options] [--scenarios FILE] [--no-simulate]\n"
-         "       [--timeout SEC] [--priority N] [--trace FILE] [--json]\n"
+         "       [--timeout SEC] [--priority N] [--deadline-ms N]\n"
+         "       [--auth-token TOKEN] [--trace FILE] [--json]\n"
          "   or: " << argv0
-      << " cache (stats | purge) --cache-dir PATH [--json]\n";
+      << " cache stats (--cache-dir PATH | --server ENDPOINT\n"
+         "       [--auth-token TOKEN]) [--json]\n"
+         "   or: " << argv0
+      << " cache purge --cache-dir PATH\n";
   std::exit(2);
 }
 
@@ -351,6 +362,8 @@ int run_submit(int argc, char** argv, const char* argv0) {
   int cores = 0;
   int timeout_seconds = 0;  // 0 = wait forever (the historical behavior)
   int priority = 0;
+  long long deadline_ms = 0;  // 0 = no deadline
+  std::string auth_token;
   bool simulate = true;
   bool emit_json = false;
 
@@ -377,6 +390,13 @@ int run_submit(int argc, char** argv, const char* argv0) {
       timeout_seconds = parse_int(arg, next(), 1, 24 * 3600);
     } else if (arg == "--priority") {
       priority = parse_int(arg, next(), -1000, 1000);
+    } else if (arg == "--deadline-ms") {
+      // Freshness guard: a scenario still queued when the budget expires
+      // is dropped by the daemon with error_kind "deadline" instead of
+      // burning compile time on an answer nobody is waiting for.
+      deadline_ms = parse_integer(arg, next(), 1);
+    } else if (arg == "--auth-token") {
+      auth_token = next();
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--json") {
@@ -405,6 +425,7 @@ int run_submit(int argc, char** argv, const char* argv0) {
     request.cores = cores;
     request.simulate = simulate;
     request.priority = priority;
+    request.deadline_ms = deadline_ms;
 
     if (!scenarios_path.empty()) {
       if (!parallelism_sweep.empty()) {
@@ -436,6 +457,7 @@ int run_submit(int argc, char** argv, const char* argv0) {
 
     serve::CompileClient client = serve::CompileClient::connect(server_endpoint);
     if (timeout_seconds > 0) client.set_timeout(timeout_seconds);
+    if (!auth_token.empty()) client.set_auth_token(auth_token);
     TraceRecorder recorder;
     const serve::CompileReply reply =
         client.submit(request, [&](const PipelineEvent& event) {
@@ -599,9 +621,75 @@ int run_lower(int argc, char** argv, const char* argv0) {
 // `pimcomp_cli cache` — maintenance of a persistent --cache-dir.
 // ---------------------------------------------------------------------------
 
+/// `cache stats --server`: render a daemon's per-tier counters (or a
+/// router's per-backend counters) from its `stats` reply.
+int print_server_stats(const std::string& endpoint,
+                       const std::string& auth_token, bool emit_json) {
+  try {
+    serve::CompileClient client = serve::CompileClient::connect(endpoint);
+    client.set_timeout(30);
+    if (!auth_token.empty()) client.set_auth_token(auth_token);
+    const Json payload = client.stats();
+    if (emit_json) {
+      std::cout << payload.dump(2) << '\n';
+      return 0;
+    }
+    const std::string role = payload.get("role", std::string("daemon"));
+    std::cout << role << ' ' << endpoint << ": "
+              << payload.get("requests_served", static_cast<std::int64_t>(0))
+              << " request(s) over "
+              << payload.get("connections", static_cast<std::int64_t>(0))
+              << " connection(s)\n";
+    if (payload.contains("cache")) {
+      const Json& tiers = payload.at("cache");
+      for (std::size_t i = 0; i < tiers.size(); ++i) {
+        const Json& row = tiers.at(i);
+        std::cout << "  " << row.get("tier", std::string("?")) << ": "
+                  << row.get("entries", static_cast<std::int64_t>(0))
+                  << " artifact(s), "
+                  << format_double(
+                         static_cast<double>(row.get(
+                             "bytes", static_cast<std::int64_t>(0))) /
+                             1024.0,
+                         1)
+                  << " KiB, hits="
+                  << row.get("hits", static_cast<std::int64_t>(0))
+                  << " misses="
+                  << row.get("misses", static_cast<std::int64_t>(0))
+                  << " stores="
+                  << row.get("stores", static_cast<std::int64_t>(0))
+                  << " evictions="
+                  << row.get("evictions", static_cast<std::int64_t>(0))
+                  << '\n';
+      }
+    }
+    if (payload.contains("backends")) {
+      const Json& backends = payload.at("backends");
+      for (std::size_t i = 0; i < backends.size(); ++i) {
+        const Json& row = backends.at(i);
+        std::cout << "  " << row.get("endpoint", std::string("?"))
+                  << (row.get("healthy", false) ? " healthy" : " DOWN")
+                  << ", requests="
+                  << row.get("requests", static_cast<std::int64_t>(0))
+                  << " retries="
+                  << row.get("retries", static_cast<std::int64_t>(0))
+                  << " failures="
+                  << row.get("failures", static_cast<std::int64_t>(0))
+                  << '\n';
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pimcomp: " << e.what() << '\n';
+    return 1;
+  }
+}
+
 int run_cache(int argc, char** argv, const char* argv0) {
   std::string action;
   std::string dir;
+  std::string server_endpoint;
+  std::string auth_token;
   bool emit_json = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -611,6 +699,10 @@ int run_cache(int argc, char** argv, const char* argv0) {
     };
     if (arg == "--cache-dir") {
       dir = next();
+    } else if (arg == "--server") {
+      server_endpoint = next();
+    } else if (arg == "--auth-token") {
+      auth_token = next();
     } else if (arg == "--json") {
       emit_json = true;
     } else if (!arg.empty() && arg[0] != '-' && action.empty()) {
@@ -621,6 +713,14 @@ int run_cache(int argc, char** argv, const char* argv0) {
   }
   if (action != "stats" && action != "purge") {
     fail("cache wants an action: stats | purge");
+  }
+  if (!server_endpoint.empty()) {
+    // Live mode: ask a running daemon (or router) for its counters — the
+    // only way to see memory/remote tiers and hit/miss rates, which exist
+    // per process, not on disk.
+    if (action != "stats") fail("cache purge is local-only (--cache-dir)");
+    if (!dir.empty()) fail("--cache-dir and --server are mutually exclusive");
+    return print_server_stats(server_endpoint, auth_token, emit_json);
   }
   if (dir.empty()) fail("cache " + action + " needs --cache-dir PATH");
 

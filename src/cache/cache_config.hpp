@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace pimcomp {
 
@@ -19,10 +20,12 @@ inline constexpr int kCacheSchemaVersion = 2;
 
 /// Where a cache hit or store landed, as reported to observers
 /// (CacheEvent::source) and on the wire. The memory tier is the session's
-/// in-process store; the disk tier survives the process.
+/// in-process store; the disk tier survives the process; the remote tier
+/// is a peer pimcompd daemon's disk tier, reached over the wire protocol.
 namespace cache_sources {
 inline constexpr const char kMemory[] = "memory";
 inline constexpr const char kDisk[] = "disk";
+inline constexpr const char kRemote[] = "remote";
 }  // namespace cache_sources
 
 /// Configuration of a session's persistent artifact tier. An empty `dir`
@@ -46,7 +49,29 @@ struct CacheConfig {
   /// consumers share.
   bool read_only = false;
 
+  /// Peer pimcompd endpoints ("unix:/run/a.sock", "10.0.0.2:7878") forming
+  /// the remote cache tier: misses that fall through memory and disk are
+  /// resolved against these daemons' caches over the wire protocol
+  /// (cache_get), and freshly computed artifacts are pushed to them
+  /// (cache_put). Empty (the default) disables the tier. Remote artifacts
+  /// revalidate exactly like disk artifacts, so a lying peer costs a
+  /// recompute, never correctness.
+  std::vector<std::string> peers;
+
+  /// Per-peer socket send/recv timeout: a hung peer turns into a miss
+  /// after this many seconds instead of stalling a compile job.
+  int peer_timeout_seconds = 5;
+
+  /// Authentication token attached to every peer request (daemons started
+  /// with --auth-token require it). Empty = no auth.
+  std::string auth_token;
+
+  /// Disk tier configured (the historical "cache on" predicate — remote
+  /// peers are deliberately not part of it; see remote_enabled()).
   bool enabled() const { return !dir.empty(); }
+
+  /// Remote tier configured.
+  bool remote_enabled() const { return !peers.empty(); }
 };
 
 }  // namespace pimcomp

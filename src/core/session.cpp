@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <exception>
 #include <thread>
 #include <type_traits>
@@ -14,6 +15,7 @@
 #include "cache/tiered_store.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "fleet/remote_store.hpp"
 #include "graph/serialize.hpp"
 #include "sim/simulator.hpp"
 
@@ -73,6 +75,7 @@ std::string to_string(ErrorKind kind) {
     case ErrorKind::kCapacity: return "capacity";
     case ErrorKind::kConfig: return "config";
     case ErrorKind::kCancelled: return "cancelled";
+    case ErrorKind::kDeadline: return "deadline";
     case ErrorKind::kInternal: return "internal";
   }
   return "internal";
@@ -83,6 +86,7 @@ ErrorKind error_kind_from_string(const std::string& s) {
   if (s == "capacity") return ErrorKind::kCapacity;
   if (s == "config") return ErrorKind::kConfig;
   if (s == "cancelled") return ErrorKind::kCancelled;
+  if (s == "deadline") return ErrorKind::kDeadline;
   return ErrorKind::kInternal;
 }
 
@@ -189,6 +193,7 @@ struct CompileJob::State {
   Scenario scenario;
   int index = -1;
   std::uint64_t tag = 0;
+  std::chrono::steady_clock::time_point deadline{};  ///< epoch = none
   std::function<void(const ScenarioOutcome&)> on_complete;
   CancelToken token;
   ThreadPool* owner_pool = nullptr;  ///< helping-wait identity; see wait()
@@ -325,12 +330,22 @@ CompilerSession::CompilerSession(Graph graph, HardwareConfig hw,
   workload_store_ = std::make_unique<InMemoryStore>();
   auto memory = std::make_unique<InMemoryStore>(kMaxCachedMappings);
   mapping_memory_ = memory.get();
-  if (cache_config_.enabled()) {
-    auto disk = std::make_unique<DiskStore>(cache_config_);
-    mapping_disk_ = disk.get();
+  if (cache_config_.enabled() || cache_config_.remote_enabled()) {
+    // Fastest tier first: memory, then this process's disk, then peer
+    // daemons over the wire — each strictly slower and stricter about
+    // revalidation than the one before it.
     std::vector<std::unique_ptr<CacheStore>> tiers;
     tiers.push_back(std::move(memory));
-    tiers.push_back(std::move(disk));
+    if (cache_config_.enabled()) {
+      auto disk = std::make_unique<DiskStore>(cache_config_);
+      mapping_disk_ = disk.get();
+      tiers.push_back(std::move(disk));
+    }
+    if (cache_config_.remote_enabled()) {
+      auto remote = std::make_unique<fleet::RemoteStore>(cache_config_);
+      mapping_remote_ = remote.get();
+      tiers.push_back(std::move(remote));
+    }
     mapping_store_ = std::make_unique<TieredStore>(std::move(tiers));
   } else {
     // Memory-only: the composed store *is* the memory tier, so the default
@@ -385,6 +400,7 @@ CompileJob CompilerSession::submit(Scenario scenario, JobOptions options) {
   state->scenario = std::move(scenario);
   state->index = options.index;
   state->tag = options.tag;
+  state->deadline = options.deadline;
   state->on_complete = std::move(options.on_complete);
   bool rejected = false;
   {
@@ -474,6 +490,13 @@ void CompilerSession::run_job(const std::shared_ptr<CompileJob::State>& state) {
     // Cancelled while queued: no stage ever runs for this job.
     outcome.error = "cancelled before start";
     outcome.error_kind = ErrorKind::kCancelled;
+  } else if (state->deadline != std::chrono::steady_clock::time_point{} &&
+             std::chrono::steady_clock::now() >= state->deadline) {
+    // The client's deadline expired while the job sat in the queue: drop it
+    // before any stage runs — nobody is waiting for the result. kDone (not
+    // kCancelled) terminal: the caller did not cancel, the clock did.
+    outcome.error = "deadline expired before start";
+    outcome.error_kind = ErrorKind::kDeadline;
   } else {
     try {
       outcome.result = compile_scenario(state->scenario, state->index,
@@ -721,6 +744,19 @@ std::size_t CompilerSession::cached_mappings() const {
   return static_cast<std::size_t>(mapping_memory_->entry_count());
 }
 
+std::vector<std::pair<const char*, CacheStoreStats>>
+CompilerSession::mapping_tier_stats() const {
+  std::vector<std::pair<const char*, CacheStoreStats>> tiers;
+  tiers.emplace_back(cache_sources::kMemory, mapping_memory_->stats());
+  if (mapping_disk_ != nullptr) {
+    tiers.emplace_back(cache_sources::kDisk, mapping_disk_->stats());
+  }
+  if (mapping_remote_ != nullptr) {
+    tiers.emplace_back(cache_sources::kRemote, mapping_remote_->stats());
+  }
+  return tiers;
+}
+
 std::shared_ptr<const Workload> CompilerSession::resolve_workload(
     std::uint64_t key, const HardwareConfig& hw, const std::string& label,
     int index, std::uint64_t tag, double* partition_seconds) {
@@ -862,13 +898,15 @@ std::optional<CompileResult> CompilerSession::adopt_mapping_hit(
     return result;
   }
 
-  // Disk tier: the artifact is only JSON. Resolve the workload first (a
-  // cache hit of its own after the first scenario; partitioning is the
-  // cheap stage) — its failures (CapacityError, cancellation via the
+  // Disk or remote tier: the artifact is only JSON. Resolve the workload
+  // first (a cache hit of its own after the first scenario; partitioning is
+  // the cheap stage) — its failures (CapacityError, cancellation via the
   // caller's earlier check) are genuine scenario failures and propagate.
   // The partitioning time it may report is observable through the stage
   // events but not the result: a cache hit returns zeroed stage times, so
-  // warm results stay byte-identical to memory-tier hits.
+  // warm results stay byte-identical to memory-tier hits. A remote artifact
+  // passes through exactly this same revalidation — peer answers earn no
+  // shortcut.
   double partition_seconds = 0.0;
   std::shared_ptr<const Workload> workload = resolve_workload(
       workload_key, hw, scenario.label, index, tag, &partition_seconds);
@@ -877,7 +915,11 @@ std::optional<CompileResult> CompilerSession::adopt_mapping_hit(
     CompileResult result = compile_result_from_artifact(
         hit.entry.artifact, std::move(workload), scenario.options,
         workload_key);
-    mapping_disk_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (std::strcmp(hit.source, cache_sources::kRemote) == 0) {
+      mapping_remote_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      mapping_disk_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
     notify_cache_hit(cache_names::kMapping, scenario.label, index, tag,
                      mapping_hits_, hit.source);
     // Promotion: re-store the entry with the decoded result attached. The
@@ -906,10 +948,10 @@ void CompilerSession::store_mapping(std::uint64_t key,
                                     std::uint64_t tag) {
   CacheEntry entry;
   entry.decoded = std::make_shared<const CompileResult>(result);
-  if (mapping_disk_ != nullptr) {
-    // Encoding is only paid when a persistent tier wants the artifact, and
-    // is best-effort: a result that cannot serialize still caches in
-    // memory.
+  if (mapping_disk_ != nullptr || mapping_remote_ != nullptr) {
+    // Encoding is only paid when a persistent or peer tier wants the
+    // artifact, and is best-effort: a result that cannot serialize still
+    // caches in memory.
     try {
       entry.artifact = compile_result_to_artifact(result, workload_key, key);
     } catch (const std::exception&) {

@@ -2,6 +2,7 @@
 #define PIMCOMP_CORE_SESSION_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -9,9 +10,11 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/cache_config.hpp"
+#include "cache/cache_store.hpp"
 #include "common/cancel.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/compiler.hpp"
@@ -20,10 +23,12 @@
 namespace pimcomp {
 
 class ThreadPool;      // common/thread_pool.hpp
-class CacheStore;      // cache/cache_store.hpp
 class InMemoryStore;   // cache/memory_store.hpp
 class DiskStore;       // cache/disk_store.hpp
-struct CacheHit;       // cache/cache_store.hpp
+
+namespace fleet {
+class RemoteStore;     // fleet/remote_store.hpp
+}  // namespace fleet
 
 /// Stable identity of a graph / hardware config, used to key the session's
 /// workload cache. Two equal fingerprints partition identically.
@@ -60,10 +65,12 @@ enum class ErrorKind {
   kCapacity,   ///< CapacityError: the design point cannot hold the model
   kConfig,     ///< ConfigError: bad options / unknown strategy key
   kCancelled,  ///< CancelledError: the job's owner cancelled it
+  kDeadline,   ///< the job's client deadline passed before it started
   kInternal,   ///< anything else (allocation failure, logic error, ...)
 };
 
-/// Wire names: "" / "capacity" / "config" / "cancelled" / "internal".
+/// Wire names: "" / "capacity" / "config" / "cancelled" / "deadline" /
+/// "internal".
 std::string to_string(ErrorKind kind);
 /// Inverse of to_string; unknown strings map to kInternal (a newer peer may
 /// speak kinds this build does not know — still a failure, still typed).
@@ -106,6 +113,13 @@ struct JobOptions {
   /// sharing one session across independent callers — the compile server —
   /// attributes the merged event stream. 0 = untagged.
   std::uint64_t tag = 0;
+
+  /// Client deadline: a job whose deadline has already passed when a worker
+  /// picks it up is dropped *before any stage runs*, with an error outcome
+  /// of kind ErrorKind::kDeadline — compiling into a result nobody is
+  /// waiting for helps no one and starves live requests. A job that
+  /// *started* in time runs to completion. Default (epoch) = no deadline.
+  std::chrono::steady_clock::time_point deadline{};
 
   /// Invoked exactly once, on the worker thread, right after the job turns
   /// terminal (after wait() is already unblocked). Runs outside all session
@@ -286,14 +300,22 @@ class CompilerSession {
   std::size_t cached_mappings() const;
 
   /// Session-lifetime cache hit counts (also surfaced per-hit through
-  /// PipelineObserver::on_cache_hit). Mapping hits count both tiers;
-  /// mapping_disk_hits() isolates the persistent tier's share.
+  /// PipelineObserver::on_cache_hit). Mapping hits count every tier;
+  /// mapping_disk_hits() / mapping_remote_hits() isolate the persistent
+  /// and peer tiers' shares.
   std::uint64_t workload_cache_hits() const { return workload_hits_; }
   std::uint64_t mapping_cache_hits() const { return mapping_hits_; }
   std::uint64_t mapping_disk_hits() const { return mapping_disk_hits_; }
+  std::uint64_t mapping_remote_hits() const { return mapping_remote_hits_; }
   /// Freshly computed mapping results written into the cache (also
   /// surfaced per-store through PipelineObserver::on_cache_store).
   std::uint64_t mapping_cache_stores() const { return mapping_stores_; }
+
+  /// Per-tier (name, counters) rows of the mapping store, in lookup order:
+  /// always "memory", then "disk" / "remote" as configured. The daemon's
+  /// stats request and `pimcomp_cli cache stats` render these.
+  std::vector<std::pair<const char*, CacheStoreStats>> mapping_tier_stats()
+      const;
 
  private:
   struct WorkloadClaim;
@@ -394,8 +416,9 @@ class CompilerSession {
   // stable aliases into mapping_store_ for stats/attribution.
   CacheConfig cache_config_;
   std::unique_ptr<CacheStore> mapping_store_;
-  InMemoryStore* mapping_memory_ = nullptr;   // always valid
-  DiskStore* mapping_disk_ = nullptr;         // nullptr when disabled
+  InMemoryStore* mapping_memory_ = nullptr;        // always valid
+  DiskStore* mapping_disk_ = nullptr;              // nullptr when disabled
+  fleet::RemoteStore* mapping_remote_ = nullptr;   // nullptr without peers
   // In-flight dedup: concurrent identical jobs (same mapping key) wait for
   // the first one instead of mapping twice — the second then reads the
   // cache and reports a mapping cache hit, deterministically.
@@ -406,6 +429,7 @@ class CompilerSession {
   std::atomic<std::uint64_t> workload_hits_{0};
   std::atomic<std::uint64_t> mapping_hits_{0};
   std::atomic<std::uint64_t> mapping_disk_hits_{0};
+  std::atomic<std::uint64_t> mapping_remote_hits_{0};
   std::atomic<std::uint64_t> mapping_stores_{0};
 };
 

@@ -2,38 +2,10 @@
 
 #include <utility>
 
-#include "common/string_util.hpp"
-
 namespace pimcomp::serve {
 
-namespace {
-
-/// Splits "host:port"; throws ServeError when the port is not a number.
-std::pair<std::string, int> parse_host_port(const std::string& endpoint) {
-  const std::size_t colon = endpoint.rfind(':');
-  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
-    throw ServeError("endpoint must be 'unix:PATH' or 'HOST:PORT', got '" +
-                     endpoint + "'");
-  }
-  const std::string host =
-      colon == 0 ? std::string("127.0.0.1") : endpoint.substr(0, colon);
-  const std::optional<long long> port =
-      parse_decimal(endpoint.substr(colon + 1));
-  if (!port.has_value() || *port <= 0 || *port > 65535) {
-    throw ServeError("bad port in endpoint '" + endpoint + "'");
-  }
-  return {host, static_cast<int>(*port)};
-}
-
-}  // namespace
-
 CompileClient CompileClient::connect(const std::string& endpoint) {
-  constexpr const char kUnixPrefix[] = "unix:";
-  if (endpoint.rfind(kUnixPrefix, 0) == 0) {
-    return connect_unix(endpoint.substr(sizeof(kUnixPrefix) - 1));
-  }
-  const auto [host, port] = parse_host_port(endpoint);
-  return connect_tcp(host, port);
+  return CompileClient(connect_endpoint(endpoint));
 }
 
 CompileClient CompileClient::connect_unix(const std::string& path) {
@@ -48,6 +20,7 @@ CompileReply CompileClient::submit(const CompileRequest& request,
                                    const EventCallback& on_event) {
   CompileRequest sent = request;
   if (sent.id == 0) sent.id = next_id_++;
+  if (sent.auth.empty()) sent.auth = auth_token_;
 
   channel_.write_line(to_json(sent).dump(-1));
 
@@ -104,7 +77,7 @@ CompileReply CompileClient::submit(const CompileRequest& request,
 }
 
 bool CompileClient::ping() {
-  PingRequest request{next_id_++};
+  PingRequest request{next_id_++, auth_token_};
   channel_.write_line(to_json(request).dump(-1));
   for (;;) {
     std::optional<std::string> line = channel_.read_line();
@@ -117,9 +90,37 @@ bool CompileClient::ping() {
       return pong->id == request.id &&
              pong->protocol_version == kProtocolVersion;
     }
+    if (auto* error = std::get_if<ErrorMessage>(&message)) {
+      if (error->id == request.id || error->id == 0) {
+        throw ServeError("server rejected ping: " + error->error);
+      }
+    }
     // Leftover frames from an abandoned request (e.g. an event callback
     // that threw mid-submit) are skipped, same as submit() does — a
     // healthy server must not read as "answered garbage".
+  }
+}
+
+Json CompileClient::stats() {
+  StatsRequest request{next_id_++, auth_token_};
+  channel_.write_line(to_json(request).dump(-1));
+  for (;;) {
+    std::optional<std::string> line = channel_.read_line();
+    if (!line.has_value()) {
+      throw ServeError("server closed the connection during stats");
+    }
+    if (line->empty()) continue;
+    ServerMessage message = server_message_from_json(Json::parse(*line));
+    if (auto* stats = std::get_if<StatsMessage>(&message)) {
+      if (stats->id != request.id) continue;
+      return stats->stats;
+    }
+    if (auto* error = std::get_if<ErrorMessage>(&message)) {
+      if (error->id == request.id || error->id == 0) {
+        throw ServeError("server rejected stats: " + error->error);
+      }
+    }
+    // Stale frames from earlier requests are skipped, same as submit().
   }
 }
 

@@ -57,6 +57,16 @@ class CompileClient {
   /// ServeError when the connection is gone.
   bool ping();
 
+  /// Round-trips a stats request (v5) and returns the peer's stats payload
+  /// (per-tier cache counters on a daemon, per-backend counters on the
+  /// router). Throws ServeError on rejection or a dropped connection.
+  Json stats();
+
+  /// Token attached to every subsequent submit()/ping()/stats() — required
+  /// when the daemon/router was started with --auth-token. A request that
+  /// already carries its own auth keeps it.
+  void set_auth_token(std::string token) { auth_token_ = std::move(token); }
+
   /// Bounds every wait for a server frame: once set, a submit()/ping() that
   /// sees no frame for `seconds` throws ServeError("receive timed out ...")
   /// instead of blocking forever on a hung daemon (the CLI's `--timeout`).
@@ -70,6 +80,7 @@ class CompileClient {
 
   LineChannel channel_;
   std::int64_t next_id_ = 1;
+  std::string auth_token_;
 };
 
 }  // namespace pimcomp::serve

@@ -8,9 +8,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
+
+#include "common/string_util.hpp"
 
 namespace pimcomp::serve {
 
@@ -165,6 +168,40 @@ Socket connect_tcp(const std::string& host, int port) {
     throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
   }
   return socket;
+}
+
+Socket connect_endpoint(const std::string& endpoint) {
+  constexpr const char kUnixPrefix[] = "unix:";
+  if (endpoint.rfind(kUnixPrefix, 0) == 0) {
+    return connect_unix(endpoint.substr(sizeof(kUnixPrefix) - 1));
+  }
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    throw ServeError("endpoint must be 'unix:PATH' or 'HOST:PORT', got '" +
+                     endpoint + "'");
+  }
+  const std::string host =
+      colon == 0 ? std::string("127.0.0.1") : endpoint.substr(0, colon);
+  const std::optional<long long> port =
+      parse_decimal(endpoint.substr(colon + 1));
+  if (!port.has_value() || *port <= 0 || *port > 65535) {
+    throw ServeError("bad port in endpoint '" + endpoint + "'");
+  }
+  return connect_tcp(host, static_cast<int>(*port));
+}
+
+bool constant_time_equal(const std::string& a, const std::string& b) {
+  // Fold the length mismatch into the accumulator instead of returning
+  // early, and always walk max(len) bytes: the loop's duration leaks only
+  // lengths, which the attacker already controls.
+  unsigned char diff = a.size() == b.size() ? 0 : 1;
+  const std::size_t steps = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < steps; ++i) {
+    const unsigned char ca = i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    const unsigned char cb = i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    diff = static_cast<unsigned char>(diff | (ca ^ cb));
+  }
+  return diff == 0;
 }
 
 std::optional<Socket> accept_connection(const Socket& listener,

@@ -62,6 +62,17 @@ Socket listen_tcp(const std::string& host, int port, int* bound_port = nullptr);
 Socket connect_unix(const std::string& path);
 Socket connect_tcp(const std::string& host, int port);
 
+/// Connects to "unix:PATH" or "HOST:PORT" (bare ":PORT" means 127.0.0.1).
+/// The one endpoint grammar shared by the CLI, the remote cache tier, and
+/// the router's backend list. Throws ServeError on malformed endpoints or
+/// connection failures.
+Socket connect_endpoint(const std::string& endpoint);
+
+/// Timing-safe string comparison for auth tokens: runs in time dependent
+/// only on the lengths, never on where the bytes first differ, so an
+/// attacker cannot binary-search a token byte by byte off response latency.
+bool constant_time_equal(const std::string& a, const std::string& b);
+
 /// Blocking accept with periodic wakeups: returns the next connection, or
 /// std::nullopt when `*stop` became true (polled every ~100ms) or the
 /// listener was shut down. Throws ServeError on unexpected accept failures.

@@ -4,6 +4,7 @@
 #include <initializer_list>
 #include <utility>
 
+#include "cache/cache_store.hpp"
 #include "common/units.hpp"
 #include "serve/net.hpp"
 
@@ -73,6 +74,31 @@ constexpr long long kMaxWireParallelism = 1 << 20;
 constexpr long long kMaxWireGaBudget = 1'000'000;
 constexpr long long kMaxWireDimension = 1 << 20;   // xbar/core geometry
 constexpr long long kMaxWireInputSize = 1 << 16;
+/// ~10 years in ms: deadlines past this are configuration errors, not
+/// budgets.
+constexpr long long kMaxWireDeadlineMs = 315'360'000'000LL;
+
+/// Rejects requests declaring a protocol newer than this build speaks —
+/// one wording for every request type.
+void require_supported_version(const Json& json) {
+  const int version = json.get("version", kProtocolVersion);
+  if (version > kProtocolVersion) {
+    throw ServeError("request speaks protocol v" + std::to_string(version) +
+                     ", this server speaks v" +
+                     std::to_string(kProtocolVersion));
+  }
+}
+
+/// Parses the 16-hex-digit cache key every fleet cache frame carries.
+std::uint64_t require_cache_key(const Json& json, const char* what) {
+  const std::string hex = json.get("key", std::string());
+  const std::optional<std::uint64_t> key = cache_key_from_hex(hex);
+  if (!key.has_value()) {
+    throw ServeError(std::string(what) +
+                     ".key wants 16 hex digits, got '" + hex + "'");
+  }
+  return *key;
+}
 
 /// Bounded read of an optional integer field; `fallback` (the base value)
 /// bypasses the check so layering over an already-accepted base never
@@ -283,6 +309,8 @@ Json to_json(const CompileRequest& request) {
   if (request.hardware.has_value()) json["hardware"] = *request.hardware;
   json["simulate"] = request.simulate;
   if (request.priority != 0) json["priority"] = request.priority;
+  if (request.deadline_ms > 0) json["deadline_ms"] = request.deadline_ms;
+  if (!request.auth.empty()) json["auth"] = request.auth;
 
   Json scenarios = Json::array();
   for (const ScenarioSpec& spec : request.scenarios) {
@@ -297,19 +325,14 @@ Json to_json(const CompileRequest& request) {
 }
 
 CompileRequest request_from_json(const Json& json) {
-  const int version = json.get("version", kProtocolVersion);
-  if (version > kProtocolVersion) {
-    throw ServeError("request speaks protocol v" + std::to_string(version) +
-                     ", this server speaks v" +
-                     std::to_string(kProtocolVersion));
-  }
+  require_supported_version(json);
 
   require_known_keys(json, "request",
                      {"type", "version", "id", "model", "graph",
                       "input_size", "cores", "hardware", "simulate",
-                      "priority", "scenarios"});
+                      "priority", "deadline_ms", "auth", "scenarios"});
   CompileRequest request;
-  request.protocol_version = version;
+  request.protocol_version = json.get("version", kProtocolVersion);
   request.id = require_id(json);
   request.model = json.get("model", std::string());
   if (json.contains("graph")) request.graph = json.at("graph");
@@ -326,6 +349,16 @@ CompileRequest request_from_json(const Json& json) {
   request.simulate = json.get("simulate", true);
   request.priority =
       bounded_int(json, "priority", 0, -1000, 1000, "request");
+  if (json.contains("deadline_ms")) {
+    const std::int64_t deadline = json.at("deadline_ms").as_int();
+    if (deadline < 0 || deadline > kMaxWireDeadlineMs) {
+      throw ServeError("request.deadline_ms wants 0.." +
+                       std::to_string(kMaxWireDeadlineMs) + ", got " +
+                       std::to_string(deadline));
+    }
+    request.deadline_ms = deadline;
+  }
+  request.auth = json.get("auth", std::string());
 
   if (!json.contains("scenarios") || !json.at("scenarios").is_array() ||
       json.at("scenarios").size() == 0) {
@@ -355,7 +388,77 @@ Json to_json(const PingRequest& request) {
   Json json = Json::object();
   json["type"] = "ping";
   json["id"] = request.id;
+  if (!request.auth.empty()) json["auth"] = request.auth;
   return json;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet requests (v5).
+// ---------------------------------------------------------------------------
+
+Json to_json(const CacheGetRequest& request) {
+  Json json = Json::object();
+  json["type"] = "cache_get";
+  json["version"] = kProtocolVersion;
+  json["id"] = request.id;
+  json["key"] = cache_key_hex(request.key);
+  if (!request.auth.empty()) json["auth"] = request.auth;
+  return json;
+}
+
+Json to_json(const CachePutRequest& request) {
+  Json json = Json::object();
+  json["type"] = "cache_put";
+  json["version"] = kProtocolVersion;
+  json["id"] = request.id;
+  json["key"] = cache_key_hex(request.key);
+  json["artifact"] = request.artifact;
+  if (!request.auth.empty()) json["auth"] = request.auth;
+  return json;
+}
+
+Json to_json(const StatsRequest& request) {
+  Json json = Json::object();
+  json["type"] = "stats";
+  json["version"] = kProtocolVersion;
+  json["id"] = request.id;
+  if (!request.auth.empty()) json["auth"] = request.auth;
+  return json;
+}
+
+CacheGetRequest cache_get_request_from_json(const Json& json) {
+  require_supported_version(json);
+  require_known_keys(json, "cache_get",
+                     {"type", "version", "id", "key", "auth"});
+  CacheGetRequest request;
+  request.id = require_id(json);
+  request.key = require_cache_key(json, "cache_get");
+  request.auth = json.get("auth", std::string());
+  return request;
+}
+
+CachePutRequest cache_put_request_from_json(const Json& json) {
+  require_supported_version(json);
+  require_known_keys(json, "cache_put",
+                     {"type", "version", "id", "key", "artifact", "auth"});
+  CachePutRequest request;
+  request.id = require_id(json);
+  request.key = require_cache_key(json, "cache_put");
+  if (!json.contains("artifact") || !json.at("artifact").is_object()) {
+    throw ServeError("cache_put needs an 'artifact' object");
+  }
+  request.artifact = json.at("artifact");
+  request.auth = json.get("auth", std::string());
+  return request;
+}
+
+StatsRequest stats_request_from_json(const Json& json) {
+  require_supported_version(json);
+  require_known_keys(json, "stats", {"type", "version", "id", "auth"});
+  StatsRequest request;
+  request.id = require_id(json);
+  request.auth = json.get("auth", std::string());
+  return request;
 }
 
 // ---------------------------------------------------------------------------
@@ -409,8 +512,10 @@ Json to_json(const DoneMessage& message) {
   json["errors"] = message.error_count;
   if (message.protocol_version >= 4) {
     // Advisory v4 fields, withheld from older requesters so their done
-    // frames stay byte-identical to what v3 servers emitted.
-    json["version"] = kProtocolVersion;
+    // frames stay byte-identical to what v3 servers emitted. The version
+    // echoes min(ours, theirs): a v4 requester keeps seeing "version": 4,
+    // byte-identical to a v4 server's frame.
+    json["version"] = std::min(kProtocolVersion, message.protocol_version);
     json["artifacts"] = message.artifact_count;
   }
   return json;
@@ -429,6 +534,27 @@ Json to_json(const PongMessage& message) {
   json["type"] = "pong";
   json["id"] = message.id;
   json["version"] = message.protocol_version;
+  return json;
+}
+
+Json to_json(const CacheResultMessage& message) {
+  Json json = Json::object();
+  json["type"] = "cache_result";
+  json["id"] = message.id;
+  json["key"] = cache_key_hex(message.key);
+  json["found"] = message.found;
+  json["stored"] = message.stored;
+  if (message.found && !message.artifact.is_null()) {
+    json["artifact"] = message.artifact;
+  }
+  return json;
+}
+
+Json to_json(const StatsMessage& message) {
+  Json json = Json::object();
+  json["type"] = "stats";
+  json["id"] = message.id;
+  json["stats"] = message.stats;
   return json;
 }
 
@@ -485,6 +611,22 @@ ServerMessage server_message_from_json(const Json& json) {
     PongMessage message;
     message.id = require_id(json);
     message.protocol_version = json.get("version", kProtocolVersion);
+    return message;
+  }
+  if (type == "cache_result") {
+    CacheResultMessage message;
+    message.id = require_id(json);
+    message.key =
+        cache_key_from_hex(json.get("key", std::string())).value_or(0);
+    message.found = json.get("found", false);
+    message.stored = json.get("stored", false);
+    if (json.contains("artifact")) message.artifact = json.at("artifact");
+    return message;
+  }
+  if (type == "stats") {
+    StatsMessage message;
+    message.id = require_id(json);
+    if (json.contains("stats")) message.stats = json.at("stats");
     return message;
   }
   throw ServeError("unknown server message type '" + type + "'");

@@ -23,8 +23,15 @@ namespace pimcomp::serve {
 /// event parsers would reject the unknown kind; v4 added the `backend`
 /// options key and `artifact` frames carrying lowered instruction streams
 /// — both withheld from pre-v4 requesters, plus the advisory `version`
-/// and `artifacts` fields on `done`. Older requests are still accepted.
-inline constexpr int kProtocolVersion = 4;
+/// and `artifacts` fields on `done`; v5 added the fleet vocabulary — the
+/// `cache_get`/`cache_put`/`stats` request types with their
+/// `cache_result`/`stats` replies, the request-level `deadline_ms` budget
+/// (expired jobs fail with error_kind "deadline"), and the `auth` token
+/// field — all reachable only through the new request types or new keys,
+/// so every frame a pre-v5 requester triggers stays byte-identical (the
+/// advisory `done` version echoes min(ours, theirs)). Older requests are
+/// still accepted.
+inline constexpr int kProtocolVersion = 5;
 
 // ---------------------------------------------------------------------------
 // Field (de)serialization shared by requests and tooling.
@@ -78,6 +85,14 @@ struct CompileRequest {
   /// Job-queue priority of every scenario in this request (higher runs
   /// sooner on the shared session; ties are FIFO). Default 0.
   int priority = 0;
+  /// Client deadline budget in milliseconds from request receipt (v5).
+  /// A scenario job whose deadline has passed before it starts is dropped
+  /// with error_kind "deadline" instead of compiling into a result nobody
+  /// is waiting for. 0 = no deadline.
+  std::int64_t deadline_ms = 0;
+  /// Authentication token (v5); required (constant-time compared) when the
+  /// daemon/router was started with --auth-token. Empty = none sent.
+  std::string auth;
   std::vector<ScenarioSpec> scenarios;
   /// Version the requester declared (parsed from the wire; defaults to
   /// ours). The server tailors advisory frames to it — pre-v3 parsers
@@ -98,11 +113,53 @@ Json to_json(const CompileRequest& request);
 CompileRequest request_from_json(const Json& json);
 
 /// Connection liveness probe; the server echoes a pong with the same id.
+/// `auth` (v5) is emitted only when non-empty, keeping the frame
+/// byte-identical to older clients' pings otherwise.
 struct PingRequest {
   std::int64_t id = 0;
+  std::string auth;
 };
 
 Json to_json(const PingRequest& request);
+
+// ---------------------------------------------------------------------------
+// Fleet requests (v5): the remote cache tier and operational stats.
+// ---------------------------------------------------------------------------
+
+/// Asks a daemon for the cached artifact under `key` (its disk tier only —
+/// a daemon never forwards a cache_get to its own peers, which keeps fleet
+/// lookups one hop and loop-free). Answered with a CacheResultMessage.
+struct CacheGetRequest {
+  std::int64_t id = 0;
+  std::uint64_t key = 0;
+  std::string auth;
+};
+
+/// Offers a freshly computed artifact to a daemon's disk tier (first
+/// writer wins, exactly like a local store). Answered with a
+/// CacheResultMessage whose `stored` says whether it was newly accepted.
+struct CachePutRequest {
+  std::int64_t id = 0;
+  std::uint64_t key = 0;
+  Json artifact;
+  std::string auth;
+};
+
+/// Asks a daemon (or the router) for its operational counters. Answered
+/// with a StatsMessage.
+struct StatsRequest {
+  std::int64_t id = 0;
+  std::string auth;
+};
+
+Json to_json(const CacheGetRequest& request);
+Json to_json(const CachePutRequest& request);
+Json to_json(const StatsRequest& request);
+/// Throw ServeError on malformed frames (bad key, missing artifact,
+/// unsupported version).
+CacheGetRequest cache_get_request_from_json(const Json& json);
+CachePutRequest cache_put_request_from_json(const Json& json);
+StatsRequest stats_request_from_json(const Json& json);
 
 // ---------------------------------------------------------------------------
 // Server -> client.
@@ -171,17 +228,39 @@ struct PongMessage {
   int protocol_version = kProtocolVersion;
 };
 
+/// Answer to a cache_get (found/artifact meaningful) or cache_put (stored
+/// meaningful). The artifact travels verbatim — the requester revalidates
+/// its envelope and content exactly like a disk artifact.
+struct CacheResultMessage {
+  std::int64_t id = 0;
+  std::uint64_t key = 0;
+  bool found = false;
+  bool stored = false;
+  Json artifact;
+};
+
+/// Answer to a stats request: a free-form JSON payload (per-tier cache
+/// counters on a daemon, per-backend counters on the router) so tooling
+/// renders whatever the peer knows without a schema lockstep.
+struct StatsMessage {
+  std::int64_t id = 0;
+  Json stats;
+};
+
 Json to_json(const EventMessage& message);
 Json to_json(const OutcomeMessage& message);
 Json to_json(const ArtifactMessage& message);
 Json to_json(const DoneMessage& message);
 Json to_json(const ErrorMessage& message);
 Json to_json(const PongMessage& message);
+Json to_json(const CacheResultMessage& message);
+Json to_json(const StatsMessage& message);
 
 /// Any server-to-client message, for client-side dispatch.
 using ServerMessage = std::variant<EventMessage, OutcomeMessage,
                                    ArtifactMessage, DoneMessage, ErrorMessage,
-                                   PongMessage>;
+                                   PongMessage, CacheResultMessage,
+                                   StatsMessage>;
 
 /// Parses one server line; throws ServeError on unknown/missing "type".
 ServerMessage server_message_from_json(const Json& json);

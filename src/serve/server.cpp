@@ -7,12 +7,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <iostream>
 #include <optional>
 #include <utility>
 
 #include "backend/instruction_stream.hpp"
+#include "cache/disk_store.hpp"
 #include "common/string_util.hpp"
 #include "core/compile_report.hpp"
 #include "core/compiler.hpp"
@@ -291,6 +293,11 @@ CompileServer::CompileServer(ServerOptions options)
   options_.max_sessions = std::max<std::size_t>(options_.max_sessions, 1);
   options_.readers = std::max(options_.readers, 1);
   options_.send_timeout_seconds = std::max(options_.send_timeout_seconds, 1);
+  if (options_.cache.enabled()) {
+    // The store peers read from (cache_get) and push into (cache_put).
+    // Constructing it is free — DiskStore touches the filesystem lazily.
+    peer_store_ = std::make_unique<DiskStore>(options_.cache);
+  }
 }
 
 CompileServer::~CompileServer() { stop(); }
@@ -577,11 +584,30 @@ void CompileServer::dispatch_line(
 
   const std::string type = json.get("type", std::string("compile"));
   try {
+    if (!options_.auth_token.empty() &&
+        !constant_time_equal(json.get("auth", std::string()),
+                             options_.auth_token)) {
+      // One uniform rejection for every request type, after the
+      // constant-time compare — neither the timing nor the message reveals
+      // how close the presented token was.
+      enqueue_frame(*connection,
+                    to_json(ErrorMessage{message_id(json),
+                                         "unauthorized: missing or bad auth "
+                                         "token"}),
+                    /*advisory=*/false);
+      return;
+    }
     if (type == "ping") {
       enqueue_frame(*connection, to_json(PongMessage{message_id(json)}),
                     /*advisory=*/false);
     } else if (type == "compile") {
       handle_compile(connection, json);
+    } else if (type == "cache_get") {
+      handle_cache_get(connection, json);
+    } else if (type == "cache_put") {
+      handle_cache_put(connection, json);
+    } else if (type == "stats") {
+      handle_stats(connection, json);
     } else {
       enqueue_frame(*connection,
                     to_json(ErrorMessage{message_id(json),
@@ -604,6 +630,32 @@ void CompileServer::dispatch_line(
 // Compile requests.
 // ---------------------------------------------------------------------------
 
+ResolvedRequest resolve_compile_request(const CompileRequest& request) {
+  ResolvedRequest resolved;
+  resolved.graph = request.graph.has_value()
+                       ? graph_from_json(*request.graph)
+                       : zoo::build(request.model, request.input_size);
+
+  resolved.hardware = request.hardware.has_value()
+                          ? hardware_from_json(*request.hardware)
+                          : HardwareConfig::puma_default();
+  if (request.cores > 0) {
+    resolved.hardware.core_count = request.cores;
+  } else if (!request.hardware.has_value() ||
+             !request.hardware->contains("core_count")) {
+    // Auto-fit only when the client pinned the core count nowhere — a
+    // request-level hardware override of core_count is as explicit as
+    // `cores` and must not be silently re-fitted away.
+    resolved.hardware = fit_core_count(resolved.graph, resolved.hardware, 3.0);
+  }
+  resolved.hardware.validate();
+
+  if (!resolved.graph.finalized()) resolved.graph.finalize();
+  resolved.fingerprint = combine_fingerprints(fingerprint(resolved.graph),
+                                              fingerprint(resolved.hardware));
+  return resolved;
+}
+
 void CompileServer::handle_compile(
     const std::shared_ptr<Connection>& connection, const Json& json) {
   std::int64_t id = message_id(json);
@@ -617,34 +669,20 @@ void CompileServer::handle_compile(
     bool simulate = true;
     int priority = 0;
     int protocol_version = serve::kProtocolVersion;
+    std::chrono::steady_clock::time_point deadline{};
   };
   Prepared prepared;
   try {
     const CompileRequest request = request_from_json(json);
     id = request.id;
 
-    Graph graph = request.graph.has_value()
-                      ? graph_from_json(*request.graph)
-                      : zoo::build(request.model, request.input_size);
-
-    HardwareConfig hw = request.hardware.has_value()
-                            ? hardware_from_json(*request.hardware)
-                            : HardwareConfig::puma_default();
-    if (request.cores > 0) {
-      hw.core_count = request.cores;
-    } else if (!request.hardware.has_value() ||
-               !request.hardware->contains("core_count")) {
-      // Auto-fit only when the client pinned the core count nowhere — a
-      // request-level hardware override of core_count is as explicit as
-      // `cores` and must not be silently re-fitted away.
-      hw = fit_core_count(graph, hw, 3.0);
-    }
-    hw.validate();
+    ResolvedRequest resolved = resolve_compile_request(request);
 
     for (const ScenarioSpec& spec : request.scenarios) {
       Scenario scenario{spec.label, spec.options, std::nullopt};
       if (spec.hardware.has_value()) {
-        scenario.hardware = hardware_from_json(*spec.hardware, hw);
+        scenario.hardware =
+            hardware_from_json(*spec.hardware, resolved.hardware);
         scenario.hardware->validate();
       }
       prepared.batch.push_back(std::move(scenario));
@@ -652,7 +690,14 @@ void CompileServer::handle_compile(
     prepared.simulate = request.simulate;
     prepared.priority = request.priority;
     prepared.protocol_version = request.protocol_version;
-    prepared.entry = resolve_session(std::move(graph), hw);
+    if (request.deadline_ms > 0) {
+      // Anchored at parse time: queueing delay counts against the budget,
+      // which is the point — a deadline bounds how stale a reply may be.
+      prepared.deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(request.deadline_ms);
+    }
+    prepared.entry =
+        resolve_session(std::move(resolved.graph), resolved.hardware);
   } catch (const std::exception& e) {
     enqueue_frame(*connection, to_json(ErrorMessage{id, e.what()}),
                   /*advisory=*/false);
@@ -695,6 +740,7 @@ void CompileServer::handle_compile(
     job_options.index = static_cast<int>(i);
     job_options.tag = tag;
     job_options.priority = prepared.priority;
+    job_options.deadline = prepared.deadline;
     job_options.on_complete =
         [this, request_state, tag](const ScenarioOutcome& outcome) {
           on_job_complete(request_state, tag, outcome);
@@ -880,6 +926,118 @@ void CompileServer::disconnect(const std::shared_ptr<Connection>& connection) {
 }
 
 // ---------------------------------------------------------------------------
+// Peer cache + stats requests.
+// ---------------------------------------------------------------------------
+
+void CompileServer::handle_cache_get(
+    const std::shared_ptr<Connection>& connection, const Json& json) {
+  const CacheGetRequest request = cache_get_request_from_json(json);
+  CacheResultMessage reply;
+  reply.id = request.id;
+  reply.key = request.key;
+  // Peer lookups are answered from the local disk tier only — never from
+  // this daemon's own RemoteStore — so a fleet of mutually peered daemons
+  // resolves every miss in exactly one hop, with no forwarding loops.
+  if (peer_store_ != nullptr) {
+    if (std::optional<CacheHit> hit = peer_store_->load(request.key)) {
+      reply.found = true;
+      reply.artifact = std::move(hit->entry.artifact);
+    }
+  }
+  enqueue_frame(*connection, to_json(reply), /*advisory=*/false);
+}
+
+void CompileServer::handle_cache_put(
+    const std::shared_ptr<Connection>& connection, const Json& json) {
+  const CachePutRequest request = cache_put_request_from_json(json);
+  CacheResultMessage reply;
+  reply.id = request.id;
+  reply.key = request.key;
+  if (peer_store_ != nullptr) {
+    CacheEntry entry;
+    entry.artifact = request.artifact;
+    // DiskStore stamps the schema/key envelope itself and applies the same
+    // first-writer-wins rule as a local store; `stored` is false when the
+    // key already existed or the artifact was refused.
+    reply.stored = peer_store_->store(request.key, entry) != nullptr;
+  }
+  enqueue_frame(*connection, to_json(reply), /*advisory=*/false);
+}
+
+void CompileServer::handle_stats(
+    const std::shared_ptr<Connection>& connection, const Json& json) {
+  const StatsRequest request = stats_request_from_json(json);
+  enqueue_frame(*connection, to_json(StatsMessage{request.id, stats_payload()}),
+                /*advisory=*/false);
+}
+
+Json CompileServer::stats_payload() const {
+  // Snapshot the session entries under the lock, then read their counters
+  // outside it: mapping_tier_stats() takes per-store mutexes of its own and
+  // must not nest under session_mutex_.
+  std::vector<std::shared_ptr<SessionEntry>> entries;
+  std::size_t live_sessions = 0;
+  {
+    MutexLock lock(session_mutex_);
+    live_sessions = sessions_.size();
+    entries.reserve(sessions_.size() + retired_.size());
+    for (const auto& item : sessions_) entries.push_back(item.second);
+    for (const auto& entry : retired_) entries.push_back(entry);
+  }
+
+  // Fixed tier order; hit/miss/store counters sum across every session
+  // (retired sessions' hits happened and still count).
+  std::vector<std::string> order{cache_sources::kMemory};
+  if (options_.cache.enabled()) order.push_back(cache_sources::kDisk);
+  if (options_.cache.remote_enabled()) order.push_back(cache_sources::kRemote);
+  std::unordered_map<std::string, CacheStoreStats> totals;
+  for (const std::shared_ptr<SessionEntry>& entry : entries) {
+    for (const auto& [tier, stats] : entry->session.mapping_tier_stats()) {
+      CacheStoreStats& total = totals[tier];
+      total.entries += stats.entries;
+      total.bytes += stats.bytes;
+      total.hits += stats.hits;
+      total.misses += stats.misses;
+      total.stores += stats.stores;
+      total.evictions += stats.evictions;
+    }
+  }
+  if (peer_store_ != nullptr) {
+    // Every session's disk tier shares one directory — summing their walks
+    // would count each artifact once per session. One authoritative walk.
+    const CacheStoreStats disk = peer_store_->stats();
+    totals[cache_sources::kDisk].entries = disk.entries;
+    totals[cache_sources::kDisk].bytes = disk.bytes;
+  }
+
+  Json tiers = Json::array();
+  for (const std::string& tier : order) {
+    const CacheStoreStats& stats = totals[tier];
+    Json row = Json::object();
+    row["tier"] = Json(tier);
+    row["entries"] = Json(static_cast<std::int64_t>(stats.entries));
+    row["bytes"] = Json(static_cast<std::int64_t>(stats.bytes));
+    row["hits"] = Json(static_cast<std::int64_t>(stats.hits));
+    row["misses"] = Json(static_cast<std::int64_t>(stats.misses));
+    row["stores"] = Json(static_cast<std::int64_t>(stats.stores));
+    row["evictions"] = Json(static_cast<std::int64_t>(stats.evictions));
+    tiers.push_back(std::move(row));
+  }
+
+  Json payload = Json::object();
+  payload["role"] = Json(std::string("daemon"));
+  payload["requests_served"] =
+      Json(static_cast<std::int64_t>(requests_served_.load()));
+  payload["connections"] =
+      Json(static_cast<std::int64_t>(connections_accepted_.load()));
+  payload["jobs_cancelled"] =
+      Json(static_cast<std::int64_t>(jobs_cancelled_.load()));
+  payload["sessions"] = Json(static_cast<std::int64_t>(live_sessions));
+  payload["cache"] = std::move(tiers);
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
 // Session registry.
 // ---------------------------------------------------------------------------
 
@@ -955,7 +1113,8 @@ int run_daemon(int argc, char** argv, const std::string& program) {
     std::cerr << "usage: " << program
               << " (--unix PATH | --port N [--host ADDR])\n"
                  "       [--jobs N|auto] [--readers N] [--max-sessions N]\n"
-                 "       [--cache-dir PATH]\n";
+                 "       [--cache-dir PATH] [--peer ENDPOINT]...\n"
+                 "       [--auth-token TOKEN]\n";
     return 2;
   };
   const auto parse_int_flag = [&program](const std::string& flag,
@@ -1006,6 +1165,16 @@ int run_daemon(int argc, char** argv, const std::string& program) {
       // including ones from before a restart, or from another daemon on
       // the same directory — are served from disk instead of re-mapped.
       options.cache.dir = argv[++i];
+    } else if (arg == "--peer" && has_next) {
+      // Repeatable. Each peer is another pimcompd whose disk tier answers
+      // this daemon's cache misses over cache_get before anything is
+      // re-mapped locally.
+      options.cache.peers.push_back(argv[++i]);
+    } else if (arg == "--auth-token" && has_next) {
+      // One fleet-wide token: enforced on every inbound request, and
+      // attached to the outbound peer requests this daemon makes.
+      options.auth_token = argv[++i];
+      options.cache.auth_token = options.auth_token;
     } else {
       return usage();
     }

@@ -53,9 +53,36 @@ struct ServerOptions {
   /// creates (`--cache-dir`). With a directory set, a restarted daemon
   /// serves previously compiled configurations from disk (`cache_hit`
   /// frames with source "disk") instead of re-running the GA; several
-  /// daemons may point at one directory (writes are atomic renames).
+  /// daemons may point at one directory (writes are atomic renames). Its
+  /// `peers` list (`--peer`, repeatable) additionally wires every session's
+  /// remote tier *and* lets this daemon answer other daemons' cache_get /
+  /// cache_put requests from its own disk tier.
   CacheConfig cache;
+
+  /// Shared secret (`--auth-token`): when non-empty, every request frame
+  /// must carry a matching "auth" key (compared constant-time) or it is
+  /// rejected with an error frame. The same token is attached to this
+  /// daemon's own outgoing peer requests, so one fleet shares one token.
+  std::string auth_token;
 };
+
+/// Resolved identity of one compile request: the built graph, the resolved
+/// hardware, and the (graph, hardware) fingerprint the request caches —
+/// and, in a fleet, shards — under.
+struct ResolvedRequest {
+  Graph graph;
+  HardwareConfig hardware;
+  std::uint64_t fingerprint = 0;
+};
+
+/// The one definition of how a wire request maps to a compile identity:
+/// builds the graph (zoo model or inline JSON), resolves the hardware
+/// (request overrides on the PUMA default, with core-count auto-fit only
+/// when the client pinned cores nowhere), and fingerprints the pair with
+/// the session's own combinator. Shared by the daemon's session registry
+/// and the router's sharding so the two can never disagree about which
+/// backend owns a request. Throws on unknown models / bad hardware.
+ResolvedRequest resolve_compile_request(const CompileRequest& request);
 
 /// The compile-server daemon core: accepts connections, reads
 /// newline-delimited JSON requests, and serves each through a shared
@@ -174,6 +201,19 @@ class CompileServer {
   void handle_compile(const std::shared_ptr<Connection>& connection,
                       const Json& json);
 
+  /// Fleet requests (v5). cache_get/cache_put answer from this daemon's own
+  /// disk tier ONLY — a daemon never forwards a lookup to its peers, which
+  /// keeps fleet cache traffic one hop and loop-free by construction.
+  void handle_cache_get(const std::shared_ptr<Connection>& connection,
+                        const Json& json);
+  void handle_cache_put(const std::shared_ptr<Connection>& connection,
+                        const Json& json);
+  void handle_stats(const std::shared_ptr<Connection>& connection,
+                    const Json& json);
+  /// The stats payload: daemon counters plus per-tier cache counters
+  /// aggregated across every live and retired session.
+  Json stats_payload() const;
+
   /// Job-completion fan-in (runs on session workers): converts the outcome
   /// to a wire frame (simulating if requested) and streams every frame
   /// that is ready in enqueue order.
@@ -200,6 +240,11 @@ class CompileServer {
   void prune_retired_locked() PIMCOMP_REQUIRES(session_mutex_);
 
   ServerOptions options_;
+  /// Daemon-level disk store answering peer cache_get/cache_put requests
+  /// (nullptr without --cache-dir: peers get found=false/stored=false).
+  /// Separate from the sessions' own disk tiers only in object identity —
+  /// it reads and writes the same directory.
+  std::unique_ptr<DiskStore> peer_store_;
   // listener_, bound_port_, readers_ are deliberately unannotated: they are
   // written only inside start() (before any thread that reads them exists)
   // and torn down only by the single winning stopper of stop() — the
@@ -261,7 +306,8 @@ int parse_jobs_flag(const std::string& value);
 /// The complete daemon frontend shared by `pimcompd` and
 /// `pimcomp_cli serve` — one flag grammar, one lifecycle, two binaries that
 /// cannot drift. Parses `--unix PATH | --port N [--host ADDR]`,
-/// `[--jobs N|auto] [--readers N] [--max-sessions N] [--cache-dir PATH]`
+/// `[--jobs N|auto] [--readers N] [--max-sessions N] [--cache-dir PATH]
+/// [--peer ENDPOINT]... [--auth-token TOKEN]`
 /// from argv (NOT
 /// including the program/subcommand name), masks SIGINT/SIGTERM, starts a
 /// CompileServer, prints "<program> listening on <endpoint>" on stdout,

@@ -8,10 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/artifact.hpp"
@@ -333,6 +337,135 @@ TEST(DiskCache, ReadOnlyCacheServesButNeverWrites) {
     if (entry.is_regular_file()) files_after.push_back(entry.path().string());
   }
   EXPECT_EQ(files_after, files_before);
+}
+
+// ---------------------------------------------------------------------------
+// Eviction semantics.
+// ---------------------------------------------------------------------------
+
+/// Synthetic artifacts of one fixed serialized size (the tag is
+/// zero-padded; the store's own schema/key stamps are fixed-width too), so
+/// a byte budget can be hit *exactly*.
+Json fixed_size_artifact(int n) {
+  char tag[8];
+  std::snprintf(tag, sizeof(tag), "%04d", n);
+  Json artifact = Json::object();
+  artifact["tag"] = std::string(tag);
+  artifact["payload"] = std::string(1024, 'x');
+  return artifact;
+}
+
+std::uint64_t store_fixed(DiskStore& store, int n) {
+  CacheEntry entry;
+  entry.artifact = fixed_size_artifact(n);
+  EXPECT_NE(store.store(static_cast<std::uint64_t>(n), entry), nullptr);
+  // Distinct mtimes: the eviction order below must never hinge on
+  // filesystem timestamp granularity.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  return static_cast<std::uint64_t>(n);
+}
+
+TEST(DiskCache, EvictsNothingAtExactByteBudgetAndOldestOneByteOver) {
+  TempDir dir;
+
+  // Probe the per-artifact on-disk size, then start over.
+  std::uint64_t size_one = 0;
+  {
+    DiskStore probe(cache_at(dir.path));
+    CacheEntry entry;
+    entry.artifact = fixed_size_artifact(0);
+    ASSERT_NE(probe.store(999, entry), nullptr);
+    size_one = probe.stats().bytes;
+    ASSERT_GT(size_one, 0u);
+    probe.purge();
+  }
+
+  CacheConfig config = cache_at(dir.path);
+  config.max_bytes = 3 * size_one;
+  DiskStore store(config);
+  for (int n = 1; n <= 3; ++n) store_fixed(store, n);
+
+  // total == max_bytes is *within* budget: the boundary artifact survives.
+  EXPECT_EQ(store.stats().entries, 3u);
+  EXPECT_EQ(store.stats().bytes, 3 * size_one);
+  EXPECT_EQ(store.stats().evictions, 0u);
+
+  // One artifact over pushes past the budget; exactly the mtime-oldest
+  // entry (key 1 — the hits above replay in key order) goes.
+  for (std::uint64_t key : {1u, 2u, 3u}) {
+    EXPECT_TRUE(store.load(key).has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  store_fixed(store, 4);
+  EXPECT_EQ(store.stats().entries, 3u);
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_FALSE(store.load(1).has_value());
+  EXPECT_TRUE(store.load(2).has_value());
+
+  // The load(2) just above bumped its mtime past 3's: eviction is LRU on
+  // *access* order, not insertion order, so the next overflow takes 3.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  store_fixed(store, 5);
+  EXPECT_EQ(store.stats().entries, 3u);
+  EXPECT_FALSE(store.load(3).has_value());
+  EXPECT_TRUE(store.load(2).has_value());
+  EXPECT_TRUE(store.load(4).has_value());
+  EXPECT_TRUE(store.load(5).has_value());
+}
+
+TEST(DiskCache, EvictionRacingConcurrentLoadMtimeBumpKeepsHotKeyAndSaneState) {
+  TempDir dir;
+  std::uint64_t size_one = 0;
+  {
+    DiskStore probe(cache_at(dir.path));
+    CacheEntry entry;
+    entry.artifact = fixed_size_artifact(0);
+    ASSERT_NE(probe.store(999, entry), nullptr);
+    size_one = probe.stats().bytes;
+    probe.purge();
+  }
+
+  CacheConfig config = cache_at(dir.path);
+  config.max_bytes = 3 * size_one;
+  DiskStore store(config);
+  constexpr std::uint64_t kHotKey = 7777;
+  {
+    CacheEntry entry;
+    entry.artifact = fixed_size_artifact(0);
+    ASSERT_NE(store.store(kHotKey, entry), nullptr);
+  }
+
+  // One thread hammers load(hot) — every hit bumps its mtime — while the
+  // other stores a stream of cold artifacts, each store running an
+  // eviction pass over the same directory. The hot entry must ride out
+  // every pass (it is never the LRU victim while the bumps keep landing),
+  // and no load may ever surface a torn or mis-keyed artifact.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> hot_hits{0};
+  std::thread loader([&] {
+    while (!stop.load()) {
+      if (const std::optional<CacheHit> hit = store.load(kHotKey)) {
+        hot_hits.fetch_add(1);
+        EXPECT_EQ(hit->entry.artifact.get("key", std::string()),
+                  cache_key_hex(kHotKey));
+      }
+    }
+  });
+  for (int n = 1; n <= 24; ++n) {
+    CacheEntry entry;
+    entry.artifact = fixed_size_artifact(n);
+    store.store(static_cast<std::uint64_t>(n), entry);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  loader.join();
+
+  EXPECT_GT(hot_hits.load(), 0u);
+  EXPECT_TRUE(store.load(kHotKey).has_value());  // survived every sweep
+  const CacheStoreStats stats = store.stats();
+  EXPECT_LE(stats.bytes, config.max_bytes);
+  EXPECT_LE(stats.entries, 3u);
+  EXPECT_GT(stats.evictions, 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "cache/cache_store.hpp"
 #include "core/session.hpp"
 #include "serve/net.hpp"
 
@@ -464,13 +465,19 @@ TEST(ServeProtocol, DoneFrameGatesV4FieldsOnRequesterVersion) {
   EXPECT_EQ(from_v3.ok_count, 2);
   EXPECT_EQ(from_v3.artifact_count, 0);
 
+  // A v4 requester sees the advisory version echo min(ours, theirs) — its
+  // done frames stay byte-identical to what a v4 server sent (v5 gating).
   done.protocol_version = 4;
   const Json v4 = serve::to_json(done);
-  EXPECT_EQ(v4.get("version", 0), serve::kProtocolVersion);
+  EXPECT_EQ(v4.get("version", 0), 4);
   EXPECT_EQ(v4.get("artifacts", 0), 2);
   const DoneMessage from_v4 =
       std::get<DoneMessage>(serve::server_message_from_json(wire(v4)));
   EXPECT_EQ(from_v4.artifact_count, 2);
+
+  // A current-version requester sees ours.
+  done.protocol_version = serve::kProtocolVersion;
+  EXPECT_EQ(serve::to_json(done).get("version", 0), serve::kProtocolVersion);
 }
 
 TEST(ServeProtocol, RequestPriorityRoundTripsAndIsBounded) {
@@ -486,6 +493,131 @@ TEST(ServeProtocol, RequestPriorityRoundTripsAndIsBounded) {
   Json json = serve::to_json(request);
   json["priority"] = 1'000'000;
   EXPECT_THROW(serve::request_from_json(json), ServeError);
+}
+
+// ---------------------------------------------------------------------------
+// v5: deadlines, auth, cache peering, stats.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, DeadlineAndAuthRoundTripAndAreOptInOnTheWire) {
+  CompileRequest request;
+  request.model = "squeezenet";
+  request.scenarios.push_back(serve::ScenarioSpec{});
+
+  // Opt-in: a request without a deadline or auth must not grow new keys —
+  // that is what keeps v4 requesters byte-compatible.
+  const Json bare = serve::to_json(request);
+  EXPECT_FALSE(bare.contains("deadline_ms"));
+  EXPECT_FALSE(bare.contains("auth"));
+
+  request.deadline_ms = 1500;
+  request.auth = "token";
+  const CompileRequest parsed =
+      serve::request_from_json(wire(serve::to_json(request)));
+  EXPECT_EQ(parsed.deadline_ms, 1500);
+  EXPECT_EQ(parsed.auth, "token");
+
+  // Negative and absurd budgets are rejected, not clamped.
+  Json json = serve::to_json(request);
+  json["deadline_ms"] = -1;
+  EXPECT_THROW(serve::request_from_json(json), ServeError);
+  // Past the ~10-year wire cap.
+  json["deadline_ms"] = static_cast<std::int64_t>(400'000'000'000LL);
+  EXPECT_THROW(serve::request_from_json(json), ServeError);
+}
+
+TEST(ServeProtocol, CacheGetPutStatsRequestsRoundTrip) {
+  serve::CacheGetRequest get;
+  get.id = 11;
+  get.key = 0xdeadbeef12345678ull;
+  get.auth = "t";
+  const serve::CacheGetRequest get_parsed =
+      serve::cache_get_request_from_json(wire(serve::to_json(get)));
+  EXPECT_EQ(get_parsed.id, 11);
+  EXPECT_EQ(get_parsed.key, get.key);
+  EXPECT_EQ(get_parsed.auth, "t");
+
+  serve::CachePutRequest put;
+  put.id = 12;
+  put.key = 0x0000000000000001ull;  // leading zeros must survive the hex trip
+  put.artifact = Json::object();
+  put.artifact["payload"] = std::string("x");
+  const serve::CachePutRequest put_parsed =
+      serve::cache_put_request_from_json(wire(serve::to_json(put)));
+  EXPECT_EQ(put_parsed.key, put.key);
+  EXPECT_EQ(put_parsed.artifact.get("payload", std::string()), "x");
+
+  serve::StatsRequest stats;
+  stats.id = 13;
+  const serve::StatsRequest stats_parsed =
+      serve::stats_request_from_json(wire(serve::to_json(stats)));
+  EXPECT_EQ(stats_parsed.id, 13);
+}
+
+TEST(ServeProtocol, CacheRequestsRejectMalformedKeysAndMissingArtifacts) {
+  Json get = Json::object();
+  get["type"] = "cache_get";
+  get["id"] = 1;
+  get["key"] = std::string("not-hex");
+  EXPECT_THROW(serve::cache_get_request_from_json(get), ServeError);
+  get["key"] = std::string("abcd");  // too short: must be exactly 16 hex
+  EXPECT_THROW(serve::cache_get_request_from_json(get), ServeError);
+
+  Json keyless = Json::object();
+  keyless["type"] = "cache_get";
+  keyless["id"] = 1;
+  EXPECT_THROW(serve::cache_get_request_from_json(keyless), ServeError);
+
+  Json put = Json::object();
+  put["type"] = "cache_put";
+  put["id"] = 2;
+  put["key"] = cache_key_hex(7);
+  EXPECT_THROW(serve::cache_put_request_from_json(put), ServeError);  // no artifact
+  put["artifact"] = std::string("not-an-object");
+  EXPECT_THROW(serve::cache_put_request_from_json(put), ServeError);
+
+  // Misspellings are rejected, not ignored — same contract as compile.
+  Json stats = Json::object();
+  stats["type"] = "stats";
+  stats["id"] = 3;
+  stats["auht"] = std::string("t");
+  EXPECT_THROW(serve::stats_request_from_json(stats), ServeError);
+}
+
+TEST(ServeProtocol, CacheResultAndStatsMessagesRoundTrip) {
+  serve::CacheResultMessage found;
+  found.id = 5;
+  found.key = 0xabcdef0123456789ull;
+  found.found = true;
+  found.artifact = Json::object();
+  found.artifact["v"] = 1;
+  const Json found_wire = wire(serve::to_json(found));
+  ServerMessage message = serve::server_message_from_json(found_wire);
+  ASSERT_TRUE(std::holds_alternative<serve::CacheResultMessage>(message));
+  const auto& parsed = std::get<serve::CacheResultMessage>(message);
+  EXPECT_EQ(parsed.key, found.key);
+  EXPECT_TRUE(parsed.found);
+  EXPECT_EQ(parsed.artifact.get("v", 0), 1);
+
+  // A miss carries no artifact payload at all.
+  serve::CacheResultMessage miss;
+  miss.id = 6;
+  miss.key = 42;
+  const Json miss_wire = wire(serve::to_json(miss));
+  EXPECT_FALSE(miss_wire.contains("artifact"));
+  message = serve::server_message_from_json(miss_wire);
+  ASSERT_TRUE(std::holds_alternative<serve::CacheResultMessage>(message));
+  EXPECT_FALSE(std::get<serve::CacheResultMessage>(message).found);
+
+  serve::StatsMessage stats;
+  stats.id = 7;
+  stats.stats = Json::object();
+  stats.stats["role"] = std::string("daemon");
+  message = serve::server_message_from_json(wire(serve::to_json(stats)));
+  ASSERT_TRUE(std::holds_alternative<serve::StatsMessage>(message));
+  EXPECT_EQ(std::get<serve::StatsMessage>(message).stats.get(
+                "role", std::string()),
+            "daemon");
 }
 
 }  // namespace
