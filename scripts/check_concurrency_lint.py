@@ -1,196 +1,24 @@
 #!/usr/bin/env python3
-"""Repo-invariant concurrency linter (stdlib only, no pip installs).
+"""Thin shim: the concurrency lint now lives in pimcomp-analyze.
 
-Enforces the locking discipline that makes the Clang Thread Safety analysis
-(-Wthread-safety, see src/common/thread_annotations.hpp) trustworthy:
+The checker logic moved to tools/analysis/pimcomp_analyze.py as the
+`concurrency` checker (one driver, one report format, one exemption-marker
+grammar — see docs/analysis.md). This entry point stays so the ctest case
+`concurrency_lint`, CI's lint job, and muscle memory keep working; it is
+exactly equivalent to:
 
-  1. No naked standard-library synchronization primitives in src/ outside
-     the wrapper header: std::mutex and friends, std::condition_variable,
-     and the scoped-lock family must go through pimcomp::Mutex / MutexLock /
-     CondVar, whose capability annotations the analysis can see.
-  2. No raw `std::thread` *type* uses (pimcomp::Thread is the same type,
-     but the alias marks audited spawn sites); nested names such as
-     std::thread::id and std::this_thread stay allowed.
-  3. No `.detach()` — detached threads outlive every lock hierarchy and
-     cannot be joined on shutdown.
-  4. No `#include <mutex>` / `<condition_variable>` outside the wrapper
-     (`<thread>` is allowed: std::this_thread and std::thread::id are fine).
-  5. Every mutable static is either of a known-safe shape (const,
-     constexpr, thread_local, std::atomic, std::once_flag, pimcomp
-     Mutex/CondVar) or carries an explicit
-     `// pimcomp-lint: internally-synchronized` marker on the same or the
-     preceding line, so unsynchronized global state cannot slip in
-     unreviewed.
-
-Exit status 0 when clean; 1 with one `path:line: message` per finding.
-Run from the repository root (CMake registers it as ctest test
-`concurrency_lint`).
+    tools/analysis/pimcomp_analyze.py --checker concurrency
 """
 
 import pathlib
-import re
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-SRC_ROOT = REPO_ROOT / "src"
-WRAPPER = SRC_ROOT / "common" / "thread_annotations.hpp"
-MARKER = "pimcomp-lint: internally-synchronized"
+sys.path.insert(0, str(REPO_ROOT / "tools" / "analysis"))
 
-BANNED_TYPES = [
-    "std::mutex",
-    "std::recursive_mutex",
-    "std::timed_mutex",
-    "std::recursive_timed_mutex",
-    "std::shared_mutex",
-    "std::shared_timed_mutex",
-    "std::condition_variable_any",
-    "std::condition_variable",
-    "std::lock_guard",
-    "std::unique_lock",
-    "std::scoped_lock",
-    "std::shared_lock",
-]
-BANNED_TYPES_RE = re.compile(
-    "|".join(re.escape(t) + r"\b" for t in BANNED_TYPES))
-
-# `std::thread` as a type (declaration, construction) — but not nested
-# names: std::thread::id, std::thread::hardware_concurrency().
-RAW_THREAD_RE = re.compile(r"std::thread\b(?!\s*::)")
-DETACH_RE = re.compile(r"(?:\.|->)\s*detach\s*\(")
-BANNED_INCLUDE_RE = re.compile(r"#\s*include\s*<(mutex|condition_variable)>")
-
-# A static data declaration. Function declarations are filtered out below
-# (an unparenthesized or `=`-initialized declarator is data; `name(...)`
-# without a preceding `=` is a function).
-STATIC_DECL_RE = re.compile(
-    r"^\s*(?:\[\[[^\]]*\]\]\s*)?(?:inline\s+)?static\s+(?!assert\b)(?!cast\b)")
-SAFE_STATIC_RE = re.compile(
-    r"\bconst\b|\bconstexpr\b|\bthread_local\b|std::atomic\b|"
-    r"std::once_flag\b|\bMutex\b|\bCondVar\b")
-
-
-def strip_comments(text):
-    """Blank out // and /* */ comments and string/char literals, preserving
-    line structure, so banned tokens in prose or strings don't fire."""
-    out = []
-    i, n = 0, len(text)
-    mode = None  # None | "line" | "block" | '"' | "'"
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if mode is None:
-            if c == "/" and nxt == "/":
-                mode = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                mode = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c in "\"'":
-                mode = c
-                out.append(c)
-                i += 1
-                continue
-            out.append(c)
-        elif mode == "line":
-            if c == "\n":
-                mode = None
-                out.append(c)
-            else:
-                out.append(" ")
-        elif mode == "block":
-            if c == "*" and nxt == "/":
-                mode = None
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        else:  # string or char literal
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == mode:
-                mode = None
-            out.append(c if c in (mode, "\n", "\"", "'") else " ")
-        i += 1
-    return "".join(out)
-
-
-def looks_like_function_decl(code_line):
-    """`static T name(args...)` is a function unless an `=` precedes the
-    paren (then the paren belongs to an initializer expression)."""
-    paren = code_line.find("(")
-    if paren < 0:
-        return False
-    eq = code_line.find("=")
-    return eq < 0 or eq > paren
-
-
-def check_file(path, findings):
-    raw = path.read_text(encoding="utf-8")
-    raw_lines = raw.splitlines()
-    code_lines = strip_comments(raw).splitlines()
-    is_wrapper = path == WRAPPER
-
-    for idx, code in enumerate(code_lines):
-        lineno = idx + 1
-        raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
-
-        if not is_wrapper:
-            m = BANNED_TYPES_RE.search(code)
-            if m:
-                findings.append((path, lineno,
-                                 f"naked {m.group(0)} — use the pimcomp "
-                                 "wrappers from common/thread_annotations.hpp"))
-            if RAW_THREAD_RE.search(code):
-                findings.append((path, lineno,
-                                 "raw std::thread type — spell it "
-                                 "pimcomp::Thread (alias marking audited "
-                                 "spawn sites)"))
-            if BANNED_INCLUDE_RE.search(code):
-                findings.append((path, lineno,
-                                 "direct #include of a synchronization "
-                                 "header — include "
-                                 "common/thread_annotations.hpp instead"))
-
-        if DETACH_RE.search(code):
-            findings.append((path, lineno,
-                             ".detach() — detached threads cannot be "
-                             "joined on shutdown"))
-
-        if STATIC_DECL_RE.search(code):
-            if looks_like_function_decl(code):
-                continue
-            if SAFE_STATIC_RE.search(code):
-                continue
-            prev = raw_lines[idx - 1] if idx > 0 else ""
-            if MARKER in raw_line or MARKER in prev:
-                continue
-            findings.append((path, lineno,
-                             "mutable static without a known-safe shape — "
-                             "make it const/constexpr/thread_local/atomic, "
-                             "guard it, or annotate the line above with "
-                             f"`// {MARKER}`"))
-
-
-def main():
-    findings = []
-    for path in sorted(SRC_ROOT.rglob("*")):
-        if path.suffix in (".hpp", ".cpp", ".h", ".cc"):
-            check_file(path, findings)
-    for path, lineno, message in findings:
-        rel = path.relative_to(REPO_ROOT)
-        print(f"{rel}:{lineno}: {message}")
-    if findings:
-        print(f"\n{len(findings)} finding(s).", file=sys.stderr)
-        return 1
-    print("concurrency lint: clean")
-    return 0
+import pimcomp_analyze  # noqa: E402
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(pimcomp_analyze.run(
+        ["--root", str(REPO_ROOT), "--checker", "concurrency"]))

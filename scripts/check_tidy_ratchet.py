@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Two-sided clang-tidy warning-count ratchet.
+
+The CI clang-tidy job writes `clang-tidy-count.json` ({"warnings": N});
+this gate compares it against the checked-in baseline
+tools/analysis/tidy_baseline.json and fails in BOTH directions:
+
+  * count > baseline  — a regression: new warnings crept in. Fix them.
+  * count < baseline  — progress that must be banked: lower the baseline
+    in the same change, or the headroom silently erodes back.
+  * count == baseline — pass.
+
+Usage: check_tidy_ratchet.py <count.json> [<baseline.json>]
+Exit: 0 pass, 1 ratchet violation, 2 bad input.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def read_warnings(path, what):
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"tidy-ratchet: cannot read {what} {path}: {e}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    count = data.get("warnings")
+    if not isinstance(count, int) or count < 0:
+        print(f"tidy-ratchet: {what} {path} needs a non-negative integer "
+              "`warnings` field", file=sys.stderr)
+        raise SystemExit(2)
+    return count
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    count_path = pathlib.Path(argv[1])
+    baseline_path = pathlib.Path(argv[2]) if len(argv) == 3 else \
+        pathlib.Path(__file__).resolve().parent.parent / "tools" / \
+        "analysis" / "tidy_baseline.json"
+
+    count = read_warnings(count_path, "count file")
+    baseline = read_warnings(baseline_path, "baseline")
+
+    if count > baseline:
+        print(f"tidy-ratchet: FAIL — {count} clang-tidy warnings exceed "
+              f"the baseline of {baseline} ({baseline_path}). Fix the new "
+              "warnings; the baseline only moves down.")
+        return 1
+    if count < baseline:
+        print(f"tidy-ratchet: FAIL — {count} clang-tidy warnings are "
+              f"BELOW the baseline of {baseline}. Bank the progress: set "
+              f"\"warnings\": {count} in {baseline_path} in this change.")
+        return 1
+    print(f"tidy-ratchet: OK — {count} warnings == baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,6 +3,9 @@
 #include <optional>
 #include <utility>
 
+// pimcomp-layer-exempt: cached artifacts embed the lowered
+// InstructionStream verbatim — a codec-only dependency on the artifact
+// type, not on any backend lowering logic.
 #include "backend/instruction_stream.hpp"
 #include "cache/cache_store.hpp"
 

@@ -5,6 +5,9 @@
 #include <memory>
 
 #include "common/json.hpp"
+// pimcomp-layer-exempt: the artifact codec (de)serializes core's
+// CompileResult/CompileOptions — a type-only dependency on what it
+// persists, with no call back into the session machinery.
 #include "core/compiler.hpp"
 
 namespace pimcomp {

@@ -67,6 +67,8 @@ struct CompileOptions {
   /// compilation input: it is deliberately excluded from
   /// fingerprint(CompileOptions), because where artifacts are stored must
   /// never change what is computed. Ignored by the cache-less Compiler.
+  // pimcomp-fp-exempt: execution environment (where artifacts are stored),
+  // never part of the compile identity — see the doc comment above.
   CacheConfig cache;
 
   /// Effective SchedulerRegistry key (explicit `scheduler`, else from mode).

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <utility>
 
+// pimcomp-layer-exempt: the generic stage loop resolves the lowering stage
+// through BackendRegistry's interface header only; concrete backends stay
+// above core and register themselves.
 #include "backend/backend.hpp"
 #include "common/error.hpp"
 #include "core/registry.hpp"

@@ -12,10 +12,10 @@
 #include "cache/cache_store.hpp"
 #include "cache/disk_store.hpp"
 #include "cache/memory_store.hpp"
+#include "cache/remote_tier.hpp"
 #include "cache/tiered_store.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
-#include "fleet/remote_store.hpp"
 #include "graph/serialize.hpp"
 #include "sim/simulator.hpp"
 
@@ -342,7 +342,13 @@ CompilerSession::CompilerSession(Graph graph, HardwareConfig hw,
       tiers.push_back(std::move(disk));
     }
     if (cache_config_.remote_enabled()) {
-      auto remote = std::make_unique<fleet::RemoteStore>(cache_config_);
+      // Resolved through the cache/remote_tier.hpp seam so core/ never
+      // includes fleet/ — the concrete RemoteStore registers its factory
+      // when src/fleet/ is linked in.
+      auto remote = make_remote_tier(cache_config_);
+      PIMCOMP_CHECK(remote != nullptr,
+                    "CacheConfig::peers set but no remote cache tier is "
+                    "linked into this binary");
       mapping_remote_ = remote.get();
       tiers.push_back(std::move(remote));
     }

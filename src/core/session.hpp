@@ -26,10 +26,6 @@ class ThreadPool;      // common/thread_pool.hpp
 class InMemoryStore;   // cache/memory_store.hpp
 class DiskStore;       // cache/disk_store.hpp
 
-namespace fleet {
-class RemoteStore;     // fleet/remote_store.hpp
-}  // namespace fleet
-
 /// Stable identity of a graph / hardware config, used to key the session's
 /// workload cache. Two equal fingerprints partition identically.
 std::uint64_t fingerprint(const Graph& graph);
@@ -418,7 +414,10 @@ class CompilerSession {
   std::unique_ptr<CacheStore> mapping_store_;
   InMemoryStore* mapping_memory_ = nullptr;        // always valid
   DiskStore* mapping_disk_ = nullptr;              // nullptr when disabled
-  fleet::RemoteStore* mapping_remote_ = nullptr;   // nullptr without peers
+  // The remote tier is held as the CacheStore interface (only stats() is
+  // read here): the concrete type lives in src/fleet/ behind the
+  // cache/remote_tier.hpp factory seam.
+  CacheStore* mapping_remote_ = nullptr;           // nullptr without peers
   // In-flight dedup: concurrent identical jobs (same mapping key) wait for
   // the first one instead of mapping twice — the second then reads the
   // cache and reports a mapping cache hit, deterministically.

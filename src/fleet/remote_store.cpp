@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <utility>
 
+#include "cache/remote_tier.hpp"
 #include "common/error.hpp"
 #include "serve/protocol.hpp"
 
@@ -155,5 +157,21 @@ CacheStoreStats RemoteStore::stats() const {
   MutexLock lock(stats_mutex_);
   return counters_;
 }
+
+namespace {
+
+/// Installs RemoteStore as the session's remote cache tier through the
+/// cache/remote_tier.hpp seam — linking this TU is what makes
+/// CacheConfig::peers usable, the same way PIMCOMP_REGISTER_MAPPER TUs
+/// make a --mapper key usable.
+[[maybe_unused]] const bool remote_tier_registered = [] {
+  register_remote_tier_factory(
+      +[](const CacheConfig& config) -> std::unique_ptr<CacheStore> {
+        return std::make_unique<RemoteStore>(config);
+      });
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace pimcomp::fleet

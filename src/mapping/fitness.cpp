@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+// pimcomp-layer-exempt: the fitness model reuses the scheduler's
+// receptive-field geometry helpers (a data-only header, no control flow
+// back into schedule/).
 #include "schedule/receptive_field.hpp"
 
 namespace pimcomp {

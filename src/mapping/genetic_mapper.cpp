@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/random.hpp"
+// pimcomp-layer-exempt: self-registration into the mapper registry — the
+// plugin seam every strategy TU uses, not a dependency on core logic.
 #include "core/pipeline.hpp"
 #include "mapping/fitness.hpp"
 #include "mapping/puma_mapper.hpp"

@@ -2,6 +2,8 @@
 
 
 #include "common/error.hpp"
+// pimcomp-layer-exempt: self-registration into the mapper registry — the
+// plugin seam every strategy TU uses, not a dependency on core logic.
 #include "core/pipeline.hpp"
 
 namespace pimcomp {

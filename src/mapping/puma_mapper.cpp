@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+// pimcomp-layer-exempt: self-registration into the mapper registry — the
+// plugin seam every strategy TU uses, not a dependency on core logic.
 #include "core/pipeline.hpp"
 
 namespace pimcomp {

@@ -8,6 +8,8 @@
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+// pimcomp-layer-exempt: self-registration into the scheduler registry —
+// the plugin seam every strategy TU uses, not a dependency on core logic.
 #include "core/pipeline.hpp"
 #include "mapping/fitness.hpp"
 #include "schedule/ag_layout.hpp"

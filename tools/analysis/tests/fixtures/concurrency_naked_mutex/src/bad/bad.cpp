@@ -1,0 +1,16 @@
+// Known-bad on purpose: naked standard synchronization instead of the
+// pimcomp wrappers, plus an unreviewed mutable static. The self-test
+// asserts the concurrency checker reports all three.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_lock;
+static int g_counter = 0;
+
+int bump() {
+  std::lock_guard<std::mutex> guard(g_lock);
+  return ++g_counter;
+}
+
+}  // namespace fixture

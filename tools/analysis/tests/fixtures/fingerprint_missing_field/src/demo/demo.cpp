@@ -1,0 +1,20 @@
+#include "demo/demo.hpp"
+
+namespace fixture {
+
+std::uint64_t fingerprint(const DemoOptions& options) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  hash = hash * 1099511628211ULL + static_cast<std::uint64_t>(options.alpha);
+  hash = hash * 1099511628211ULL +
+         static_cast<std::uint64_t>(options.gamma * 1000.0);
+  // BUG under test: options.beta is never hashed.
+  return hash;
+}
+
+void to_json_demo(const DemoOptions& options) {
+  (void)options.alpha;
+  (void)options.gamma;
+  // BUG under test: options.beta is never serialized either.
+}
+
+}  // namespace fixture

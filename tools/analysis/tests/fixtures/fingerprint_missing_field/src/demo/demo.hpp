@@ -1,0 +1,24 @@
+#ifndef FIXTURE_DEMO_HPP
+#define FIXTURE_DEMO_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+// Known-bad on purpose: `beta` is hashed by neither body below and carries
+// no pimcomp-fp-exempt marker, while `gamma` has a marker that is STALE
+// (both bodies cover it). The self-test asserts the fingerprint checker
+// reports both.
+struct DemoOptions {
+  int alpha = 0;
+  std::string beta;
+  // pimcomp-fp-exempt: stale on purpose — both bodies reference gamma.
+  double gamma = 1.0;
+};
+
+std::uint64_t fingerprint(const DemoOptions& options);
+
+}  // namespace fixture
+
+#endif  // FIXTURE_DEMO_HPP

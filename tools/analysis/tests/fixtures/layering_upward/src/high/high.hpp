@@ -1,0 +1,8 @@
+#ifndef FIXTURE_HIGH_HPP
+#define FIXTURE_HIGH_HPP
+
+namespace fixture {
+int high_value();
+}  // namespace fixture
+
+#endif  // FIXTURE_HIGH_HPP

@@ -1,0 +1,8 @@
+// Known-bad on purpose: low/ (layer 0) reaches up into high/ (layer 1)
+// without a pimcomp-layer-exempt marker. The self-test asserts the
+// layering checker reports the upward edge.
+#include "high/high.hpp"
+
+namespace fixture {
+int low_value() { return high_value() - 1; }
+}  // namespace fixture

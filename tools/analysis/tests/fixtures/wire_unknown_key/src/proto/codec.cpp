@@ -1,0 +1,20 @@
+#include <string>
+
+// Known-bad on purpose: reads the key "zorble", which the fixture manifest
+// does not declare, while the manifest's "ghost_key" entry is referenced by
+// nothing here. The self-test asserts the wire-schema checker reports both
+// directions.
+namespace fixture {
+
+struct Json {
+  int get(const char*, int) const { return 0; }
+  bool contains(const char*) const { return false; }
+};
+
+int decode(const Json& json) {
+  int good = json.get("good_key", 0);
+  int bad = json.get("zorble", 0);
+  return good + bad;
+}
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_PROTO_HPP
+#define FIXTURE_PROTO_HPP
+
+inline constexpr int kProtocolVersion = 2;
+
+#endif  // FIXTURE_PROTO_HPP

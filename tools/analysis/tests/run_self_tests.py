@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Negative self-tests for pimcomp-analyze and the tidy ratchet.
+
+Each fixture under fixtures/ is a deliberately-broken mini-tree; a checker
+that fails to flag it is itself broken (the PR-7 negative-compile-test
+pattern applied to the analyzers). Every case asserts the exact exit
+status AND that each expected diagnostic substring appears — plus, for
+checker cases, that nothing unexpected fires (finding count matches).
+
+Usage: run_self_tests.py [case ...]     (no args = all cases)
+Cases: """ + "see CASES below." + """
+Exit: 0 all pass, 1 any failure.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+TESTS_DIR = pathlib.Path(__file__).resolve().parent
+FIXTURES = TESTS_DIR / "fixtures"
+ANALYZE = TESTS_DIR.parent / "pimcomp_analyze.py"
+REPO_ROOT = TESTS_DIR.parent.parent.parent
+RATCHET = REPO_ROOT / "scripts" / "check_tidy_ratchet.py"
+
+
+def analyze_cmd(fixture, checker, *config):
+    return [sys.executable, str(ANALYZE), "--engine", "regex",
+            "--root", str(FIXTURES / fixture), "--checker", checker, *config]
+
+
+def fp(fixture):
+    return str(FIXTURES / fixture)
+
+
+# name -> (argv, expected exit, expected stdout substrings, expected finding
+# count or None to skip the count check)
+CASES = {
+    "fingerprint_missing_field": (
+        analyze_cmd("fingerprint_missing_field", "fingerprint",
+                    "--fingerprint-contracts",
+                    fp("fingerprint_missing_field") + "/contracts.json"),
+        1,
+        ["DemoOptions::beta is not referenced",
+         "DemoOptions::gamma carries a",
+         "stale marker"],
+        3,  # beta missing from both bodies + one stale-gamma finding
+    ),
+    "wire_unknown_key": (
+        analyze_cmd("wire_unknown_key", "wire-schema",
+                    "--wire-schema",
+                    fp("wire_unknown_key") + "/wire_schema.json"),
+        1,
+        ["\"zorble\" is not in the schema manifest",
+         "\"ghost_key\" is referenced by none"],
+        2,
+    ),
+    "layering_upward": (
+        analyze_cmd("layering_upward", "layering",
+                    "--layers", fp("layering_upward") + "/layers.json"),
+        1,
+        ["upward include",
+         "low/ (layer 0) must not include high/high.hpp (layer 1)"],
+        1,
+    ),
+    "concurrency_naked_mutex": (
+        analyze_cmd("concurrency_naked_mutex", "concurrency"),
+        1,
+        ["naked std::mutex",
+         "naked std::lock_guard",
+         "direct #include of a synchronization header",
+         "mutable static"],
+        4,
+    ),
+    "tidy_ratchet_regressed": (
+        [sys.executable, str(RATCHET),
+         str(FIXTURES / "tidy_ratchet" / "count_regressed.json"),
+         str(FIXTURES / "tidy_ratchet" / "baseline.json")],
+        1,
+        ["7 clang-tidy warnings exceed the baseline of 5"],
+        None,
+    ),
+    "tidy_ratchet_improved": (
+        [sys.executable, str(RATCHET),
+         str(FIXTURES / "tidy_ratchet" / "count_improved.json"),
+         str(FIXTURES / "tidy_ratchet" / "baseline.json")],
+        1,
+        ["BELOW the baseline", "Bank the progress"],
+        None,
+    ),
+    "tidy_ratchet_equal": (
+        [sys.executable, str(RATCHET),
+         str(FIXTURES / "tidy_ratchet" / "count_equal.json"),
+         str(FIXTURES / "tidy_ratchet" / "baseline.json")],
+        0,
+        ["5 warnings == baseline"],
+        None,
+    ),
+}
+
+
+def run_case(name):
+    argv, want_exit, want_snippets, want_count = CASES[name]
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    problems = []
+    if proc.returncode != want_exit:
+        problems.append(
+            f"exit {proc.returncode}, wanted {want_exit}")
+    for snippet in want_snippets:
+        if snippet not in proc.stdout:
+            problems.append(f"missing diagnostic: {snippet!r}")
+    if want_count is not None:
+        got = sum(1 for line in proc.stdout.splitlines()
+                  if ": [" in line and "] " in line)
+        if got != want_count:
+            problems.append(f"{got} findings, wanted exactly {want_count}")
+    if problems:
+        print(f"FAIL {name}")
+        for p in problems:
+            print(f"  - {p}")
+        print("  stdout:")
+        for line in proc.stdout.splitlines():
+            print(f"    {line}")
+        if proc.stderr.strip():
+            print("  stderr:")
+            for line in proc.stderr.splitlines():
+                print(f"    {line}")
+        return False
+    print(f"ok   {name}")
+    return True
+
+
+def main(argv):
+    names = argv[1:] or list(CASES)
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        print(f"unknown case(s): {', '.join(unknown)}; "
+              f"known: {', '.join(CASES)}", file=sys.stderr)
+        return 1
+    ok = all([run_case(n) for n in names])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
