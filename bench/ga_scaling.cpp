@@ -1,0 +1,159 @@
+// Island-model GA scaling: mapping-stage wall clock across an
+// islands x threads sweep on inception-v3 and resnet18 (the two Table II
+// models whose mapping budgets bracket the zoo). Every cell runs the SAME
+// (seed, islands) trajectory — results are bit-reproducible per cell and
+// the thread axis changes wall clock only — so the sweep separates the two
+// claims of the island rewrite:
+//
+//   * parallel speedup: a fixed islands>1 row across the thread axis
+//     (target >=4x on inception-v3 mapping at >=4 islands on a machine
+//     with >=4 hardware threads);
+//   * equal-or-better quality: the final fitness column at islands>1 vs
+//     the islands=1 sequential trajectory at the same seed and budget.
+//
+// PIMCOMP_BENCH_JSON=path writes the cells as a machine-readable artifact;
+// bench/ga_scaling_baseline.json holds reference numbers (wall clock is
+// machine-dependent and deliberately not CI-gated; the CI smoke leg checks
+// the artifact's shape and the quality column instead).
+//
+// Extra knobs on top of bench_common.hpp's:
+//   PIMCOMP_BENCH_GA_ISLANDS   comma list of island counts (default 1,2,4,8)
+//   PIMCOMP_BENCH_GA_THREADS   comma list of pool sizes (default "1" plus
+//                              the hardware thread count)
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/json.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "mapping/genetic_mapper.hpp"
+
+namespace {
+
+std::vector<int> int_list_from_env(const char* name,
+                                   std::vector<int> fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  std::vector<int> values;
+  for (const std::string& item : pimcomp::split(raw, ',')) {
+    const int value = std::atoi(item.c_str());
+    if (value >= 1) values.push_back(value);
+  }
+  return values.empty() ? fallback : values;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pimcomp;
+  using namespace pimcomp::bench;
+  const BenchConfig cfg = BenchConfig::from_env();
+
+  const std::vector<int> island_counts =
+      int_list_from_env("PIMCOMP_BENCH_GA_ISLANDS", {1, 2, 4, 8});
+  std::vector<int> thread_counts = int_list_from_env(
+      "PIMCOMP_BENCH_GA_THREADS",
+      ThreadPool::hardware_threads() > 1
+          ? std::vector<int>{1, ThreadPool::hardware_threads()}
+          : std::vector<int>{1});
+
+  Table table("Island GA mapping scaling, pop " +
+              std::to_string(cfg.ga_population) + " x " +
+              std::to_string(cfg.ga_generations) + " generations, seed " +
+              std::to_string(cfg.seed));
+  table.set_header({"model", "islands", "threads", "mapping s", "speedup",
+                    "final fitness", "evals"});
+
+  Json rows = Json::array();
+  bool quality_ok = true;
+  for (const std::string& name : {std::string("inception-v3"),
+                                  std::string("resnet18")}) {
+    Graph graph = bench_model(name, cfg);
+    const HardwareConfig hw = bench_hardware(graph);
+    const Workload workload(graph, hw);
+
+    double sequential_seconds = 0.0;   // islands=1, threads=1 cell
+    double sequential_fitness = 0.0;
+    for (const int islands : island_counts) {
+      for (const int threads : thread_counts) {
+        GaConfig config;
+        config.population = cfg.ga_population;
+        config.generations = cfg.ga_generations;
+        config.islands = islands;
+        GeneticMapper mapper(config);
+        ThreadPool pool(threads);
+        MapperOptions options;
+        options.mode = PipelineMode::kHighThroughput;
+        options.seed = cfg.seed;
+        options.pool = &pool;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        mapper.map(workload, options);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const GaStats& stats = mapper.last_stats();
+        if (islands == 1 && threads == thread_counts.front()) {
+          sequential_seconds = seconds;
+          sequential_fitness = stats.final_best;
+        }
+        const double speedup =
+            seconds > 0.0 ? sequential_seconds / seconds : 0.0;
+        if (stats.final_best > sequential_fitness) quality_ok = false;
+
+        table.add_row({name, std::to_string(islands),
+                       std::to_string(threads), format_double(seconds, 3),
+                       format_ratio(speedup),
+                       format_double(stats.final_best, 1),
+                       std::to_string(stats.evaluations)});
+        Json row = Json::object();
+        row["model"] = name;
+        row["islands"] = islands;
+        row["threads"] = threads;
+        row["mapping_s"] = seconds;
+        row["speedup_vs_sequential"] = speedup;
+        row["final_fitness"] = stats.final_best;
+        row["evaluations"] = stats.evaluations;
+        rows.push_back(std::move(row));
+        std::cout << "." << std::flush;
+      }
+    }
+  }
+  std::cout << "\n\n";
+  table.print();
+  std::cout << "\nquality: island finals "
+            << (quality_ok ? "<=" : "NOT <=")
+            << " the sequential (islands=1) final at equal seed\n";
+  std::cout << "hardware threads: " << ThreadPool::hardware_threads()
+            << " (speedup rows are bounded by the machine; the determinism "
+               "contract is exercised at every cell regardless)\n";
+
+  if (const char* json_path = std::getenv("PIMCOMP_BENCH_JSON")) {
+    Json artifact = Json::object();
+    Json config = Json::object();
+    config["population"] = cfg.ga_population;
+    config["generations"] = cfg.ga_generations;
+    config["seed"] = static_cast<std::int64_t>(cfg.seed);
+    config["full"] = cfg.full;
+    artifact["config"] = std::move(config);
+    artifact["hardware_threads"] = ThreadPool::hardware_threads();
+    artifact["cells"] = std::move(rows);
+    artifact["quality_ok"] = quality_ok;
+    try {
+      json_to_file(artifact, json_path);
+      std::cout << "wrote scaling cells to " << json_path << '\n';
+    } catch (const std::exception& e) {
+      std::cerr << "failed to write " << json_path << ": " << e.what()
+                << '\n';
+      return 1;
+    }
+  }
+  return quality_ok ? 0 : 1;
+}

@@ -25,6 +25,10 @@
 //   --cores N            core count (default: auto-fit with 3x headroom)
 //   --pop N --gens N     GA budget                       (default 40 x 60)
 //   --seed N             RNG seed                        (default 1)
+//   --ga-islands N       island count of the parallel GA (default 4;
+//                        1 replays the historical sequential trajectory)
+//   --ga-migration-interval N  generations between island ring
+//                        migrations                      (default 10)
 //   --dump-stream CORE   print a core's instruction stream (single run only)
 //   --trace FILE         write the per-stage event timeline as JSON
 //   --json               emit machine-readable JSON reports
@@ -60,7 +64,8 @@
 //                     [--peer ENDPOINT]... [--auth-token TOKEN]
 //   pimcomp_cli submit --server (unix:PATH | HOST:PORT) <model|graph.json>
 //                     [compile options: --mode --parallelism --mapper
-//                      --policy --input --cores --pop --gens --seed]
+//                      --policy --input --cores --pop --gens --seed
+//                      --ga-islands --ga-migration-interval]
 //                     [--scenarios FILE] [--no-simulate] [--timeout SEC]
 //                     [--priority N] [--deadline-ms N] [--auth-token TOKEN]
 //                     [--trace FILE] [--json]
@@ -109,7 +114,8 @@ using namespace pimcomp;
          "       [--jobs N|auto] [--mapper KEY] [--scheduler KEY]\n"
          "       [--backend KEY] [--policy naive|add|ag]\n"
          "       [--input N] [--cores N] [--pop N] [--gens N]\n"
-         "       [--seed N] [--dump-stream CORE] [--trace FILE] [--json]\n"
+         "       [--seed N] [--ga-islands N] [--ga-migration-interval N]\n"
+         "       [--dump-stream CORE] [--trace FILE] [--json]\n"
          "       [--cache-dir PATH] [--list-mappers] [--list-schedulers]\n"
          "       [--list-backends]\n"
          "   or: " << argv0
@@ -197,6 +203,7 @@ std::vector<int> parse_parallelism_list(const std::string& flag,
 // meaningful compile.
 constexpr long long kMaxCores = 1 << 20;
 constexpr long long kMaxGaBudget = 1'000'000;
+constexpr long long kMaxGaIslands = 4096;  // matches the wire bound
 
 bool is_zoo_model(const std::string& name) {
   for (const std::string& m : zoo::model_names()) {
@@ -255,7 +262,8 @@ std::string require_registry_key(const char* what, const std::string& key,
 /// The compile-options flag surface shared verbatim by local compilation,
 /// `lower`, and `submit` (one copy, so the modes cannot drift): --mode,
 /// --parallelism, --mapper, --scheduler, --backend, --policy, --input,
-/// --cores, --pop, --gens, --seed. Returns true when `arg` was consumed.
+/// --cores, --pop, --gens, --seed, --ga-islands, --ga-migration-interval.
+/// Returns true when `arg` was consumed.
 /// Registry keys are validated against the local registries in every mode
 /// (the daemon ships the same strategy set).
 bool parse_compile_flag(const std::string& arg,
@@ -294,6 +302,10 @@ bool parse_compile_flag(const std::string& arg,
     options.ga.population = parse_int(arg, next(), 1, kMaxGaBudget);
   } else if (arg == "--gens") {
     options.ga.generations = parse_int(arg, next(), 0, kMaxGaBudget);
+  } else if (arg == "--ga-islands") {
+    options.ga.islands = parse_int(arg, next(), 1, kMaxGaIslands);
+  } else if (arg == "--ga-migration-interval") {
+    options.ga.migration_interval = parse_int(arg, next(), 1, kMaxGaBudget);
   } else if (arg == "--seed") {
     options.seed = static_cast<std::uint64_t>(parse_integer(arg, next(), 0));
   } else {

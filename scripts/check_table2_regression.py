@@ -13,8 +13,15 @@ hardware than whatever runner CI landed on. The gate fails (exit 1) when
 the normalized total regresses more than --slack, and refuses to compare
 (exit 2) when the GA budgets differ — a changed budget needs a regenerated
 baseline, not a silently skewed comparison. Per-model ratios are printed
-for the humans reading the CI log; only the total gates, because single
-small models are too noisy on shared runners.
+for the humans reading the CI log; only cross-model sums gate, because
+single small models are too noisy on shared runners.
+
+Two sums gate independently, each against the same --slack:
+  * the TOTAL stage time (the historical gate); and
+  * the MAPPING stage alone (summed over every row) — the island-model GA
+    parallelized exactly this stage, so a mapping-only regression must not
+    be able to hide inside a total dominated by scheduling. Skipped with a
+    notice when the baseline predates the `mapping_seconds` field.
 """
 
 import argparse
@@ -64,23 +71,34 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
-    total = artifact["scenario_seconds"]
-    base_total = baseline["scenario_seconds"]
-    normalized = total / calibration
-    base_normalized = base_total / base_calibration
-    ratio = (normalized / base_normalized if base_normalized > 0
-             else float("inf"))
-    print(f"total stage time: {total:.3f}s over calibration "
-          f"{calibration:.3f}s = {normalized:.2f}; baseline "
-          f"{base_total:.3f}s over {base_calibration:.3f}s = "
-          f"{base_normalized:.2f} ({ratio:.2f}x normalized)")
-    if ratio > 1.0 + args.slack:
-        print(f"FAIL: normalized compile time regressed "
-              f"{100 * (ratio - 1):.1f}% (> {100 * args.slack:.0f}% allowed)",
-              file=sys.stderr)
-        return 1
-    print("OK: normalized compile time within budget")
-    return 0
+    def gate(label: str, total: float, base_total: float) -> bool:
+        normalized = total / calibration
+        base_normalized = base_total / base_calibration
+        ratio = (normalized / base_normalized if base_normalized > 0
+                 else float("inf"))
+        print(f"{label}: {total:.3f}s over calibration "
+              f"{calibration:.3f}s = {normalized:.2f}; baseline "
+              f"{base_total:.3f}s over {base_calibration:.3f}s = "
+              f"{base_normalized:.2f} ({ratio:.2f}x normalized)")
+        if ratio > 1.0 + args.slack:
+            print(f"FAIL: normalized {label} regressed "
+                  f"{100 * (ratio - 1):.1f}% "
+                  f"(> {100 * args.slack:.0f}% allowed)", file=sys.stderr)
+            return False
+        print(f"OK: normalized {label} within budget")
+        return True
+
+    ok = gate("total stage time", artifact["scenario_seconds"],
+              baseline["scenario_seconds"])
+
+    base_mapping = baseline.get("mapping_seconds")
+    if base_mapping is None:
+        print("notice: baseline lacks mapping_seconds; mapping-only gate "
+              "skipped (regenerate the baseline to arm it)")
+    else:
+        mapping = sum(r["mapping_s"] for r in artifact["stages"])
+        ok = gate("mapping stage time", mapping, base_mapping) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -16,7 +16,9 @@ namespace pimcomp {
 /// drift or bump this constant alongside new goldens.
 /// v2: fingerprint(CompileOptions) hashes the lowering backend key, and
 /// artifacts optionally carry a lowered "stream" section.
-inline constexpr int kCacheSchemaVersion = 2;
+/// v3: fingerprint(CompileOptions) hashes the island-model GA knobs
+/// (ga.islands, ga.migration_interval) — every option fingerprint moved.
+inline constexpr int kCacheSchemaVersion = 3;
 
 /// Where a cache hit or store landed, as reported to observers
 /// (CacheEvent::source) and on the wire. The memory tier is the session's

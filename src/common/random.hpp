@@ -11,6 +11,21 @@ namespace pimcomp {
 /// Deterministic, seedable PRNG (xoshiro256**). Every stochastic component of
 /// PIMCOMP (GA initialization, mutation choice) draws from an explicitly
 /// seeded Rng so compilations are reproducible bit-for-bit.
+/// Derives the seed of deterministic sub-stream `index` from a base seed.
+/// Stream 0 *is* the base seed, so a single-stream consumer (the islands=1
+/// GA) replays the exact pre-split trajectory; higher indices pass through
+/// the SplitMix64 finalizer so neighboring streams land in unrelated
+/// regions of the seed space. Used by the island-model GA to give every
+/// island its own Rng: results then depend on (seed, stream count) only,
+/// never on how many threads happen to run the streams.
+inline std::uint64_t split_seed(std::uint64_t seed, std::uint64_t index) {
+  if (index == 0) return seed;
+  std::uint64_t z = seed + index * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }

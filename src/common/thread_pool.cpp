@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
 #include <utility>
 
 namespace pimcomp {
@@ -52,6 +54,74 @@ bool ThreadPool::run_one() {
 void ThreadPool::wait_idle() {
   MutexLock lock(mutex_);
   while (!tasks_.empty() || active_ != 0) idle_.wait(mutex_);
+}
+
+void ThreadPool::parallel_for(int count, const std::function<void(int)>& fn,
+                              int priority) {
+  if (count <= 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+
+  // Shared by the caller and the helper tasks. Helpers hold it via
+  // shared_ptr because a helper may be dequeued *after* the caller already
+  // drained every index and returned — it then finds the cursor exhausted
+  // and retires without touching `fn` (only claimed indices ever call fn,
+  // and the caller waits for all of those to complete).
+  struct State {
+    explicit State(const std::function<void(int)>& f, int n)
+        : fn(&f), count(n) {}
+    const std::function<void(int)>* fn;
+    int count;
+    Mutex mutex;
+    CondVar all_done;
+    int next PIMCOMP_GUARDED_BY(mutex) = 0;
+    int completed PIMCOMP_GUARDED_BY(mutex) = 0;
+    int error_index PIMCOMP_GUARDED_BY(mutex) = -1;
+    std::exception_ptr error PIMCOMP_GUARDED_BY(mutex);
+  };
+  auto state = std::make_shared<State>(fn, count);
+
+  auto drain = [](State& s) {
+    for (;;) {
+      int index;
+      {
+        MutexLock lock(s.mutex);
+        if (s.next >= s.count) return;
+        index = s.next++;
+      }
+      try {
+        (*s.fn)(index);
+      } catch (...) {
+        MutexLock lock(s.mutex);
+        if (s.error_index < 0 || index < s.error_index) {
+          s.error_index = index;
+          s.error = std::current_exception();
+        }
+      }
+      MutexLock lock(s.mutex);
+      if (++s.completed == s.count) s.all_done.notify_all();
+    }
+  };
+
+  const int helpers = std::min(count - 1, size());
+  for (int h = 0; h < helpers; ++h) {
+    submit([state, drain] { drain(*state); }, priority);
+  }
+  drain(*state);
+
+  std::exception_ptr error;
+  {
+    MutexLock lock(state->mutex);
+    while (state->completed < state->count) state->all_done.wait(state->mutex);
+    // Move, don't copy: a late helper may release the last State reference
+    // on a worker thread, and libstdc++'s exception_ptr refcount is opaque
+    // to TSan — taking sole ownership keeps the exception's destruction on
+    // the calling thread, ordered after the rethrow below.
+    error = std::move(state->error);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 const ThreadPool* ThreadPool::current() { return tl_current_pool; }

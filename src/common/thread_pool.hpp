@@ -51,6 +51,20 @@ class ThreadPool {
   /// Blocks until every submitted task has finished and the queue is empty.
   void wait_idle() PIMCOMP_EXCLUDES(mutex_);
 
+  /// Runs fn(0) .. fn(count-1) across the pool's workers plus the calling
+  /// thread, returning once every index has completed. Indices are claimed
+  /// from a shared cursor, so which thread runs which index is not
+  /// deterministic — callers needing reproducible results make fn(i) depend
+  /// only on i (the island GA's per-island RNG streams are the canonical
+  /// example). The calling thread drains indices itself and never steals
+  /// unrelated queued tasks, so a parallel_for issued from inside a running
+  /// task cannot recurse into foreign work. Exceptions from fn are caught
+  /// per index and the one from the LOWEST index is rethrown after the last
+  /// index retires, making error reporting independent of interleaving.
+  /// `priority` is the queue priority of the helper tasks.
+  void parallel_for(int count, const std::function<void(int)>& fn,
+                    int priority = 0) PIMCOMP_EXCLUDES(mutex_);
+
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// The pool whose worker loop is running on the calling thread, or

@@ -174,6 +174,8 @@ std::uint64_t fingerprint(const CompileOptions& options) {
   h = fnv1a_value(h, options.ga.enable_spread);
   h = fnv1a_value(h, options.ga.enable_merge);
   h = fnv1a_value(h, options.ga.seed_baseline);
+  h = fnv1a_value(h, options.ga.islands);
+  h = fnv1a_value(h, options.ga.migration_interval);
   h = fnv1a_value(h, options.max_nodes_per_core);
   h = fnv1a_value(h, options.ht_flush_windows);
   h = fnv1a_value(h, options.seed);

@@ -1,9 +1,11 @@
 #ifndef PIMCOMP_MAPPING_FITNESS_HPP
 #define PIMCOMP_MAPPING_FITNESS_HPP
 
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
+#include "mapping/mapper.hpp"
 #include "mapping/mapping_solution.hpp"
 #include "partition/workload.hpp"
 
@@ -83,6 +85,75 @@ class LLFitnessContext {
   const Workload* workload_;
   std::vector<std::vector<Edge>> edges_;      // per partition index
   std::vector<std::vector<int>> consumers_;   // per partition index
+};
+
+/// Data-oriented fitness evaluation over a whole population. The GA keeps
+/// one evaluator per island, sized to the island's population: every
+/// per-gene quantity the per-candidate estimators recompute through
+/// MappingSolution's pointer-chasing accessors — gene lists, per-node host
+/// core sets (the O(cores x genes) `cores_of` scans), per-node replication
+/// and cycle counts, per-core load/penalty accumulators — is flattened into
+/// contiguous population-sized stripes allocated once and reused across
+/// generations. `load()` gathers a candidate into its slot; `evaluate()`
+/// then runs the Fig 5 / Fig 6 estimator entirely on the slot's stripes
+/// without allocating.
+///
+/// Slots share no mutable state, so a generation's changed children can be
+/// loaded and evaluated as a lock-free parallel-for over distinct slots.
+///
+/// `evaluate()` mirrors ht_fitness / LLFitnessContext::evaluate operation
+/// for operation — same iteration order, same floating-point association —
+/// so a slot's fitness is bit-identical to the reference estimators'
+/// (tests/test_island_ga.cpp pins the equivalence). Any change to the
+/// reference estimators must be replayed here.
+class PopulationEvaluator {
+ public:
+  PopulationEvaluator(const Workload& workload, const FitnessParams& params,
+                      PipelineMode mode, const LLFitnessContext& ll_context,
+                      int slots, int max_nodes_per_core);
+
+  /// Gathers `solution` into slot `slot`'s stripes.
+  void load(int slot, const MappingSolution& solution);
+
+  /// Fitness of the solution most recently loaded into `slot` (lower is
+  /// better). Touches only slot-local stripes; distinct slots may run
+  /// concurrently.
+  double evaluate(int slot);
+
+  int slots() const { return slots_; }
+
+ private:
+  const Workload* workload_;
+  FitnessParams params_;
+  PipelineMode mode_;
+  const LLFitnessContext* ll_;
+  int slots_;
+  int cores_;
+  int parts_;
+  int max_nodes_per_core_;
+  int genes_stride_;  ///< cores_ * max_nodes_per_core_: max genes per slot
+
+  // Chromosome stripes, core-major compact per slot (genes_stride_ wide).
+  std::vector<int> gene_part_;  ///< partition index of each gene's node
+  std::vector<int> gene_ags_;   ///< AG count of each gene
+  std::vector<int> core_off_;   ///< per-core gene offsets; (cores_+1) wide
+
+  // Per-partition stripes (parts_ wide).
+  std::vector<int> node_cycles_;  ///< ceil(windows / replication)
+
+  // Per-partition CSR over host cores — the flat replacement for
+  // MappingSolution::cores_of; rows are core-ascending like the original
+  // scan, which fixes the penalty accumulation order.
+  std::vector<int> node_off_;     ///< (parts_+1) wide
+  std::vector<int> node_core_;    ///< genes_stride_ wide
+  std::vector<int> node_ags_;     ///< genes_stride_ wide
+  std::vector<int> node_cursor_;  ///< CSR fill scratch; parts_ wide
+
+  // evaluate() scratch (never read across calls).
+  std::vector<double> penalty_;  ///< per-core accumulation penalties
+  std::vector<std::pair<int, int>> staircase_;  ///< HT; max_nodes wide
+  std::vector<double> finish_;    ///< LL; parts_ wide
+  std::vector<double> duration_;  ///< LL; parts_ wide
 };
 
 }  // namespace pimcomp

@@ -1,10 +1,13 @@
 #include "mapping/genetic_mapper.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/random.hpp"
+#include "common/thread_pool.hpp"
 // pimcomp-layer-exempt: self-registration into the mapper registry — the
 // plugin seam every strategy TU uses, not a dependency on core logic.
 #include "core/pipeline.hpp"
@@ -314,6 +317,52 @@ struct Individual {
   double fitness = 0.0;
 };
 
+/// First index of the lowest fitness (the tie rule the sequential GA used).
+std::size_t best_index(const std::vector<Individual>& population) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < population.size(); ++i) {
+    if (population[i].fitness < population[best].fitness) best = i;
+  }
+  return best;
+}
+
+/// First index of the highest fitness (migration's replacement victim).
+std::size_t worst_index(const std::vector<Individual>& population) {
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < population.size(); ++i) {
+    if (population[i].fitness > population[worst].fitness) worst = i;
+  }
+  return worst;
+}
+
+/// One island of the model: a sub-population, its private RNG stream, its
+/// SoA evaluator, and its convergence record. Between migration barriers
+/// every field is touched only by the parallel_for index that owns the
+/// island; migration runs on the orchestrating thread after the barrier
+/// (parallel_for's completion handshake provides the happens-before), so no
+/// field needs a lock — see docs/concurrency.md.
+struct Island {
+  explicit Island(std::uint64_t seed) : rng(seed) {}
+
+  Rng rng;
+  int population_target = 0;
+  std::vector<Individual> population;
+  std::unique_ptr<PopulationEvaluator> evaluator;
+  std::vector<double> best_history;  ///< best fitness after each generation
+  int evaluations = 0;
+};
+
+/// The pool the islands run on when the caller does not inject one.
+/// Deliberately distinct from CompilerSession's job pool: a mapper blocked
+/// in parallel_for drains only its own indices, and sizing follows the
+/// machine rather than --jobs (which governs scenario-level parallelism).
+/// Lazily constructed, shared by every concurrent compile — islands from
+/// different jobs interleave on it without affecting results.
+ThreadPool& island_pool() {
+  static ThreadPool pool(ThreadPool::hardware_threads());
+  return pool;
+}
+
 }  // namespace
 
 MappingSolution GeneticMapper::map(const Workload& workload,
@@ -322,64 +371,119 @@ MappingSolution GeneticMapper::map(const Workload& workload,
   PIMCOMP_CHECK(config_.generations >= 0, "generations must be >= 0");
   PIMCOMP_CHECK(config_.elite >= 0 && config_.elite <= config_.population,
                 "elite must be within population");
+  PIMCOMP_CHECK(config_.islands >= 1, "islands must be >= 1");
+  PIMCOMP_CHECK(config_.migration_interval >= 1,
+                "migration_interval must be >= 1");
   PIMCOMP_CHECK(config_.enable_grow || config_.enable_shrink ||
                     config_.enable_spread || config_.enable_merge,
                 "at least one mutation operator must be enabled");
 
-  Rng rng(options.seed);
   const FitnessParams params =
       FitnessParams::from(workload.hardware(), options.parallelism_degree);
   const LLFitnessContext ll_context(workload);
 
   stats_ = GaStats{};
-  auto evaluate = [&](const MappingSolution& s) {
-    ++stats_.evaluations;
-    return options.mode == PipelineMode::kHighThroughput
-               ? ht_fitness(s, params)
-               : ll_context.evaluate(s, params);
+
+  // The population splits across the islands (remainder to the first ones),
+  // each with its own RNG stream split from the request seed. Results
+  // depend on (seed, islands) only — never on thread count — and islands=1
+  // replays the pre-island sequential GA bit for bit (stream 0 IS the
+  // request seed, and the evaluation restructure below draws no
+  // randomness).
+  const int island_count = std::min(config_.islands, config_.population);
+  std::vector<Island> islands;
+  islands.reserve(static_cast<std::size_t>(island_count));
+  for (int k = 0; k < island_count; ++k) {
+    Island island(split_seed(options.seed, static_cast<std::uint64_t>(k)));
+    island.population_target =
+        config_.population / island_count +
+        (k < config_.population % island_count ? 1 : 0);
+    island.evaluator = std::make_unique<PopulationEvaluator>(
+        workload, params, options.mode, ll_context, island.population_target,
+        options.max_nodes_per_core);
+    islands.push_back(std::move(island));
+  }
+
+  ThreadPool* pool = options.pool != nullptr ? options.pool : &island_pool();
+  // Islands are the unit of parallelism; with a single island the changed
+  // children of a generation are the unit instead (both run on `pool`).
+  ThreadPool* inner_pool =
+      island_count == 1 && pool->size() > 1 ? pool : nullptr;
+
+  // Children are bred with the island's RNG first and evaluated afterwards
+  // as a batch: evaluation draws no randomness and nothing reads a child's
+  // fitness within the generation that breeds it, so deferring the
+  // evaluations preserves the sequential GA's RNG draw sequence exactly
+  // while letting the batch run data-oriented over the island's SoA slots —
+  // and, for islands=1, as a parallel-for over distinct slots.
+  auto evaluate_batch = [](Island& island, std::vector<Individual>& crowd,
+                           const std::vector<int>& pending,
+                           ThreadPool* batch_pool) {
+    auto evaluate_one = [&](int j) {
+      const int slot = pending[static_cast<std::size_t>(j)];
+      Individual& individual = crowd[static_cast<std::size_t>(slot)];
+      island.evaluator->load(slot, individual.solution);
+      individual.fitness = island.evaluator->evaluate(slot);
+    };
+    if (batch_pool != nullptr && pending.size() > 1) {
+      batch_pool->parallel_for(static_cast<int>(pending.size()),
+                               evaluate_one);
+    } else {
+      for (int j = 0; j < static_cast<int>(pending.size()); ++j) {
+        evaluate_one(j);
+      }
+    }
+    island.evaluations += static_cast<int>(pending.size());
   };
 
-  std::vector<Individual> population;
-  population.reserve(static_cast<std::size_t>(config_.population));
-  // Memetic seeding: one individual starts from the pipeline-balanced
-  // heuristic. Elitism keeps it only while nothing fitter is found, so the
-  // GA's result can never fall below the baseline under its own objective
-  // (both the Fig 5 staircase and the Fig 6 recursion now price cross-core
-  // accumulation and row-forwarding fan-out, which keeps the objective
-  // aligned with the simulator).
-  if (config_.seed_baseline && config_.population > 1) {
+  // Memetic seeding: every island's first individual starts from the
+  // pipeline-balanced heuristic (PumaMapper is deterministic, so one
+  // computation serves them all). Elitism keeps it only while nothing
+  // fitter is found, so the GA's result can never fall below the baseline
+  // under its own objective (both the Fig 5 staircase and the Fig 6
+  // recursion price cross-core accumulation and row-forwarding fan-out,
+  // which keeps the objective aligned with the simulator). Seeding it
+  // per island — not just into island 0 — is what keeps the island model
+  // no worse than the sequential trajectory at equal budgets: without it,
+  // islands 1..N-1 only meet the baseline via migration, generations late.
+  // islands=1 degenerates to the sequential GA's single seeded individual.
+  std::unique_ptr<MappingSolution> baseline_seed;
+  if (config_.seed_baseline) {
     try {
       PumaMapper baseline;
-      MappingSolution s = baseline.map(workload, options);
-      const double f = evaluate(s);
-      population.push_back({std::move(s), f});
+      baseline_seed =
+          std::make_unique<MappingSolution>(baseline.map(workload, options));
     } catch (const CapacityError&) {
       // Fall through to purely random initialization.
     }
   }
-  while (static_cast<int>(population.size()) < config_.population) {
-    // Large populations make initialization itself minutes-long on big
-    // models, so cancellation is observed per individual here and per
-    // generation below — never finer, keeping the overhead unmeasurable.
-    if (options.cancel != nullptr) {
-      options.cancel->throw_if_cancelled("ga population initialization");
-    }
-    MappingSolution s =
-        random_individual(workload, options, rng, config_.target_fill);
-    const double f = evaluate(s);
-    population.push_back({std::move(s), f});
-  }
 
-  auto best_index = [&population]() {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < population.size(); ++i) {
-      if (population[i].fitness < population[best].fitness) best = i;
+  auto init_island = [&](int k) {
+    Island& island = islands[static_cast<std::size_t>(k)];
+    island.population.reserve(
+        static_cast<std::size_t>(island.population_target));
+    std::vector<int> pending;
+    pending.reserve(static_cast<std::size_t>(island.population_target));
+    if (baseline_seed != nullptr && island.population_target > 1) {
+      island.population.push_back({*baseline_seed, 0.0});
+      pending.push_back(0);
     }
-    return best;
+    while (static_cast<int>(island.population.size()) <
+           island.population_target) {
+      // Large populations make initialization itself minutes-long on big
+      // models, so cancellation is observed per individual here and per
+      // island generation below — never finer, keeping the overhead
+      // unmeasurable.
+      if (options.cancel != nullptr) {
+        options.cancel->throw_if_cancelled("ga population initialization");
+      }
+      MappingSolution s =
+          random_individual(workload, options, island.rng, config_.target_fill);
+      pending.push_back(static_cast<int>(island.population.size()));
+      island.population.push_back({std::move(s), 0.0});
+    }
+    evaluate_batch(island, island.population, pending, inner_pool);
   };
-
-  stats_.initial_best = population[best_index()].fitness;
-  stats_.best_history.push_back(stats_.initial_best);
 
   std::vector<int> ops;
   if (config_.enable_grow) ops.push_back(0);
@@ -387,64 +491,162 @@ MappingSolution GeneticMapper::map(const Workload& workload,
   if (config_.enable_spread) ops.push_back(2);
   if (config_.enable_merge) ops.push_back(3);
 
-  auto tournament = [&]() -> const Individual& {
-    std::size_t winner =
-        static_cast<std::size_t>(rng.uniform_int(config_.population));
-    for (int i = 1; i < config_.tournament_size; ++i) {
-      const auto rival =
-          static_cast<std::size_t>(rng.uniform_int(config_.population));
-      if (population[rival].fitness < population[winner].fitness) {
-        winner = rival;
-      }
-    }
-    return population[winner];
-  };
+  // The elite budget is split across islands like the population (ceiling,
+  // so every island keeps at least one elite when any is configured);
+  // islands=1 degenerates to the sequential GA's `elite`.
+  const int island_elite =
+      config_.elite == 0 ? 0 : (config_.elite + island_count - 1) / island_count;
 
-  for (int gen = 0; gen < config_.generations; ++gen) {
+  auto run_generation = [&](Island& island, int generation) {
+    // Cancellation lands within one *island* generation — a population/N
+    // sweep, not a whole-population one (tests/test_compile_jobs.cpp pins
+    // the 16-island latency).
     if (options.cancel != nullptr && options.cancel->cancelled()) {
       throw CancelledError("mapping cancelled at generation " +
-                           std::to_string(gen) + " of " +
+                           std::to_string(generation) + " of " +
                            std::to_string(config_.generations));
     }
+    std::vector<Individual>& population = island.population;
+    const int target = island.population_target;
     std::vector<Individual> next;
     next.reserve(population.size());
     // Elitism: carry the best individuals unchanged (no crossover; the
     // paper skips it as impractical for this encoding).
     std::vector<std::size_t> ranking(population.size());
     for (std::size_t i = 0; i < ranking.size(); ++i) ranking[i] = i;
-    std::sort(ranking.begin(), ranking.end(), [&](std::size_t a, std::size_t b) {
-      return population[a].fitness < population[b].fitness;
-    });
-    for (int e = 0; e < config_.elite && e < config_.population; ++e) {
+    std::sort(ranking.begin(), ranking.end(),
+              [&](std::size_t a, std::size_t b) {
+                return population[a].fitness < population[b].fitness;
+              });
+    for (int e = 0; e < island_elite && e < target; ++e) {
       next.push_back(population[ranking[static_cast<std::size_t>(e)]]);
     }
-    while (static_cast<int>(next.size()) < config_.population) {
+
+    auto tournament = [&]() -> const Individual& {
+      std::size_t winner =
+          static_cast<std::size_t>(island.rng.uniform_int(target));
+      for (int i = 1; i < config_.tournament_size; ++i) {
+        const auto rival =
+            static_cast<std::size_t>(island.rng.uniform_int(target));
+        if (population[rival].fitness < population[winner].fitness) {
+          winner = rival;
+        }
+      }
+      return population[winner];
+    };
+
+    std::vector<int> pending;
+    while (static_cast<int>(next.size()) < target) {
       Individual child = tournament();
-      const int mutation_count =
-          rng.uniform_range(1, std::max(1, config_.mutations_per_child));
+      const int mutation_count = island.rng.uniform_range(
+          1, std::max(1, config_.mutations_per_child));
       bool changed = false;
       for (int m = 0; m < mutation_count; ++m) {
-        switch (ops[static_cast<std::size_t>(rng.pick_index(ops))]) {
+        switch (ops[static_cast<std::size_t>(island.rng.pick_index(ops))]) {
           case 0:
-            changed |= mutate_grow(child.solution, rng, workload,
-                                   options.mode == PipelineMode::kLowLatency);
+            changed |=
+                mutate_grow(child.solution, island.rng, workload,
+                            options.mode == PipelineMode::kLowLatency);
             break;
-          case 1: changed |= mutate_shrink(child.solution, rng, workload); break;
-          case 2: changed |= mutate_spread(child.solution, rng); break;
-          case 3: changed |= mutate_merge(child.solution, rng, workload); break;
+          case 1:
+            changed |= mutate_shrink(child.solution, island.rng, workload);
+            break;
+          case 2: changed |= mutate_spread(child.solution, island.rng); break;
+          case 3:
+            changed |= mutate_merge(child.solution, island.rng, workload);
+            break;
           default: break;
         }
       }
-      if (changed) child.fitness = evaluate(child.solution);
+      if (changed) pending.push_back(static_cast<int>(next.size()));
       next.push_back(std::move(child));
     }
+    evaluate_batch(island, next, pending, inner_pool);
     population = std::move(next);
-    stats_.best_history.push_back(population[best_index()].fitness);
+    island.best_history.push_back(
+        population[best_index(population)].fitness);
+  };
+
+  // parallel_for rethrows the lowest island's exception after every island
+  // retires, so a CapacityError (or a cancel) surfaces identically at any
+  // thread count.
+  auto for_each_island = [&](const std::function<void(int)>& fn) {
+    if (island_count > 1) {
+      pool->parallel_for(island_count, fn);
+    } else {
+      fn(0);
+    }
+  };
+
+  for_each_island(init_island);
+
+  stats_.initial_best =
+      islands[0].population[best_index(islands[0].population)].fitness;
+  for (std::size_t k = 1; k < islands.size(); ++k) {
+    stats_.initial_best = std::min(
+        stats_.initial_best,
+        islands[k].population[best_index(islands[k].population)].fitness);
+  }
+  stats_.best_history.push_back(stats_.initial_best);
+
+  int done = 0;
+  while (done < config_.generations) {
+    const int chunk =
+        std::min(config_.migration_interval, config_.generations - done);
+    for_each_island([&](int k) {
+      Island& island = islands[static_cast<std::size_t>(k)];
+      for (int g = 0; g < chunk; ++g) run_generation(island, done + g);
+    });
+    done += chunk;
+
+    if (island_count > 1 && done < config_.generations) {
+      // Ring migration on the orchestrating thread: island k's best
+      // replaces island (k+1)'s worst when fitter. Bests are snapshotted
+      // first so the exchange is simultaneous — the outcome does not depend
+      // on island order.
+      std::vector<Individual> migrants;
+      migrants.reserve(islands.size());
+      for (Island& island : islands) {
+        migrants.push_back(island.population[best_index(island.population)]);
+      }
+      for (int k = 0; k < island_count; ++k) {
+        Island& target_island =
+            islands[static_cast<std::size_t>((k + 1) % island_count)];
+        const std::size_t worst = worst_index(target_island.population);
+        if (migrants[static_cast<std::size_t>(k)].fitness <
+            target_island.population[worst].fitness) {
+          target_island.population[worst] =
+              std::move(migrants[static_cast<std::size_t>(k)]);
+        }
+      }
+    }
   }
 
-  const std::size_t best = best_index();
-  stats_.final_best = population[best].fitness;
-  MappingSolution result = std::move(population[best].solution);
+  for (int g = 0; g < config_.generations; ++g) {
+    double best = islands[0].best_history[static_cast<std::size_t>(g)];
+    for (std::size_t k = 1; k < islands.size(); ++k) {
+      best = std::min(best,
+                      islands[k].best_history[static_cast<std::size_t>(g)]);
+    }
+    stats_.best_history.push_back(best);
+  }
+  for (const Island& island : islands) {
+    stats_.evaluations += island.evaluations;
+  }
+
+  std::size_t winner_island = 0;
+  std::size_t winner = best_index(islands[0].population);
+  for (std::size_t k = 1; k < islands.size(); ++k) {
+    const std::size_t b = best_index(islands[k].population);
+    if (islands[k].population[b].fitness <
+        islands[winner_island].population[winner].fitness) {
+      winner_island = k;
+      winner = b;
+    }
+  }
+  stats_.final_best = islands[winner_island].population[winner].fitness;
+  MappingSolution result =
+      std::move(islands[winner_island].population[winner].solution);
   result.validate();
   return result;
 }

@@ -17,6 +17,18 @@ struct GaConfig {
   int mutations_per_child = 2;  ///< up to this many mutation ops per child
   double target_fill = 0.90;  ///< crossbar-utilization target at initialization
 
+  /// Island-model parallelism: the population is split across this many
+  /// sub-populations that evolve independently (one RNG stream each, split
+  /// from the request seed) and exchange their best individual on a ring
+  /// every `migration_interval` generations. Part of the result's identity:
+  /// equal (seed, islands) is bit-reproducible at ANY thread count, and
+  /// islands=1 replays the sequential GA's exact trajectory — which is why
+  /// the default is a fixed number rather than the machine's core count.
+  /// Clamped to the population size.
+  int islands = 4;
+  /// Generations each island evolves between ring migrations.
+  int migration_interval = 10;
+
   /// Which of the four mutation operators are enabled (for the ablation
   /// bench); all on by default.
   bool enable_grow = true;    ///< op I: increase a node's replication

@@ -10,6 +10,8 @@
 
 namespace pimcomp {
 
+class ThreadPool;
+
 /// The two compilation modes of the paper (§IV-A): High Throughput pipelines
 /// whole inferences layer-by-layer; Low Latency pipelines at output-window
 /// granularity inside a single inference.
@@ -31,9 +33,16 @@ struct MapperOptions {
   std::uint64_t seed = 1;
 
   /// Cooperative cancellation flag (not owned; nullptr = not cancellable).
-  /// Iterative strategies poll it at iteration boundaries — the GA between
-  /// generations — and abort with CancelledError.
+  /// Iterative strategies poll it at iteration boundaries — the GA per
+  /// island generation — and abort with CancelledError.
   const CancelToken* cancel = nullptr;
+
+  /// Worker pool for strategies with internal parallelism (not owned).
+  /// nullptr lets the strategy fall back to its own shared pool — the GA's
+  /// islands then run on a process-wide pool sized to the machine. Thread
+  /// count never affects results (see GaConfig::islands); benches inject
+  /// pools of varying size here to sweep the scaling axis.
+  ThreadPool* pool = nullptr;
 };
 
 struct GaStats;

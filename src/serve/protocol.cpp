@@ -72,6 +72,9 @@ std::int64_t require_id(const Json& json) {
 constexpr long long kMaxWireCores = 1 << 20;
 constexpr long long kMaxWireParallelism = 1 << 20;
 constexpr long long kMaxWireGaBudget = 1'000'000;
+/// Islands bound (v6): each island costs a population-sized SoA evaluator,
+/// so the cap is far tighter than the generation/population budget.
+constexpr long long kMaxWireGaIslands = 4096;
 constexpr long long kMaxWireDimension = 1 << 20;   // xbar/core geometry
 constexpr long long kMaxWireInputSize = 1 << 16;
 /// ~10 years in ms: deadlines past this are configuration errors, not
@@ -147,6 +150,8 @@ Json options_to_json(const CompileOptions& options) {
   ga["enable_spread"] = options.ga.enable_spread;
   ga["enable_merge"] = options.ga.enable_merge;
   ga["seed_baseline"] = options.ga.seed_baseline;
+  ga["islands"] = options.ga.islands;
+  ga["migration_interval"] = options.ga.migration_interval;
   json["ga"] = std::move(ga);
   return json;
 }
@@ -186,7 +191,8 @@ CompileOptions options_from_json(const Json& json,
                        {"population", "generations", "elite",
                         "tournament_size", "mutations_per_child",
                         "target_fill", "enable_grow", "enable_shrink",
-                        "enable_spread", "enable_merge", "seed_baseline"});
+                        "enable_spread", "enable_merge", "seed_baseline",
+                        "islands", "migration_interval"});
     options.ga.population =
         bounded_int(ga, "population", options.ga.population, 1,
                     kMaxWireGaBudget, "options.ga");
@@ -207,6 +213,14 @@ CompileOptions options_from_json(const Json& json,
     options.ga.enable_merge = ga.get("enable_merge", options.ga.enable_merge);
     options.ga.seed_baseline =
         ga.get("seed_baseline", options.ga.seed_baseline);
+    // v6 keys: island-model parallelism. Bounded like the other GA knobs so
+    // a hostile request cannot demand absurd island counts; the mapper
+    // additionally clamps islands to the population.
+    options.ga.islands = bounded_int(ga, "islands", options.ga.islands, 1,
+                                     kMaxWireGaIslands, "options.ga");
+    options.ga.migration_interval =
+        bounded_int(ga, "migration_interval", options.ga.migration_interval,
+                    1, kMaxWireGaBudget, "options.ga");
   }
   return options;
 }

@@ -30,8 +30,11 @@ namespace pimcomp::serve {
 /// field — all reachable only through the new request types or new keys,
 /// so every frame a pre-v5 requester triggers stays byte-identical (the
 /// advisory `done` version echoes min(ours, theirs)). Older requests are
-/// still accepted.
-inline constexpr int kProtocolVersion = 5;
+/// still accepted. v6 added the island-model GA knobs — the
+/// `options.ga.islands` and `options.ga.migration_interval` request keys
+/// (absent keys mean the server defaults, so pre-v6 requests parse
+/// unchanged; the keys also appear in the echoed options of v6 replies).
+inline constexpr int kProtocolVersion = 6;
 
 // ---------------------------------------------------------------------------
 // Field (de)serialization shared by requests and tooling.

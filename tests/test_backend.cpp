@@ -275,9 +275,13 @@ TEST(InstructionStream, ContentFingerprintGoldensArePinned) {
     const char* model;
     const char* fingerprint;
   };
+  // Re-pinned when the island-model GA became the default mapper
+  // trajectory (ga.islands = 4): the mapping — and therefore the lowered
+  // stream — legitimately changed, recorded by the kCacheSchemaVersion
+  // bump to v3.
   const GoldenCase cases[] = {
-      {"squeezenet", "ab42cc35c3641fd9"},
-      {"resnet18", "330e0a1893ee5f11"},
+      {"squeezenet", "659ed7bf9701c252"},
+      {"resnet18", "24070a180ea26957"},
   };
   for (const GoldenCase& c : cases) {
     SCOPED_TRACE(c.model);

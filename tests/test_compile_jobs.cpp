@@ -174,6 +174,37 @@ TEST(CompileJobs, CancelMidMappingIsObservedWithinOneGeneration) {
   EXPECT_LT(seconds, 5.0);
 }
 
+TEST(CompileJobs, CancelLandsWithinOneIslandGenerationAtSixteenIslands) {
+  // Island-model regression: the cancel token is polled per ISLAND
+  // generation, so splitting the population across 16 islands must not
+  // stretch cancellation latency — every island observes the token inside
+  // its own population/16 sweep, and parallel_for rethrows the first
+  // island's CancelledError after the rest retire.
+  CompilerSession session(small_cnn(), HardwareConfig::puma_default());
+  StageWatcher watcher;
+  session.set_observer(&watcher);
+
+  CompileOptions options = long_options();
+  options.ga.population = 64;  // 4 individuals per island
+  options.ga.islands = 16;
+  CompileJob job = session.submit(options, "archipelago");
+  while (!watcher.mapping_started()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(job.cancel());
+  const ScenarioOutcome& outcome = job.wait();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  EXPECT_TRUE(outcome.cancelled());
+  EXPECT_NE(outcome.error.find("cancelled"), std::string::npos)
+      << outcome.error;
+  EXPECT_LT(seconds, 5.0);
+}
+
 TEST(CompileJobs, SessionDestructionCancelsOutstandingJobs) {
   std::vector<CompileJob> jobs;
   {

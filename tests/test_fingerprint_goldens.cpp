@@ -41,10 +41,11 @@ TEST(FingerprintGoldens, DefaultHardwareIsPinned) {
 }
 
 TEST(FingerprintGoldens, DefaultOptionsArePinned) {
-  // v2: the lowering backend key joined the hash (schema bump recorded in
-  // kCacheSchemaVersion).
+  // v2: the lowering backend key joined the hash; v3: the island-model GA
+  // knobs (ga.islands, ga.migration_interval) joined it (each schema bump
+  // recorded in kCacheSchemaVersion).
   EXPECT_EQ(hex_fingerprint(fingerprint(CompileOptions{})),
-            "92a3cfaac7a8156c");
+            "f28d664c108e4262");
 
   // The persistent-cache config is execution environment, not identity: a
   // cache-enabled run must reuse artifacts a cache-less run produced.
@@ -64,6 +65,15 @@ TEST(FingerprintGoldens, DefaultOptionsArePinned) {
   CompileOptions lowered;
   lowered.backend = "isa-json";
   EXPECT_NE(fingerprint(lowered), fingerprint(CompileOptions{}));
+
+  // The island-model GA knobs are identity: islands=1 and islands=4 walk
+  // different GA trajectories, so their artifacts must never be confused.
+  CompileOptions single_island;
+  single_island.ga.islands = 1;
+  EXPECT_NE(fingerprint(single_island), fingerprint(CompileOptions{}));
+  CompileOptions eager_migration;
+  eager_migration.ga.migration_interval = 1;
+  EXPECT_NE(fingerprint(eager_migration), fingerprint(CompileOptions{}));
 }
 
 TEST(FingerprintGoldens, ZooModelGraphsArePinned) {
@@ -87,7 +97,7 @@ TEST(FingerprintGoldens, ComposedCacheKeysArePinned) {
   const std::uint64_t mapping_key =
       combine_fingerprints(workload_fp, fingerprint(CompileOptions{}));
   EXPECT_EQ(hex_fingerprint(workload_fp), "8eed0b2275a84a85");
-  EXPECT_EQ(hex_fingerprint(mapping_key), "a8e31de876d96829");
+  EXPECT_EQ(hex_fingerprint(mapping_key), "8f5cc47c4268f4be");
 }
 
 }  // namespace
